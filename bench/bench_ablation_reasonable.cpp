@@ -1,0 +1,106 @@
+// E11 — §3.3 ablation: the reasonable-function family. All members (h,
+// the hop-biased h1, the flow-product h2) obey the staircase/gadget lower
+// bounds — the inapproximability is a property of the family, not of the
+// specific rule Algorithm 1 minimizes.
+#include <iostream>
+#include <memory>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "tufp/graph/generators.hpp"
+#include "tufp/ufp/iterative_minimizer.hpp"
+#include "tufp/ufp/reasonable.hpp"
+#include "tufp/util/math.hpp"
+#include "tufp/util/rng.hpp"
+#include "tufp/workload/lower_bounds.hpp"
+#include "tufp/workload/request_gen.hpp"
+
+namespace {
+
+using namespace tufp;
+
+double run_with(const UfpInstance& inst, const ReasonableFunction& fn,
+                const TieScore& tie) {
+  IterativeMinimizerConfig cfg;
+  cfg.function = &fn;
+  cfg.tie_score = tie;
+  return reasonable_iterative_minimizer(inst, cfg).solution.total_value(inst);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool csv = bench::csv_mode(argc, argv);
+  bench::print_header(
+      "E11", "Reasonable-function ablation (h vs h1 vs h2)",
+      "every reasonable iterative path minimizer obeys the Figure 2/3 "
+      "bounds; the choice of function moves value only within them");
+
+  // (a) Staircase: all members stay below OPT by roughly the same factor.
+  Table staircase_table(
+      {"l", "B", "OPT", "ALG(h)", "ALG(h1)", "ALG(h2)", "fluid bound+B^2"});
+  for (const auto& [l, B] :
+       std::vector<std::pair<int, int>>{{12, 3}, {16, 4}, {24, 4}}) {
+    const StaircaseInstance sc = make_staircase(l, B);
+    const ExponentialLengthFunction h(0.25, B);
+    const HopBiasedFunction h1(0.25, B);
+    const FlowProductFunction h2;
+    const TieScore tie = sc.paper_tie_score();
+    staircase_table.row()
+        .cell(l)
+        .cell(B)
+        .cell(sc.optimal_value())
+        .cell(run_with(sc.instance, h, tie))
+        .cell(run_with(sc.instance, h1, tie))
+        .cell(run_with(sc.instance, h2, tie))
+        .cell(sc.predicted_alg_value() + static_cast<double>(B) * B);
+  }
+  std::cout << "(a) staircase, paper tie-break\n";
+  bench::emit(staircase_table, csv);
+
+  // (b) Figure 3 gadget.
+  Table fig3_table({"B", "OPT", "ALG(h)", "ALG(h1)", "ALG(h2)", "paper 3B"});
+  for (int B : {4, 16, 64}) {
+    const Fig3Instance fig = make_fig3(B);
+    const ExponentialLengthFunction h(0.25, B);
+    const HopBiasedFunction h1(0.25, B);
+    const FlowProductFunction h2;
+    const TieScore tie = fig.paper_tie_score();
+    fig3_table.row()
+        .cell(B)
+        .cell(fig.optimal_value())
+        .cell(run_with(fig.instance, h, tie))
+        .cell(run_with(fig.instance, h1, tie))
+        .cell(run_with(fig.instance, h2, tie))
+        .cell(fig.predicted_alg_value());
+  }
+  std::cout << "(b) Figure 3 gadget, adversarial ties\n";
+  bench::emit(fig3_table, csv);
+
+  // (c) Benign random workloads: the functions are nearly interchangeable.
+  Table random_table({"seed", "ALG(h)", "ALG(h1)", "ALG(h2)"});
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    Rng rng(seed * 19);
+    Graph g = grid_graph(3, 3, 3.0, false);
+    RequestGenConfig gen;
+    gen.num_requests = 14;
+    std::vector<Request> reqs = generate_requests(g, gen, rng);
+    const UfpInstance inst(std::move(g), std::move(reqs));
+    const ExponentialLengthFunction h(0.25, inst.bound_B());
+    const HopBiasedFunction h1(0.25, inst.bound_B());
+    const FlowProductFunction h2;
+    random_table.row()
+        .cell(seed)
+        .cell(run_with(inst, h, {}))
+        .cell(run_with(inst, h1, {}))
+        .cell(run_with(inst, h2, {}));
+  }
+  std::cout << "(c) benign 3x3 grid workloads, no adversarial ties\n";
+  bench::emit(random_table, csv);
+
+  std::cout << "expected shape: on the gadgets all three functions land in "
+               "the same lower-bound window; on benign workloads their "
+               "values are close — reasonability, not the exact rule, "
+               "drives the worst case.\n";
+  return 0;
+}

@@ -1,0 +1,134 @@
+// E9 — "improves on the current best truthful mechanism" (§1.1): the
+// SPAA'07 duality accounting certifies e/(e-1) where the BKV-style
+// accounting on the *same* run certifies only ~e, and the primal-dual
+// beats the classical truthful greedy baselines in value.
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "tufp/baselines/bkv.hpp"
+#include "tufp/baselines/greedy.hpp"
+#include "tufp/graph/generators.hpp"
+#include "tufp/lp/ufp_lp.hpp"
+#include "tufp/ufp/bounded_ufp.hpp"
+#include "tufp/util/math.hpp"
+#include "tufp/util/rng.hpp"
+#include "tufp/util/stats.hpp"
+#include "tufp/workload/request_gen.hpp"
+#include "tufp/workload/scenarios.hpp"
+
+namespace {
+
+using namespace tufp;
+
+UfpInstance make_instance(std::uint64_t seed, double capacity, int requests,
+                          ValueModel model) {
+  Rng rng(seed);
+  Graph g = grid_graph(3, 3, capacity, false);
+  RequestGenConfig cfg;
+  cfg.num_requests = requests;
+  cfg.value_model = model;
+  std::vector<Request> reqs = generate_requests(g, cfg, rng);
+  return UfpInstance(std::move(g), std::move(reqs));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool csv = bench::csv_mode(argc, argv);
+  bench::print_header(
+      "E9", "Baselines: certified bounds and value comparison",
+      "same run, two certificates: z-credited (SPAA'07, -> e/(e-1)) vs "
+      "coarse (BKV-style, -> e); plus truthful greedy comparators");
+
+  // (a) Certificate gap on identical in-regime faithful runs: B chosen per
+  // Lemma 3.8 for the algorithm's eps, workload congested so the threshold
+  // dynamics are exercised (~2.5*B requests on a 7-edge grid).
+  Table cert_table({"workload", "alg eps", "B", "value", "tight cert",
+                    "coarse cert", "tight/value", "coarse/value",
+                    "coarse/tight"});
+  for (const auto& [name, alg_eps, model] :
+       {std::tuple{"uniform values", 1.0 / 6.0, ValueModel::kUniform},
+        std::tuple{"zipf values", 1.0 / 6.0, ValueModel::kZipf},
+        std::tuple{"uniform, eps=1/3", 1.0 / 3.0, ValueModel::kUniform}}) {
+    Rng probe_rng(0);
+    Graph probe = grid_graph(2, 3, 1.0, false);
+    const double B = regime_capacity(probe.num_edges(), alg_eps, 1.02);
+    RunningStats value, tight, coarse;
+    for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+      Rng rng(seed * 29 + 3);
+      Graph g = grid_graph(2, 3, B, false);
+      RequestGenConfig gen;
+      gen.num_requests = static_cast<int>(7.0 * B);  // congested
+      gen.demand_min = 0.5;
+      gen.value_model = model;
+      std::vector<Request> reqs = generate_requests(g, gen, rng);
+      const UfpInstance inst(std::move(g), std::move(reqs));
+      BoundedUfpConfig cfg;
+      cfg.epsilon = alg_eps;
+      const BkvResult bkv = bkv_ufp(inst, cfg);
+      value.add(bkv.solution.total_value(inst));
+      tight.add(bkv.tight_upper_bound);
+      coarse.add(bkv.coarse_upper_bound);
+    }
+    cert_table.row()
+        .cell(name)
+        .cell(alg_eps)
+        .cell(B)
+        .cell(value.mean())
+        .cell(tight.mean())
+        .cell(coarse.mean())
+        .cell(tight.mean() / value.mean())
+        .cell(coarse.mean() / value.mean())
+        .cell(coarse.mean() / tight.mean());
+  }
+  std::cout << "(a) per-run certificates on in-regime faithful runs (limit "
+               "constants: e/(e-1) = "
+            << kEOverEMinus1 << ", e = " << kE << ")\n";
+  bench::emit(cert_table, csv);
+
+  // (b) Value comparison across truthful algorithms on tight workloads.
+  Table value_table({"workload", "BoundedUFP", "greedy(value)",
+                     "greedy(density)", "fracOPT", "UFP/frac",
+                     "best greedy/frac"});
+  const struct {
+    const char* name;
+    double capacity;
+    ValueModel model;
+  } tight_workloads[] = {
+      {"grid tight uniform", 2.0, ValueModel::kUniform},
+      {"grid tight zipf", 2.0, ValueModel::kZipf},
+      {"grid roomy uniform", 6.0, ValueModel::kUniform},
+      {"grid roomy proportional", 6.0, ValueModel::kProportional},
+  };
+  for (const auto& w : tight_workloads) {
+    RunningStats ufp_stats, gv_stats, gd_stats, frac_stats;
+    for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+      const UfpInstance inst =
+          make_instance(seed * 53 + 7, w.capacity, 16, w.model);
+      BoundedUfpConfig cfg;
+      cfg.run_to_saturation = true;
+      ufp_stats.add(bounded_ufp(inst, cfg).solution.total_value(inst));
+      gv_stats.add(greedy_ufp(inst, GreedyRanking::kByValue).total_value(inst));
+      gd_stats.add(
+          greedy_ufp(inst, GreedyRanking::kByDensity).total_value(inst));
+      frac_stats.add(solve_ufp_lp(inst).objective);
+    }
+    value_table.row()
+        .cell(w.name)
+        .cell(ufp_stats.mean())
+        .cell(gv_stats.mean())
+        .cell(gd_stats.mean())
+        .cell(frac_stats.mean())
+        .cell(ufp_stats.mean() / frac_stats.mean())
+        .cell(std::max(gv_stats.mean(), gd_stats.mean()) / frac_stats.mean());
+  }
+  std::cout << "(b) value comparison (all monotone/truthful comparators)\n";
+  bench::emit(value_table, csv);
+
+  std::cout << "expected shape: coarse/tight > 1 everywhere — the paper's "
+               "improvement is in the provable guarantee on the same run. "
+               "Average-case values of the truthful comparators are close; "
+               "the primal-dual's edge is its worst-case certificate, not "
+               "typical-case dominance.\n";
+  return 0;
+}

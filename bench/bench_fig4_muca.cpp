@@ -1,0 +1,52 @@
+// E5 — Figure 4 / Theorem 4.5: the partition-auction gadget caps every
+// reasonable iterative bundle-minimizing algorithm at (3p+1)B/4 vs OPT=pB,
+// approaching ratio 4/3 as p grows.
+#include <iostream>
+#include <utility>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "tufp/auction/bundle_minimizer.hpp"
+#include "tufp/util/timer.hpp"
+#include "tufp/workload/lower_bounds.hpp"
+
+int main(int argc, char** argv) {
+  using namespace tufp;
+  const bool csv = bench::csv_mode(argc, argv);
+  bench::print_header(
+      "E5", "Figure 4 multi-unit auction gadget",
+      "reasonable bundle minimizers reach (3p+1)B/4 vs OPT = pB: ratio -> "
+      "4/3 as p grows (Theorem 4.5)");
+
+  Table table({"p", "B", "items", "requests", "ALG(simulated)",
+               "ALG(paper)=(3p+1)B/4", "OPT=pB", "ratio", "matches", "ms"});
+  const std::vector<std::pair<int, int>> sizes{
+      {3, 8}, {5, 8}, {7, 8}, {9, 8}, {11, 8}, {15, 8}, {7, 2}, {7, 32}};
+  for (const auto& [p, B] : sizes) {
+    const Fig4Instance fig = make_fig4(p, B);
+    const ExponentialBundleFunction h(
+        0.25, static_cast<double>(fig.instance.bound_B()));
+    BundleMinimizerConfig cfg;
+    cfg.function = &h;
+    WallTimer timer;
+    const auto result = reasonable_bundle_minimizer(fig.instance, cfg);
+    const double ms = timer.elapsed_ms();
+    const double alg = result.solution.total_value(fig.instance);
+    table.row()
+        .cell(p)
+        .cell(B)
+        .cell(fig.instance.num_items())
+        .cell(fig.instance.num_requests())
+        .cell(alg)
+        .cell(fig.predicted_alg_value())
+        .cell(fig.optimal_value())
+        .cell(fig.optimal_value() / alg)
+        .cell(alg == fig.predicted_alg_value() ? "yes" : "NO")
+        .cell(ms);
+  }
+  bench::emit(table, csv);
+
+  std::cout << "expected shape: ALG = (3p+1)B/4 exactly; ratio = 4p/(3p+1) "
+               "climbing to 4/3 = 1.3333 as p grows, independent of B.\n";
+  return 0;
+}

@@ -1,0 +1,112 @@
+// E6 — Theorem 5.1: with repetitions allowed the same primal-dual skeleton
+// achieves (1+eps) — in sharp contrast to the e/(e-1) barrier without
+// repetitions — and runs in time polynomial in m and c_max/d_min.
+//
+// Regime scaling as in E1: the theorem invokes the algorithm with eps/6,
+// so B >= 36*ln(m)/eps^2 in the theorem's eps.
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "tufp/graph/generators.hpp"
+#include "tufp/ufp/bounded_ufp_repeat.hpp"
+#include "tufp/util/math.hpp"
+#include "tufp/util/rng.hpp"
+#include "tufp/util/stats.hpp"
+#include "tufp/util/timer.hpp"
+#include "tufp/workload/request_gen.hpp"
+#include "tufp/workload/scenarios.hpp"
+
+namespace {
+
+using namespace tufp;
+
+UfpInstance make_instance(std::uint64_t seed, double alg_eps, int requests) {
+  Rng rng(seed);
+  Graph probe = grid_graph(3, 3, 1.0, false);
+  const double B = regime_capacity(probe.num_edges(), alg_eps, 1.02);
+  Graph g = grid_graph(3, 3, B, false);
+  RequestGenConfig cfg;
+  cfg.num_requests = requests;
+  cfg.demand_min = 0.5;  // bounds c_max/d_min, hence the iteration count
+  std::vector<Request> reqs = generate_requests(g, cfg, rng);
+  return UfpInstance(std::move(g), std::move(reqs));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool csv = bench::csv_mode(argc, argv);
+  bench::print_header(
+      "E6", "Theorem 5.1: unsplittable flow with repetitions",
+      "Bounded-UFP-Repeat(eps/6) certifies (1+eps); iterations <= "
+      "m*c_max/d_min");
+
+  constexpr int kSeeds = 3;
+
+  Table table({"eps(thm)", "B", "iterations(mean)", "iter bound",
+               "value(mean)", "cert(mean)", "ratio cert/value",
+               "bound 1+eps", "feasible", "ms(mean)"});
+  for (double eps : {0.25, 0.5, 1.0}) {
+    const double alg_eps = eps / 6.0;
+    RunningStats iters, value_stats, cert_stats, ratio_stats, ms_stats;
+    bool all_feasible = true;
+    double B = 0.0, iter_bound = 0.0;
+    for (std::uint64_t seed = 1; seed <= kSeeds; ++seed) {
+      const UfpInstance inst = make_instance(seed * 37, alg_eps, 7);
+      B = inst.bound_B();
+      iter_bound = inst.graph().num_edges() * inst.graph().max_capacity() /
+                   inst.min_demand();
+      BoundedUfpRepeatConfig cfg;
+      cfg.epsilon = alg_eps;
+      WallTimer timer;
+      const BoundedUfpRepeatResult result = bounded_ufp_repeat(inst, cfg);
+      ms_stats.add(timer.elapsed_ms());
+      all_feasible &= result.solution.check_feasibility(inst).feasible;
+      const double value = result.solution.total_value(inst);
+      iters.add(static_cast<double>(result.iterations));
+      value_stats.add(value);
+      cert_stats.add(result.dual_upper_bound);
+      ratio_stats.add(result.dual_upper_bound / value);
+    }
+    table.row()
+        .cell(eps)
+        .cell(B)
+        .cell(iters.mean())
+        .cell(iter_bound)
+        .cell(value_stats.mean())
+        .cell(cert_stats.mean())
+        .cell(ratio_stats.mean())
+        .cell(1.0 + eps)
+        .cell(all_feasible ? "yes" : "NO")
+        .cell(ms_stats.mean());
+  }
+  std::cout << "(a) approximation and iteration count, 3x3 grid, " << kSeeds
+            << " seeds per row\n";
+  bench::emit(table, csv);
+
+  // Contrast with the no-repetition barrier: the repeat certificate ratio
+  // beats e/(e-1) once 1 + eps < e/(e-1).
+  Table contrast({"eps(thm)", "repeat cert ratio", "one-shot family LB",
+                  "repetitions beat the barrier"});
+  for (double eps : {0.25, 0.5, 1.0}) {
+    const UfpInstance inst = make_instance(991, eps / 6.0, 7);
+    BoundedUfpRepeatConfig cfg;
+    cfg.epsilon = eps / 6.0;
+    const BoundedUfpRepeatResult result = bounded_ufp_repeat(inst, cfg);
+    const double ratio =
+        result.dual_upper_bound / result.solution.total_value(inst);
+    contrast.row()
+        .cell(eps)
+        .cell(ratio)
+        .cell(kEOverEMinus1)
+        .cell(ratio < kEOverEMinus1 ? "yes" : "no");
+  }
+  std::cout << "(b) repetitions vs the deterministic one-shot barrier\n";
+  bench::emit(contrast, csv);
+
+  std::cout << "expected shape: cert/value <= 1+eps in every row, "
+               "iterations within m*c_max/d_min, and the measured repeat "
+               "ratio dips below e/(e-1) — impossible for any reasonable "
+               "one-shot path minimizer (Theorem 3.11).\n";
+  return 0;
+}

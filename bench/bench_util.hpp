@@ -1,0 +1,37 @@
+// Shared helpers for the reproduction harness binaries.
+//
+// Every bench regenerates one theorem/figure-shaped series from the paper
+// (see DESIGN.md §3) and prints it as an aligned table. Passing --csv as
+// the first argument switches the output to CSV for downstream plotting.
+#pragma once
+
+#include <iostream>
+#include <string>
+
+#include "tufp/util/table.hpp"
+
+namespace tufp::bench {
+
+inline bool csv_mode(int argc, char** argv) {
+  return argc > 1 && std::string(argv[1]) == "--csv";
+}
+
+inline void print_header(const std::string& experiment_id,
+                         const std::string& title,
+                         const std::string& paper_claim) {
+  std::cout << "==============================================================\n"
+            << experiment_id << ": " << title << '\n'
+            << "paper: " << paper_claim << '\n'
+            << "==============================================================\n";
+}
+
+inline void emit(const Table& table, bool csv) {
+  if (csv) {
+    table.write_csv(std::cout);
+  } else {
+    table.print(std::cout);
+  }
+  std::cout << '\n';
+}
+
+}  // namespace tufp::bench

@@ -1,0 +1,172 @@
+#include "tufp/auction/muca_exact.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "tufp/lp/simplex.hpp"
+#include "tufp/util/assert.hpp"
+#include "tufp/util/math.hpp"
+
+namespace tufp {
+
+namespace {
+
+constexpr double kBoundSlack = 1e-9;
+
+PackingLp build_lp(const MucaInstance& instance) {
+  PackingLp lp;
+  for (int u = 0; u < instance.num_items(); ++u) {
+    lp.add_row(static_cast<double>(instance.multiplicity(u)));
+  }
+  for (int r = 0; r < instance.num_requests(); ++r) lp.add_row(1.0);
+  for (int r = 0; r < instance.num_requests(); ++r) {
+    const MucaRequest& req = instance.request(r);
+    const int var = lp.add_variable(req.value);
+    lp.add_coefficient(instance.num_items() + r, var, 1.0);
+    for (int u : req.bundle) lp.add_coefficient(u, var, 1.0);
+  }
+  return lp;
+}
+
+struct SearchState {
+  const MucaInstance* instance;
+  std::vector<int> residual;
+  std::vector<double> suffix_value;
+  double lp_bound = kInf;
+
+  // Fractional-knapsack node bound: relax per-item constraints to one
+  // aggregate copy budget (sum of residual multiplicities); each request
+  // weighs |U_r| copies. Sound upper bound on any feasible completion.
+  struct KnapsackItem {
+    int request;
+    double weight;  // bundle size
+    double value;
+  };
+  std::vector<KnapsackItem> by_density;  // value/weight descending
+  double residual_total = 0.0;
+
+  double current_value = 0.0;
+  std::vector<bool> chosen;
+
+  double best_value = 0.0;
+  std::vector<bool> best_chosen;
+
+  std::int64_t nodes = 0;
+  std::int64_t max_nodes = 0;
+  bool aborted = false;
+};
+
+double knapsack_bound(const SearchState& st, int from_request) {
+  double capacity = st.residual_total;
+  double bound = 0.0;
+  for (const auto& item : st.by_density) {
+    if (item.request < from_request) continue;
+    if (capacity <= 0.0) break;
+    if (item.weight <= capacity) {
+      bound += item.value;
+      capacity -= item.weight;
+    } else {
+      bound += item.value * (capacity / item.weight);
+      break;
+    }
+  }
+  return bound;
+}
+
+void dfs(SearchState& st, int r) {
+  if (st.aborted) return;
+  if (++st.nodes > st.max_nodes) {
+    st.aborted = true;
+    return;
+  }
+  const int R = st.instance->num_requests();
+  if (r == R) {
+    if (st.current_value > st.best_value + kBoundSlack) {
+      st.best_value = st.current_value;
+      st.best_chosen = st.chosen;
+    }
+    return;
+  }
+  const double optimistic =
+      std::min(st.current_value + st.suffix_value[static_cast<std::size_t>(r)],
+               st.lp_bound);
+  if (optimistic <= st.best_value + kBoundSlack) return;
+  if (st.current_value + knapsack_bound(st, r) <= st.best_value + kBoundSlack) {
+    return;
+  }
+
+  const MucaRequest& req = st.instance->request(r);
+  bool fits = true;
+  for (int u : req.bundle) {
+    if (st.residual[static_cast<std::size_t>(u)] < 1) {
+      fits = false;
+      break;
+    }
+  }
+  if (fits) {
+    const auto consumed = static_cast<double>(req.bundle.size());
+    for (int u : req.bundle) --st.residual[static_cast<std::size_t>(u)];
+    st.residual_total -= consumed;
+    st.current_value += req.value;
+    st.chosen[static_cast<std::size_t>(r)] = true;
+    dfs(st, r + 1);
+    st.chosen[static_cast<std::size_t>(r)] = false;
+    st.current_value -= req.value;
+    st.residual_total += consumed;
+    for (int u : req.bundle) ++st.residual[static_cast<std::size_t>(u)];
+    if (st.aborted) return;
+  }
+  dfs(st, r + 1);
+}
+
+}  // namespace
+
+double solve_muca_lp(const MucaInstance& instance) {
+  if (instance.num_requests() == 0) return 0.0;
+  const PackingLp lp = build_lp(instance);
+  const LpSolution sol = solve_packing_lp(lp);
+  TUFP_CHECK(sol.status == LpSolution::Status::kOptimal,
+             "MUCA LP hit the pivot limit");
+  return sol.objective;
+}
+
+MucaExactResult solve_muca_exact(const MucaInstance& instance,
+                                 const MucaExactOptions& options) {
+  const int R = instance.num_requests();
+  SearchState st;
+  st.instance = &instance;
+  st.residual = instance.multiplicities();
+  st.suffix_value.assign(static_cast<std::size_t>(R) + 1, 0.0);
+  for (int r = R - 1; r >= 0; --r) {
+    st.suffix_value[static_cast<std::size_t>(r)] =
+        st.suffix_value[static_cast<std::size_t>(r) + 1] +
+        instance.request(r).value;
+  }
+  st.chosen.assign(static_cast<std::size_t>(R), false);
+  st.best_chosen = st.chosen;
+  st.max_nodes = options.max_nodes;
+  if (options.use_lp_root_bound && R > 0) {
+    st.lp_bound = solve_muca_lp(instance) + kBoundSlack;
+  }
+  for (int c : st.residual) st.residual_total += c;
+  for (int r = 0; r < R; ++r) {
+    const MucaRequest& req = instance.request(r);
+    st.by_density.push_back(
+        {r, static_cast<double>(req.bundle.size()), req.value});
+  }
+  std::sort(st.by_density.begin(), st.by_density.end(),
+            [](const SearchState::KnapsackItem& a,
+               const SearchState::KnapsackItem& b) {
+              return a.value * b.weight > b.value * a.weight;
+            });
+
+  dfs(st, 0);
+
+  MucaExactResult result{st.best_value, MucaSolution(R), st.nodes, !st.aborted};
+  for (int r = 0; r < R; ++r) {
+    if (st.best_chosen[static_cast<std::size_t>(r)]) result.solution.select(r);
+  }
+  return result;
+}
+
+}  // namespace tufp

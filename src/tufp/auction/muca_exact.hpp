@@ -1,0 +1,29 @@
+// Exact optimum of small MUCA instances (branch and bound + LP bound).
+#pragma once
+
+#include <cstdint>
+
+#include "tufp/auction/muca_instance.hpp"
+#include "tufp/auction/muca_solution.hpp"
+
+namespace tufp {
+
+struct MucaExactOptions {
+  std::int64_t max_nodes = 50'000'000;
+  bool use_lp_root_bound = true;
+};
+
+struct MucaExactResult {
+  double optimal_value = 0.0;
+  MucaSolution solution;
+  std::int64_t nodes = 0;
+  bool proven_optimal = true;
+};
+
+MucaExactResult solve_muca_exact(const MucaInstance& instance,
+                                 const MucaExactOptions& options = {});
+
+// The exact LP relaxation value of the instance (fractional OPT).
+double solve_muca_lp(const MucaInstance& instance);
+
+}  // namespace tufp

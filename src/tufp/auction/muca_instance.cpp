@@ -1,0 +1,64 @@
+#include "tufp/auction/muca_instance.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "tufp/util/assert.hpp"
+
+namespace tufp {
+
+MucaInstance::MucaInstance(std::vector<int> multiplicities,
+                           std::vector<MucaRequest> requests)
+    : multiplicities_(std::move(multiplicities)), requests_(std::move(requests)) {
+  TUFP_REQUIRE(!multiplicities_.empty(), "auction needs at least one item");
+  for (int c : multiplicities_) {
+    TUFP_REQUIRE(c >= 1, "item multiplicities must be positive integers");
+  }
+  std::vector<bool> seen(multiplicities_.size());
+  for (const MucaRequest& r : requests_) {
+    TUFP_REQUIRE(!r.bundle.empty(), "bundles must be non-empty");
+    TUFP_REQUIRE(r.value > 0.0, "request value must be positive");
+    std::fill(seen.begin(), seen.end(), false);
+    for (int u : r.bundle) {
+      TUFP_REQUIRE(u >= 0 && u < num_items(), "bundle item out of range");
+      TUFP_REQUIRE(!seen[static_cast<std::size_t>(u)],
+                   "bundle items must be distinct");
+      seen[static_cast<std::size_t>(u)] = true;
+    }
+  }
+}
+
+int MucaInstance::multiplicity(int item) const {
+  TUFP_REQUIRE(item >= 0 && item < num_items(), "item index out of range");
+  return multiplicities_[static_cast<std::size_t>(item)];
+}
+
+const MucaRequest& MucaInstance::request(int r) const {
+  TUFP_REQUIRE(r >= 0 && r < num_requests(), "request index out of range");
+  return requests_[static_cast<std::size_t>(r)];
+}
+
+int MucaInstance::bound_B() const {
+  return *std::min_element(multiplicities_.begin(), multiplicities_.end());
+}
+
+double MucaInstance::total_value() const {
+  double total = 0.0;
+  for (const MucaRequest& r : requests_) total += r.value;
+  return total;
+}
+
+bool MucaInstance::in_large_capacity_regime(double eps) const {
+  TUFP_REQUIRE(eps > 0.0 && eps <= 1.0, "eps outside (0,1]");
+  return bound_B() >= std::log(static_cast<double>(num_items())) / (eps * eps);
+}
+
+MucaInstance MucaInstance::with_request(int r, const MucaRequest& declared) const {
+  TUFP_REQUIRE(r >= 0 && r < num_requests(), "request index out of range");
+  std::vector<MucaRequest> reqs = requests_;
+  reqs[static_cast<std::size_t>(r)] = declared;
+  return MucaInstance(multiplicities_, std::move(reqs));
+}
+
+}  // namespace tufp

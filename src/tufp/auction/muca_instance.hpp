@@ -1,0 +1,51 @@
+// The B-bounded single-minded multi-unit combinatorial auction (paper §1).
+//
+// m non-identical items with positive integer multiplicities c_u; each
+// request wants one fixed bundle U_r (a set of distinct items, one copy
+// each) and has value v_r. B = min_u c_u. The paper treats MUCA as the
+// special case of the UFP integer program with unit demands and singleton
+// path sets S_r = {U_r}.
+#pragma once
+
+#include <vector>
+
+namespace tufp {
+
+struct MucaRequest {
+  std::vector<int> bundle;  // distinct item ids
+  double value = 0.0;
+};
+
+class MucaInstance {
+ public:
+  // Validates: positive multiplicities, non-empty bundles of distinct
+  // in-range items, positive values.
+  MucaInstance(std::vector<int> multiplicities, std::vector<MucaRequest> requests);
+
+  int num_items() const { return static_cast<int>(multiplicities_.size()); }
+  int num_requests() const { return static_cast<int>(requests_.size()); }
+
+  int multiplicity(int item) const;
+  const std::vector<int>& multiplicities() const { return multiplicities_; }
+  const MucaRequest& request(int r) const;
+  const std::vector<MucaRequest>& requests() const { return requests_; }
+
+  // B = min_u c_u.
+  int bound_B() const;
+
+  double total_value() const;
+
+  // B >= ln(m)/eps^2 — the regime of Theorem 4.1.
+  bool in_large_capacity_regime(double eps) const;
+
+  // Copy with request r's declaration replaced (mechanism-layer misreport
+  // and payment machinery; in the unknown single-minded setting both the
+  // bundle and the value are private).
+  MucaInstance with_request(int r, const MucaRequest& declared) const;
+
+ private:
+  std::vector<int> multiplicities_;
+  std::vector<MucaRequest> requests_;
+};
+
+}  // namespace tufp

@@ -1,0 +1,71 @@
+#include "tufp/auction/muca_solution.hpp"
+
+#include <sstream>
+
+#include "tufp/util/assert.hpp"
+
+namespace tufp {
+
+MucaSolution::MucaSolution(int num_requests)
+    : selected_(static_cast<std::size_t>(num_requests), false) {
+  TUFP_REQUIRE(num_requests >= 0, "negative request count");
+}
+
+void MucaSolution::select(int r) {
+  TUFP_REQUIRE(r >= 0 && r < num_requests(), "request index out of range");
+  TUFP_REQUIRE(!selected_[static_cast<std::size_t>(r)],
+               "request already selected (exactness)");
+  selected_[static_cast<std::size_t>(r)] = true;
+  ++num_selected_;
+}
+
+bool MucaSolution::is_selected(int r) const {
+  TUFP_REQUIRE(r >= 0 && r < num_requests(), "request index out of range");
+  return selected_[static_cast<std::size_t>(r)];
+}
+
+std::vector<int> MucaSolution::selected_requests() const {
+  std::vector<int> out;
+  out.reserve(static_cast<std::size_t>(num_selected_));
+  for (int r = 0; r < num_requests(); ++r) {
+    if (selected_[static_cast<std::size_t>(r)]) out.push_back(r);
+  }
+  return out;
+}
+
+double MucaSolution::total_value(const MucaInstance& instance) const {
+  TUFP_REQUIRE(instance.num_requests() == num_requests(),
+               "solution/instance request count mismatch");
+  double total = 0.0;
+  for (int r = 0; r < num_requests(); ++r) {
+    if (selected_[static_cast<std::size_t>(r)]) total += instance.request(r).value;
+  }
+  return total;
+}
+
+std::vector<int> MucaSolution::item_loads(const MucaInstance& instance) const {
+  TUFP_REQUIRE(instance.num_requests() == num_requests(),
+               "solution/instance request count mismatch");
+  std::vector<int> loads(static_cast<std::size_t>(instance.num_items()), 0);
+  for (int r = 0; r < num_requests(); ++r) {
+    if (!selected_[static_cast<std::size_t>(r)]) continue;
+    for (int u : instance.request(r).bundle) ++loads[static_cast<std::size_t>(u)];
+  }
+  return loads;
+}
+
+MucaFeasibilityReport MucaSolution::check_feasibility(
+    const MucaInstance& instance) const {
+  const std::vector<int> loads = item_loads(instance);
+  for (int u = 0; u < instance.num_items(); ++u) {
+    if (loads[static_cast<std::size_t>(u)] > instance.multiplicity(u)) {
+      std::ostringstream os;
+      os << "item " << u << " over-allocated: " << loads[static_cast<std::size_t>(u)]
+         << " > " << instance.multiplicity(u);
+      return {false, os.str()};
+    }
+  }
+  return {true, {}};
+}
+
+}  // namespace tufp

@@ -1,0 +1,38 @@
+// Allocation of a multi-unit combinatorial auction.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "tufp/auction/muca_instance.hpp"
+
+namespace tufp {
+
+struct MucaFeasibilityReport {
+  bool feasible = true;
+  std::string message;
+};
+
+class MucaSolution {
+ public:
+  explicit MucaSolution(int num_requests);
+
+  void select(int r);  // at most once (exactness)
+  bool is_selected(int r) const;
+
+  int num_requests() const { return static_cast<int>(selected_.size()); }
+  int num_selected() const { return num_selected_; }
+  std::vector<int> selected_requests() const;
+
+  double total_value(const MucaInstance& instance) const;
+  // Copies allocated per item.
+  std::vector<int> item_loads(const MucaInstance& instance) const;
+  // Every item allocated at most multiplicity times.
+  MucaFeasibilityReport check_feasibility(const MucaInstance& instance) const;
+
+ private:
+  std::vector<bool> selected_;
+  int num_selected_ = 0;
+};
+
+}  // namespace tufp

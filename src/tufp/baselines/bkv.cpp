@@ -1,0 +1,129 @@
+#include "tufp/baselines/bkv.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "tufp/ufp/detail/sp_cache.hpp"
+#include "tufp/util/assert.hpp"
+#include "tufp/util/math.hpp"
+
+namespace tufp {
+
+namespace {
+
+constexpr double kFitSlack = 1e-9;
+
+bool path_fits(const Path& path, const std::vector<double>& residual,
+               double demand) {
+  for (EdgeId e : path) {
+    if (residual[static_cast<std::size_t>(e)] + kFitSlack < demand) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+BkvResult bkv_ufp(const UfpInstance& instance, const BoundedUfpConfig& config) {
+  TUFP_REQUIRE(config.epsilon > 0.0 && config.epsilon <= 1.0,
+               "epsilon outside (0,1]");
+  TUFP_REQUIRE(instance.is_normalized(), "demands must be in (0,1]");
+  const Graph& g = instance.graph();
+  const double B = instance.bound_B();
+  TUFP_REQUIRE(B >= 1.0, "B must be >= 1");
+  const double eps = config.epsilon;
+  TUFP_REQUIRE(eps * B <= kMaxSafeExponent, "eps*B too large");
+  TUFP_REQUIRE(!config.run_to_saturation || config.capacity_guard,
+               "run_to_saturation requires the capacity guard");
+
+  const int m = g.num_edges();
+  const int R = instance.num_requests();
+
+  BkvResult result{UfpSolution(R)};
+  result.coarse_upper_bound = kInf;
+  result.tight_upper_bound = kInf;
+
+  std::vector<double> y(static_cast<std::size_t>(m));
+  for (EdgeId e = 0; e < m; ++e) y[static_cast<std::size_t>(e)] = 1.0 / g.capacity(e);
+  double dual_sum = static_cast<double>(m);
+  const double threshold = std::exp(eps * (B - 1.0));
+
+  std::vector<double> residual(g.capacities().begin(), g.capacities().end());
+  std::vector<std::int64_t> edge_stamp(static_cast<std::size_t>(m), 0);
+  std::int64_t now = 0;
+
+  // The coarse certificate needs shortest paths for *every* request each
+  // iteration (selected ones included), so the cache tracks all of them.
+  std::vector<int> all(static_cast<std::size_t>(R));
+  for (int r = 0; r < R; ++r) all[static_cast<std::size_t>(r)] = r;
+  std::vector<bool> selected(static_cast<std::size_t>(R), false);
+
+  detail::SpCache cache(instance, config.parallel, config.num_threads);
+
+  double primal_value = 0.0;
+  int num_remaining = R;
+
+  while (num_remaining > 0) {
+    if (!config.run_to_saturation && dual_sum > threshold) {
+      result.stopped_by_threshold = true;
+      break;
+    }
+    ++now;
+    cache.refresh(y, edge_stamp, now, all, config.lazy_shortest_paths);
+
+    int best = -1;
+    double best_priority = kInf;
+    double alpha_remaining = kInf;
+    double alpha_all = kInf;
+    for (int r = 0; r < R; ++r) {
+      const auto& entry = cache.entry(r);
+      if (!entry.reachable) continue;
+      const Request& req = instance.request(r);
+      const double priority = req.demand / req.value * entry.length;
+      alpha_all = std::min(alpha_all, priority);
+      if (selected[static_cast<std::size_t>(r)]) continue;
+      alpha_remaining = std::min(alpha_remaining, priority);
+      if (config.capacity_guard && !path_fits(entry.path, residual, req.demand)) {
+        continue;
+      }
+      if (priority < best_priority) {
+        best_priority = priority;
+        best = r;
+      }
+    }
+
+    if (alpha_all < kInf && alpha_all > 0.0) {
+      result.coarse_upper_bound =
+          std::min(result.coarse_upper_bound, dual_sum / alpha_all);
+    }
+    if (alpha_remaining < kInf && alpha_remaining > 0.0) {
+      result.tight_upper_bound = std::min(
+          result.tight_upper_bound, dual_sum / alpha_remaining + primal_value);
+    }
+
+    if (best < 0) break;
+
+    const Request& req = instance.request(best);
+    const auto& entry = cache.entry(best);
+    for (EdgeId e : entry.path) {
+      const auto ei = static_cast<std::size_t>(e);
+      const double cap = g.capacity(e);
+      const double old_y = y[ei];
+      y[ei] = old_y * std::exp(eps * B * req.demand / cap);
+      dual_sum += cap * (y[ei] - old_y);
+      edge_stamp[ei] = now;
+      residual[ei] -= req.demand;
+    }
+    result.solution.assign(best, entry.path);
+    selected[static_cast<std::size_t>(best)] = true;
+    primal_value += req.value;
+    --num_remaining;
+    ++result.iterations;
+  }
+
+  if (num_remaining == 0) {
+    result.tight_upper_bound = std::min(result.tight_upper_bound, primal_value);
+  }
+  return result;
+}
+
+}  // namespace tufp

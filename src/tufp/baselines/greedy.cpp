@@ -1,0 +1,109 @@
+#include "tufp/baselines/greedy.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include "tufp/graph/dijkstra.hpp"
+#include "tufp/util/assert.hpp"
+#include "tufp/util/math.hpp"
+
+namespace tufp {
+
+namespace {
+
+// Hop count of the min-hop s->t path, or +inf when unreachable.
+double hop_distance(ShortestPathEngine& engine, const Graph& g, VertexId s,
+                    VertexId t) {
+  static thread_local std::vector<double> unit_weights;
+  unit_weights.assign(static_cast<std::size_t>(g.num_edges()), 1.0);
+  return engine.shortest_path(unit_weights, s, t);
+}
+
+}  // namespace
+
+UfpSolution greedy_ufp(const UfpInstance& instance, GreedyRanking ranking) {
+  const Graph& g = instance.graph();
+  const int R = instance.num_requests();
+  ShortestPathEngine engine(g);
+
+  // Ranking keys. Ties resolve by request id for determinism.
+  std::vector<double> key(static_cast<std::size_t>(R));
+  for (int r = 0; r < R; ++r) {
+    const Request& req = instance.request(r);
+    if (ranking == GreedyRanking::kByValue) {
+      key[static_cast<std::size_t>(r)] = req.value;
+    } else {
+      const double hops = hop_distance(engine, g, req.source, req.target);
+      key[static_cast<std::size_t>(r)] =
+          hops >= kInf ? 0.0 : req.value / (req.demand * std::max(1.0, hops));
+    }
+  }
+  std::vector<int> order(static_cast<std::size_t>(R));
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](int a, int b) {
+    const double ka = key[static_cast<std::size_t>(a)];
+    const double kb = key[static_cast<std::size_t>(b)];
+    if (ka != kb) return ka > kb;
+    return a < b;
+  });
+
+  UfpSolution solution(R);
+  std::vector<double> residual(g.capacities().begin(), g.capacities().end());
+  std::vector<double> unit(static_cast<std::size_t>(g.num_edges()), 1.0);
+  std::vector<std::uint8_t> blocked(static_cast<std::size_t>(g.num_edges()), 0);
+
+  for (int r : order) {
+    const Request& req = instance.request(r);
+    // Block edges that cannot carry the demand; route min-hop on the rest.
+    for (EdgeId e = 0; e < g.num_edges(); ++e) {
+      blocked[static_cast<std::size_t>(e)] =
+          residual[static_cast<std::size_t>(e)] + 1e-9 < req.demand ? 1 : 0;
+    }
+    Path path;
+    const double hops =
+        engine.shortest_path(unit, req.source, req.target, &path, blocked);
+    if (hops >= kInf) continue;
+    for (EdgeId e : path) residual[static_cast<std::size_t>(e)] -= req.demand;
+    solution.assign(r, std::move(path));
+  }
+  return solution;
+}
+
+MucaSolution greedy_muca(const MucaInstance& instance, GreedyRanking ranking) {
+  const int R = instance.num_requests();
+  std::vector<int> order(static_cast<std::size_t>(R));
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](int a, int b) {
+    const MucaRequest& ra = instance.request(a);
+    const MucaRequest& rb = instance.request(b);
+    const double ka = ranking == GreedyRanking::kByValue
+                          ? ra.value
+                          : ra.value / static_cast<double>(ra.bundle.size());
+    const double kb = ranking == GreedyRanking::kByValue
+                          ? rb.value
+                          : rb.value / static_cast<double>(rb.bundle.size());
+    if (ka != kb) return ka > kb;
+    return a < b;
+  });
+
+  MucaSolution solution(R);
+  std::vector<int> residual = instance.multiplicities();
+  for (int r : order) {
+    const MucaRequest& req = instance.request(r);
+    bool fits = true;
+    for (int u : req.bundle) {
+      if (residual[static_cast<std::size_t>(u)] < 1) {
+        fits = false;
+        break;
+      }
+    }
+    if (!fits) continue;
+    for (int u : req.bundle) --residual[static_cast<std::size_t>(u)];
+    solution.select(r);
+  }
+  return solution;
+}
+
+}  // namespace tufp

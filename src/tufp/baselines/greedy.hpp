@@ -1,0 +1,27 @@
+// Greedy baselines.
+//
+// Classic one-pass greedy allocation in the style of Lehmann, O'Callaghan
+// and Shoham [13]: sort requests by a monotone ranking, route each along a
+// minimum-hop path that fits the residual capacities. Both rankings are
+// monotone in (demand down, value up), so these are truthful comparators —
+// just weaker ones than the paper's primal-dual algorithm (bench E9).
+#pragma once
+
+#include "tufp/auction/muca_instance.hpp"
+#include "tufp/auction/muca_solution.hpp"
+#include "tufp/ufp/instance.hpp"
+#include "tufp/ufp/solution.hpp"
+
+namespace tufp {
+
+enum class GreedyRanking {
+  kByValue,    // v_r descending
+  kByDensity,  // v_r / (d_r * hops_r) descending (LOS-style)
+};
+
+UfpSolution greedy_ufp(const UfpInstance& instance, GreedyRanking ranking);
+
+// MUCA analogue: kByDensity ranks by v_r / |U_r|.
+MucaSolution greedy_muca(const MucaInstance& instance, GreedyRanking ranking);
+
+}  // namespace tufp

@@ -1,0 +1,95 @@
+#include "tufp/baselines/randomized_rounding.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+#include "tufp/lp/ufp_lp.hpp"
+#include "tufp/util/assert.hpp"
+#include "tufp/util/rng.hpp"
+
+namespace tufp {
+
+RoundingResult randomized_rounding_ufp(const UfpInstance& instance,
+                                       const RoundingConfig& config) {
+  TUFP_REQUIRE(config.scale > 0.0 && config.scale <= 1.0,
+               "scale must be in (0,1]");
+  const Graph& g = instance.graph();
+  const int R = instance.num_requests();
+
+  UfpLpOptions lp_options;
+  lp_options.path_enum = config.path_enum;
+  const UfpFractionalSolution lp = solve_ufp_lp(instance, lp_options);
+
+  RoundingResult result{UfpSolution(R), lp.objective};
+  Rng rng(config.seed);
+
+  // Raghavan-Thompson: select path k of request r with probability
+  // scale * x[r][k]; with the leftover probability the request is dropped.
+  std::vector<int> chosen(static_cast<std::size_t>(R), -1);
+  for (int r = 0; r < R; ++r) {
+    const auto& weights = lp.x[static_cast<std::size_t>(r)];
+    double u = rng.next_double();
+    for (int k = 0; k < static_cast<int>(weights.size()); ++k) {
+      const double p = config.scale * weights[static_cast<std::size_t>(k)];
+      if (u < p) {
+        chosen[static_cast<std::size_t>(r)] = k;
+        ++result.sampled;
+        break;
+      }
+      u -= p;
+    }
+  }
+
+  // Repair: while some edge is overloaded, drop the lowest-value request
+  // crossing it. Terminates because every drop strictly reduces total load.
+  std::vector<double> loads(static_cast<std::size_t>(g.num_edges()), 0.0);
+  for (int r = 0; r < R; ++r) {
+    const int k = chosen[static_cast<std::size_t>(r)];
+    if (k < 0) continue;
+    for (EdgeId e :
+         lp.paths[static_cast<std::size_t>(r)][static_cast<std::size_t>(k)]) {
+      loads[static_cast<std::size_t>(e)] += instance.request(r).demand;
+    }
+  }
+  for (;;) {
+    EdgeId overloaded = kInvalidEdge;
+    for (EdgeId e = 0; e < g.num_edges(); ++e) {
+      if (loads[static_cast<std::size_t>(e)] > g.capacity(e) + 1e-9) {
+        overloaded = e;
+        break;
+      }
+    }
+    if (overloaded == kInvalidEdge) break;
+    int victim = -1;
+    for (int r = 0; r < R; ++r) {
+      const int k = chosen[static_cast<std::size_t>(r)];
+      if (k < 0) continue;
+      const Path& path =
+          lp.paths[static_cast<std::size_t>(r)][static_cast<std::size_t>(k)];
+      if (std::find(path.begin(), path.end(), overloaded) == path.end()) continue;
+      if (victim < 0 ||
+          instance.request(r).value < instance.request(victim).value) {
+        victim = r;
+      }
+    }
+    TUFP_CHECK(victim >= 0, "overloaded edge with no crossing request");
+    const int k = chosen[static_cast<std::size_t>(victim)];
+    for (EdgeId e :
+         lp.paths[static_cast<std::size_t>(victim)][static_cast<std::size_t>(k)]) {
+      loads[static_cast<std::size_t>(e)] -= instance.request(victim).demand;
+    }
+    chosen[static_cast<std::size_t>(victim)] = -1;
+    ++result.dropped;
+  }
+
+  for (int r = 0; r < R; ++r) {
+    const int k = chosen[static_cast<std::size_t>(r)];
+    if (k < 0) continue;
+    result.solution.assign(
+        r, lp.paths[static_cast<std::size_t>(r)][static_cast<std::size_t>(k)]);
+  }
+  return result;
+}
+
+}  // namespace tufp

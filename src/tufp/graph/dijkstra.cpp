@@ -1,0 +1,124 @@
+#include "tufp/graph/dijkstra.hpp"
+
+#include <algorithm>
+
+#include "tufp/util/assert.hpp"
+#include "tufp/util/math.hpp"
+
+namespace tufp {
+
+namespace {
+constexpr int kHeapArity = 4;
+}
+
+ShortestPathEngine::ShortestPathEngine(const Graph& graph) : graph_(&graph) {
+  TUFP_REQUIRE(graph.finalized(), "graph must be finalized");
+  const auto n = static_cast<std::size_t>(graph.num_vertices());
+  dist_.assign(n, kInf);
+  parent_edge_.assign(n, kInvalidEdge);
+  parent_vertex_.assign(n, kInvalidVertex);
+  epoch_.assign(n, 0);
+}
+
+bool ShortestPathEngine::touch(VertexId v) {
+  auto& ep = epoch_[static_cast<std::size_t>(v)];
+  if (ep == current_epoch_) return false;
+  ep = current_epoch_;
+  dist_[static_cast<std::size_t>(v)] = kInf;
+  parent_edge_[static_cast<std::size_t>(v)] = kInvalidEdge;
+  parent_vertex_[static_cast<std::size_t>(v)] = kInvalidVertex;
+  return true;
+}
+
+void ShortestPathEngine::heap_push(HeapItem item) {
+  heap_.push_back(item);
+  std::size_t i = heap_.size() - 1;
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / kHeapArity;
+    if (heap_[parent].dist <= heap_[i].dist) break;
+    std::swap(heap_[parent], heap_[i]);
+    i = parent;
+  }
+}
+
+ShortestPathEngine::HeapItem ShortestPathEngine::heap_pop() {
+  const HeapItem top = heap_.front();
+  heap_.front() = heap_.back();
+  heap_.pop_back();
+  std::size_t i = 0;
+  const std::size_t n = heap_.size();
+  for (;;) {
+    std::size_t best = i;
+    const std::size_t first_child = i * kHeapArity + 1;
+    const std::size_t last_child = std::min(first_child + kHeapArity, n);
+    for (std::size_t c = first_child; c < last_child; ++c) {
+      if (heap_[c].dist < heap_[best].dist) best = c;
+    }
+    if (best == i) break;
+    std::swap(heap_[i], heap_[best]);
+    i = best;
+  }
+  return top;
+}
+
+double ShortestPathEngine::shortest_path(std::span<const double> weights,
+                                         VertexId source, VertexId target,
+                                         Path* path,
+                                         std::span<const std::uint8_t> blocked) {
+  TUFP_REQUIRE(weights.size() == static_cast<std::size_t>(graph_->num_edges()),
+               "weight vector size must equal edge count");
+  TUFP_REQUIRE(blocked.empty() ||
+                   blocked.size() == static_cast<std::size_t>(graph_->num_edges()),
+               "blocked mask size must equal edge count");
+  TUFP_REQUIRE(source >= 0 && source < graph_->num_vertices(), "bad source");
+  TUFP_REQUIRE(target >= 0 && target < graph_->num_vertices(), "bad target");
+  TUFP_REQUIRE(source != target, "source == target: S_r holds simple paths only");
+
+  ++current_epoch_;
+  if (current_epoch_ == 0) {
+    // Epoch counter wrapped: hard-reset all labels once per 2^32 queries.
+    std::fill(epoch_.begin(), epoch_.end(), 0);
+    current_epoch_ = 1;
+  }
+  heap_.clear();
+
+  touch(source);
+  dist_[static_cast<std::size_t>(source)] = 0.0;
+  heap_push({0.0, source});
+
+  while (!heap_.empty()) {
+    const HeapItem item = heap_pop();
+    const auto u = static_cast<std::size_t>(item.vertex);
+    if (item.dist > dist_[u]) continue;  // stale heap entry
+    if (item.vertex == target) break;    // settled: done
+    for (const Arc& arc : graph_->arcs_from(item.vertex)) {
+      const auto e = static_cast<std::size_t>(arc.edge);
+      if (!blocked.empty() && blocked[e]) continue;
+      const double w = weights[e];
+      TUFP_REQUIRE(w >= 0.0, "Dijkstra requires non-negative weights");
+      const double cand = item.dist + w;
+      touch(arc.to);
+      auto& dv = dist_[static_cast<std::size_t>(arc.to)];
+      if (cand < dv) {
+        dv = cand;
+        parent_edge_[static_cast<std::size_t>(arc.to)] = arc.edge;
+        parent_vertex_[static_cast<std::size_t>(arc.to)] = item.vertex;
+        heap_push({cand, arc.to});
+      }
+    }
+  }
+
+  touch(target);
+  const double result = dist_[static_cast<std::size_t>(target)];
+  if (path != nullptr && result < kInf) {
+    path->clear();
+    for (VertexId v = target; v != source;
+         v = parent_vertex_[static_cast<std::size_t>(v)]) {
+      path->push_back(parent_edge_[static_cast<std::size_t>(v)]);
+    }
+    std::reverse(path->begin(), path->end());
+  }
+  return result;
+}
+
+}  // namespace tufp

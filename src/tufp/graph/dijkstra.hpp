@@ -1,0 +1,55 @@
+// Single-pair shortest paths under per-edge weights.
+//
+// This is the inner loop of every algorithm in the paper: Bounded-UFP
+// computes, each iteration, the shortest s_r -> t_r path for every
+// remaining request under the dual weights y_e (Alg. 1 line 7). The engine
+// owns its workspace and reuses it across queries with an epoch-versioned
+// label array, so a query costs O(touched vertices) to set up instead of
+// O(n). One engine per thread; the solvers keep a pool for the OpenMP
+// parallel per-request loop.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "tufp/graph/graph.hpp"
+#include "tufp/graph/path.hpp"
+
+namespace tufp {
+
+class ShortestPathEngine {
+ public:
+  explicit ShortestPathEngine(const Graph& graph);
+
+  // Shortest path s->t under `weights` (indexed by EdgeId, all >= 0).
+  // Returns +inf and leaves *path untouched when t is unreachable.
+  // When `blocked` is non-empty, edges with blocked[e] != 0 are skipped
+  // (used by capacity-guarded and residual-feasible searches).
+  double shortest_path(std::span<const double> weights, VertexId source,
+                       VertexId target, Path* path = nullptr,
+                       std::span<const std::uint8_t> blocked = {});
+
+  const Graph& graph() const { return *graph_; }
+
+ private:
+  struct HeapItem {
+    double dist;
+    VertexId vertex;
+  };
+
+  void heap_push(HeapItem item);
+  HeapItem heap_pop();
+
+  bool touch(VertexId v);  // lazily reset labels for this query's epoch
+
+  const Graph* graph_;
+  std::vector<double> dist_;
+  std::vector<EdgeId> parent_edge_;
+  std::vector<VertexId> parent_vertex_;
+  std::vector<std::uint32_t> epoch_;
+  std::uint32_t current_epoch_ = 0;
+  std::vector<HeapItem> heap_;  // 4-ary, lazy deletion
+};
+
+}  // namespace tufp

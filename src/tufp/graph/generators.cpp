@@ -1,0 +1,133 @@
+#include "tufp/graph/generators.hpp"
+
+#include <algorithm>
+#include <set>
+#include <utility>
+
+#include "tufp/util/assert.hpp"
+
+namespace tufp {
+
+Graph grid_graph(int rows, int cols, double capacity, bool directed) {
+  TUFP_REQUIRE(rows >= 1 && cols >= 1, "grid dimensions must be positive");
+  const int n = rows * cols;
+  Graph g = directed ? Graph::directed(n) : Graph::undirected(n);
+  const auto id = [cols](int r, int c) { return static_cast<VertexId>(r * cols + c); };
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      if (c + 1 < cols) {
+        g.add_edge(id(r, c), id(r, c + 1), capacity);
+        if (directed) g.add_edge(id(r, c + 1), id(r, c), capacity);
+      }
+      if (r + 1 < rows) {
+        g.add_edge(id(r, c), id(r + 1, c), capacity);
+        if (directed) g.add_edge(id(r + 1, c), id(r, c), capacity);
+      }
+    }
+  }
+  g.finalize();
+  return g;
+}
+
+Graph ring_graph(int n, double capacity, bool directed) {
+  TUFP_REQUIRE(n >= 3, "ring needs at least 3 vertices");
+  Graph g = directed ? Graph::directed(n) : Graph::undirected(n);
+  for (int i = 0; i < n; ++i) {
+    const auto u = static_cast<VertexId>(i);
+    const auto v = static_cast<VertexId>((i + 1) % n);
+    g.add_edge(u, v, capacity);
+    if (directed) g.add_edge(v, u, capacity);
+  }
+  g.finalize();
+  return g;
+}
+
+Graph random_graph(int n, int num_edges, double cap_min, double cap_max,
+                   bool directed, Rng& rng) {
+  TUFP_REQUIRE(n >= 2, "random graph needs at least 2 vertices");
+  TUFP_REQUIRE(cap_min > 0.0 && cap_min <= cap_max, "bad capacity range");
+  Graph g = directed ? Graph::directed(n) : Graph::undirected(n);
+
+  std::set<std::pair<VertexId, VertexId>> used;
+  const auto add = [&](VertexId u, VertexId v) {
+    g.add_edge(u, v, rng.next_double(cap_min, cap_max));
+    used.emplace(u, v);
+    if (!directed) used.emplace(v, u);
+  };
+
+  // Random spanning tree: attach vertex i to a uniformly random earlier
+  // vertex after a random relabeling, so the tree shape is not a path.
+  std::vector<VertexId> order(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) order[static_cast<std::size_t>(i)] = static_cast<VertexId>(i);
+  for (std::size_t i = order.size() - 1; i > 0; --i) {
+    std::swap(order[i], order[static_cast<std::size_t>(rng.next_below(i + 1))]);
+  }
+  for (int i = 1; i < n; ++i) {
+    const VertexId u = order[static_cast<std::size_t>(rng.next_below(
+        static_cast<std::uint64_t>(i)))];
+    const VertexId v = order[static_cast<std::size_t>(i)];
+    add(u, v);
+    if (directed) add(v, u);  // mutual reachability along the tree
+  }
+
+  const int target = std::max(num_edges, g.num_edges());
+  int attempts = 0;
+  const int max_attempts = 50 * target + 1000;
+  while (g.num_edges() < target && attempts++ < max_attempts) {
+    const auto u = static_cast<VertexId>(rng.next_below(static_cast<std::uint64_t>(n)));
+    const auto v = static_cast<VertexId>(rng.next_below(static_cast<std::uint64_t>(n)));
+    if (u == v || used.contains({u, v})) continue;
+    add(u, v);
+  }
+  g.finalize();
+  return g;
+}
+
+Graph layered_graph(int layers, int width, int fanout, double cap_min,
+                    double cap_max, Rng& rng) {
+  TUFP_REQUIRE(layers >= 2 && width >= 1, "layered graph needs >= 2 layers");
+  TUFP_REQUIRE(fanout >= 1 && fanout <= width, "fanout outside [1, width]");
+  TUFP_REQUIRE(cap_min > 0.0 && cap_min <= cap_max, "bad capacity range");
+  Graph g = Graph::directed(layers * width);
+  std::vector<int> slots(static_cast<std::size_t>(width));
+  for (int i = 0; i < width; ++i) slots[static_cast<std::size_t>(i)] = i;
+  for (int layer = 0; layer + 1 < layers; ++layer) {
+    for (int slot = 0; slot < width; ++slot) {
+      // Partial Fisher-Yates: first `fanout` entries become the targets.
+      for (int k = 0; k < fanout; ++k) {
+        const auto j = static_cast<std::size_t>(
+            k + static_cast<int>(rng.next_below(static_cast<std::uint64_t>(width - k))));
+        std::swap(slots[static_cast<std::size_t>(k)], slots[j]);
+      }
+      const auto u = static_cast<VertexId>(layer * width + slot);
+      for (int k = 0; k < fanout; ++k) {
+        const auto v = static_cast<VertexId>((layer + 1) * width +
+                                             slots[static_cast<std::size_t>(k)]);
+        g.add_edge(u, v, rng.next_double(cap_min, cap_max));
+      }
+    }
+  }
+  g.finalize();
+  return g;
+}
+
+std::vector<bool> reachable_from(const Graph& graph, VertexId source) {
+  TUFP_REQUIRE(graph.finalized(), "graph must be finalized");
+  TUFP_REQUIRE(source >= 0 && source < graph.num_vertices(), "bad source");
+  std::vector<bool> seen(static_cast<std::size_t>(graph.num_vertices()), false);
+  std::vector<VertexId> stack{source};
+  seen[static_cast<std::size_t>(source)] = true;
+  while (!stack.empty()) {
+    const VertexId v = stack.back();
+    stack.pop_back();
+    for (const Arc& arc : graph.arcs_from(v)) {
+      if (!seen[static_cast<std::size_t>(arc.to)]) {
+        seen[static_cast<std::size_t>(arc.to)] = true;
+        stack.push_back(arc.to);
+      }
+    }
+  }
+  return seen;
+}
+
+}  // namespace tufp

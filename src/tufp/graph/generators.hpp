@@ -1,0 +1,40 @@
+// Generic graph topologies for workloads and tests.
+//
+// The paper-specific lower-bound constructions (Figure 2 staircase,
+// Figure 3 gadget, Figure 4 auction) live in workload/lower_bounds.hpp;
+// this header holds the neutral topologies benchmarks randomize over.
+#pragma once
+
+#include <vector>
+
+#include "tufp/graph/graph.hpp"
+#include "tufp/util/rng.hpp"
+
+namespace tufp {
+
+// rows x cols 4-neighbour mesh. Directed grids carry one edge per
+// direction (so every undirected adjacency becomes two directed edges);
+// ISP-style benches use the undirected form.
+Graph grid_graph(int rows, int cols, double capacity, bool directed = false);
+
+// Cycle 0-1-...-n-1-0.
+Graph ring_graph(int n, double capacity, bool directed = false);
+
+// Random connected multigraph-free graph: a uniform spanning tree first
+// (guaranteeing connectivity; bidirectional pairs when directed so every
+// pair is mutually reachable), then extra distinct edges up to num_edges.
+// Capacities uniform in [cap_min, cap_max].
+Graph random_graph(int n, int num_edges, double cap_min, double cap_max,
+                   bool directed, Rng& rng);
+
+// DAG of `layers` layers of `width` vertices; every vertex points to
+// `fanout` random vertices of the next layer. Vertex ids are
+// layer*width+slot. Models the left-to-right routing meshes used in
+// on-chip/backbone evaluations.
+Graph layered_graph(int layers, int width, int fanout, double cap_min,
+                    double cap_max, Rng& rng);
+
+// BFS reachability from `source` (respects direction).
+std::vector<bool> reachable_from(const Graph& graph, VertexId source);
+
+}  // namespace tufp

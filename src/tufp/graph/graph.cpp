@@ -1,0 +1,91 @@
+#include "tufp/graph/graph.hpp"
+
+#include <algorithm>
+
+#include "tufp/util/assert.hpp"
+#include "tufp/util/math.hpp"
+
+namespace tufp {
+
+Graph::Graph(int num_vertices, bool directed)
+    : num_vertices_(num_vertices), directed_(directed) {
+  TUFP_REQUIRE(num_vertices >= 0, "vertex count must be non-negative");
+}
+
+Graph Graph::directed(int num_vertices) { return Graph(num_vertices, true); }
+Graph Graph::undirected(int num_vertices) { return Graph(num_vertices, false); }
+
+void Graph::require_vertex(VertexId v) const {
+  TUFP_REQUIRE(v >= 0 && v < num_vertices_, "vertex id out of range");
+}
+
+EdgeId Graph::add_edge(VertexId u, VertexId v, double capacity) {
+  TUFP_REQUIRE(!finalized_, "add_edge after finalize()");
+  require_vertex(u);
+  require_vertex(v);
+  TUFP_REQUIRE(u != v, "self loops are not allowed");
+  TUFP_REQUIRE(capacity > 0.0, "edge capacity must be positive");
+  const auto id = static_cast<EdgeId>(endpoints_.size());
+  endpoints_.emplace_back(u, v);
+  capacities_.push_back(capacity);
+  return id;
+}
+
+void Graph::finalize() {
+  TUFP_REQUIRE(!finalized_, "finalize() called twice");
+  std::vector<std::int64_t> degree(static_cast<std::size_t>(num_vertices_) + 1, 0);
+  for (const auto& [u, v] : endpoints_) {
+    ++degree[static_cast<std::size_t>(u) + 1];
+    if (!directed_) ++degree[static_cast<std::size_t>(v) + 1];
+  }
+  offsets_.assign(degree.begin(), degree.end());
+  for (std::size_t i = 1; i < offsets_.size(); ++i) offsets_[i] += offsets_[i - 1];
+
+  arcs_.resize(static_cast<std::size_t>(offsets_.back()));
+  std::vector<std::int64_t> cursor(offsets_.begin(), offsets_.end() - 1);
+  for (EdgeId e = 0; e < num_edges(); ++e) {
+    const auto [u, v] = endpoints_[static_cast<std::size_t>(e)];
+    arcs_[static_cast<std::size_t>(cursor[static_cast<std::size_t>(u)]++)] = Arc{v, e};
+    if (!directed_) {
+      arcs_[static_cast<std::size_t>(cursor[static_cast<std::size_t>(v)]++)] = Arc{u, e};
+    }
+  }
+  finalized_ = true;
+}
+
+std::span<const Arc> Graph::arcs_from(VertexId v) const {
+  TUFP_REQUIRE(finalized_, "arcs_from before finalize()");
+  require_vertex(v);
+  const auto lo = static_cast<std::size_t>(offsets_[static_cast<std::size_t>(v)]);
+  const auto hi = static_cast<std::size_t>(offsets_[static_cast<std::size_t>(v) + 1]);
+  return {arcs_.data() + lo, hi - lo};
+}
+
+double Graph::capacity(EdgeId e) const {
+  TUFP_REQUIRE(e >= 0 && e < num_edges(), "edge id out of range");
+  return capacities_[static_cast<std::size_t>(e)];
+}
+
+std::pair<VertexId, VertexId> Graph::endpoints(EdgeId e) const {
+  TUFP_REQUIRE(e >= 0 && e < num_edges(), "edge id out of range");
+  return endpoints_[static_cast<std::size_t>(e)];
+}
+
+VertexId Graph::traverse(VertexId from, EdgeId e) const {
+  const auto [u, v] = endpoints(e);
+  if (u == from) return v;
+  TUFP_REQUIRE(!directed_ && v == from, "edge not traversable from vertex");
+  return u;
+}
+
+double Graph::min_capacity() const {
+  TUFP_REQUIRE(num_edges() > 0, "min_capacity of edgeless graph");
+  return *std::min_element(capacities_.begin(), capacities_.end());
+}
+
+double Graph::max_capacity() const {
+  TUFP_REQUIRE(num_edges() > 0, "max_capacity of edgeless graph");
+  return *std::max_element(capacities_.begin(), capacities_.end());
+}
+
+}  // namespace tufp

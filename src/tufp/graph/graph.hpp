@@ -1,0 +1,86 @@
+// Capacitated directed/undirected multigraph in CSR form.
+//
+// The graph is the substrate of the unsplittable flow problem (paper §1):
+// edges carry positive capacities c_e; B = min_e c_e is the bound the
+// paper's Omega(ln m) regime is phrased in. Undirected edges are stored as
+// two arcs sharing one EdgeId, so flow/weight state is per logical edge —
+// exactly the y_e / f_e indexing the paper's primal-dual machinery uses.
+//
+// Usage: construct with a vertex count, add_edge() repeatedly, finalize()
+// once, then query. Finalization builds the CSR adjacency; mutating after
+// finalize() or querying before it is a precondition violation.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+namespace tufp {
+
+using VertexId = std::int32_t;
+using EdgeId = std::int32_t;
+
+inline constexpr VertexId kInvalidVertex = -1;
+inline constexpr EdgeId kInvalidEdge = -1;
+
+// A directed arc in the CSR adjacency. For undirected graphs each logical
+// edge contributes two arcs with the same `edge` id.
+struct Arc {
+  VertexId to;
+  EdgeId edge;
+};
+
+class Graph {
+ public:
+  static Graph directed(int num_vertices);
+  static Graph undirected(int num_vertices);
+
+  // Adds edge u->v (or u--v when undirected) with positive capacity.
+  // Parallel edges and distinct capacities are allowed; self loops are not.
+  EdgeId add_edge(VertexId u, VertexId v, double capacity);
+
+  void finalize();
+  bool finalized() const { return finalized_; }
+  bool is_directed() const { return directed_; }
+
+  int num_vertices() const { return num_vertices_; }
+  // Logical edge count m (undirected edges counted once).
+  int num_edges() const { return static_cast<int>(endpoints_.size()); }
+  // Arc count (2m for undirected, m for directed).
+  int num_arcs() const { return static_cast<int>(arcs_.size()); }
+
+  std::span<const Arc> arcs_from(VertexId v) const;
+
+  double capacity(EdgeId e) const;
+  std::pair<VertexId, VertexId> endpoints(EdgeId e) const;
+
+  // Given an edge incident to `from`, the vertex at the other end.
+  // For directed graphs this requires from == tail. Precondition violation
+  // if the edge is not traversable from `from`.
+  VertexId traverse(VertexId from, EdgeId e) const;
+
+  // B = min_e c_e (paper's normalization: the problem is "B-bounded").
+  double min_capacity() const;
+  double max_capacity() const;
+
+  std::span<const double> capacities() const { return capacities_; }
+
+ private:
+  explicit Graph(int num_vertices, bool directed);
+
+  void require_vertex(VertexId v) const;
+
+  int num_vertices_ = 0;
+  bool directed_ = true;
+  bool finalized_ = false;
+
+  std::vector<std::pair<VertexId, VertexId>> endpoints_;
+  std::vector<double> capacities_;
+
+  // CSR built by finalize().
+  std::vector<std::int64_t> offsets_;
+  std::vector<Arc> arcs_;
+};
+
+}  // namespace tufp

@@ -1,0 +1,65 @@
+#include "tufp/graph/path.hpp"
+
+#include <algorithm>
+
+#include "tufp/util/assert.hpp"
+#include "tufp/util/math.hpp"
+
+namespace tufp {
+
+double path_length(const Path& path, std::span<const double> weights) {
+  double total = 0.0;
+  for (EdgeId e : path) {
+    TUFP_REQUIRE(e >= 0 && static_cast<std::size_t>(e) < weights.size(),
+                 "path edge id outside weight vector");
+    total += weights[static_cast<std::size_t>(e)];
+  }
+  return total;
+}
+
+bool is_simple_path(const Graph& graph, const Path& path, VertexId s, VertexId t) {
+  if (s == t) return false;  // S_r excludes trivial "paths" (s != t requests)
+  std::vector<bool> seen(static_cast<std::size_t>(graph.num_vertices()), false);
+  VertexId cur = s;
+  seen[static_cast<std::size_t>(cur)] = true;
+  for (EdgeId e : path) {
+    if (e < 0 || e >= graph.num_edges()) return false;
+    const auto [u, v] = graph.endpoints(e);
+    VertexId next;
+    if (u == cur) {
+      next = v;
+    } else if (!graph.is_directed() && v == cur) {
+      next = u;
+    } else {
+      return false;
+    }
+    if (seen[static_cast<std::size_t>(next)]) return false;
+    seen[static_cast<std::size_t>(next)] = true;
+    cur = next;
+  }
+  return cur == t;
+}
+
+std::vector<VertexId> path_vertices(const Graph& graph, const Path& path, VertexId s) {
+  std::vector<VertexId> vertices;
+  vertices.reserve(path.size() + 1);
+  vertices.push_back(s);
+  VertexId cur = s;
+  for (EdgeId e : path) {
+    cur = graph.traverse(cur, e);
+    vertices.push_back(cur);
+  }
+  return vertices;
+}
+
+double path_bottleneck(const Path& path, std::span<const double> residual) {
+  double bottleneck = kInf;
+  for (EdgeId e : path) {
+    TUFP_REQUIRE(e >= 0 && static_cast<std::size_t>(e) < residual.size(),
+                 "path edge id outside residual vector");
+    bottleneck = std::min(bottleneck, residual[static_cast<std::size_t>(e)]);
+  }
+  return bottleneck;
+}
+
+}  // namespace tufp

@@ -1,0 +1,32 @@
+// Path representation shared by all solvers.
+//
+// A Path is the ordered EdgeId sequence from source to target. For
+// undirected graphs the traversal direction of each edge is inferred from
+// the walk, so one representation serves both orientations.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "tufp/graph/graph.hpp"
+
+namespace tufp {
+
+using Path = std::vector<EdgeId>;
+
+// Length of `path` under per-edge weights (the paper's |p| = sum_e y_e).
+double path_length(const Path& path, std::span<const double> weights);
+
+// True iff `path` is a walk from s to t using existing, directionally valid
+// edges that visits no vertex twice (the paper's S_r contains simple paths
+// only).
+bool is_simple_path(const Graph& graph, const Path& path, VertexId s, VertexId t);
+
+// Vertices visited by the walk starting at s (size = path.size() + 1).
+// Precondition: path is traversable from s.
+std::vector<VertexId> path_vertices(const Graph& graph, const Path& path, VertexId s);
+
+// Minimum residual capacity along the path.
+double path_bottleneck(const Path& path, std::span<const double> residual);
+
+}  // namespace tufp

@@ -1,0 +1,64 @@
+#include "tufp/graph/path_enum.hpp"
+
+#include "tufp/util/assert.hpp"
+
+namespace tufp {
+
+namespace {
+
+struct EnumState {
+  const Graph* graph;
+  VertexId target;
+  std::size_t max_paths;
+  int max_hops;
+  std::vector<bool> on_path;
+  Path current;
+  PathEnumResult* out;
+};
+
+// Iterative-friendly depth is small here (simple paths <= n); recursion is
+// bounded by the vertex count.
+void dfs(EnumState& st, VertexId v) {
+  if (st.out->truncated) return;
+  if (v == st.target) {
+    if (st.out->paths.size() >= st.max_paths) {
+      st.out->truncated = true;
+      return;
+    }
+    st.out->paths.push_back(st.current);
+    return;
+  }
+  if (static_cast<int>(st.current.size()) >= st.max_hops) return;
+  for (const Arc& arc : st.graph->arcs_from(v)) {
+    if (st.on_path[static_cast<std::size_t>(arc.to)]) continue;
+    st.on_path[static_cast<std::size_t>(arc.to)] = true;
+    st.current.push_back(arc.edge);
+    dfs(st, arc.to);
+    st.current.pop_back();
+    st.on_path[static_cast<std::size_t>(arc.to)] = false;
+    if (st.out->truncated) return;
+  }
+}
+
+}  // namespace
+
+PathEnumResult enumerate_simple_paths(const Graph& graph, VertexId source,
+                                      VertexId target,
+                                      const PathEnumOptions& options) {
+  TUFP_REQUIRE(graph.finalized(), "graph must be finalized");
+  TUFP_REQUIRE(source >= 0 && source < graph.num_vertices(), "bad source");
+  TUFP_REQUIRE(target >= 0 && target < graph.num_vertices(), "bad target");
+  TUFP_REQUIRE(source != target, "source == target");
+
+  PathEnumResult result;
+  EnumState st{&graph, target, options.max_paths,
+               options.max_hops < 0 ? graph.num_vertices() - 1 : options.max_hops,
+               std::vector<bool>(static_cast<std::size_t>(graph.num_vertices()), false),
+               {},
+               &result};
+  st.on_path[static_cast<std::size_t>(source)] = true;
+  dfs(st, source);
+  return result;
+}
+
+}  // namespace tufp

@@ -1,0 +1,30 @@
+// Exhaustive simple-path enumeration.
+//
+// The exact LP/ILP baselines (Figure 1's program) are built over the full
+// path sets S_r; this enumerator materializes them for small instances.
+// Enumeration is bounded by max_paths/max_hops so runaway instances fail
+// loudly (truncated=true) instead of exhausting memory.
+#pragma once
+
+#include <vector>
+
+#include "tufp/graph/graph.hpp"
+#include "tufp/graph/path.hpp"
+
+namespace tufp {
+
+struct PathEnumResult {
+  std::vector<Path> paths;
+  bool truncated = false;  // hit max_paths before exhausting S_r
+};
+
+struct PathEnumOptions {
+  std::size_t max_paths = 100000;
+  int max_hops = -1;  // -1: up to n-1 (all simple paths)
+};
+
+PathEnumResult enumerate_simple_paths(const Graph& graph, VertexId source,
+                                      VertexId target,
+                                      const PathEnumOptions& options = {});
+
+}  // namespace tufp

@@ -1,0 +1,184 @@
+#include "tufp/lp/branch_and_bound.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "tufp/lp/ufp_lp.hpp"
+#include "tufp/util/assert.hpp"
+#include "tufp/util/math.hpp"
+
+namespace tufp {
+
+namespace {
+
+constexpr double kBoundSlack = 1e-9;
+
+struct SearchState {
+  const UfpInstance* instance;
+  const std::vector<std::vector<Path>>* paths;
+  std::vector<double> residual;
+  std::vector<double> suffix_value;  // sum of values of requests >= index
+  double lp_bound = kInf;
+
+  // Fractional-knapsack node bound: relax the per-edge constraints to one
+  // aggregate capacity (sum of residuals) and charge each request its
+  // cheapest possible footprint d_r * min_hops_r. Sound because every
+  // feasible completion consumes at least that much aggregate capacity.
+  struct KnapsackItem {
+    int request;
+    double weight;  // d_r * min-hop path length
+    double value;
+  };
+  std::vector<KnapsackItem> by_density;  // sorted by value/weight desc
+  double residual_total = 0.0;
+
+  double current_value = 0.0;
+  std::vector<int> chosen;  // per request: path index or -1
+
+  double best_value = 0.0;
+  std::vector<int> best_chosen;
+
+  std::int64_t nodes = 0;
+  std::int64_t max_nodes = 0;
+  bool aborted = false;
+};
+
+double knapsack_bound(const SearchState& st, int from_request) {
+  double capacity = st.residual_total;
+  double bound = 0.0;
+  for (const auto& item : st.by_density) {
+    if (item.request < from_request) continue;
+    if (capacity <= 0.0) break;
+    if (item.weight <= capacity) {
+      bound += item.value;
+      capacity -= item.weight;
+    } else {
+      bound += item.value * (capacity / item.weight);
+      break;
+    }
+  }
+  return bound;
+}
+
+bool fits(const Path& path, const std::vector<double>& residual, double demand) {
+  for (EdgeId e : path) {
+    if (residual[static_cast<std::size_t>(e)] + 1e-9 < demand) return false;
+  }
+  return true;
+}
+
+void dfs(SearchState& st, int r) {
+  if (st.aborted) return;
+  if (++st.nodes > st.max_nodes) {
+    st.aborted = true;
+    return;
+  }
+  const int R = st.instance->num_requests();
+  if (r == R) {
+    if (st.current_value > st.best_value + kBoundSlack) {
+      st.best_value = st.current_value;
+      st.best_chosen = st.chosen;
+    }
+    return;
+  }
+  // Bound: nothing decided from r onwards can add more than the suffix
+  // value or the aggregate-capacity knapsack relaxation, and the whole
+  // solution can never beat the LP relaxation.
+  const double optimistic =
+      std::min(st.current_value + st.suffix_value[static_cast<std::size_t>(r)],
+               st.lp_bound);
+  if (optimistic <= st.best_value + kBoundSlack) return;
+  if (st.current_value + knapsack_bound(st, r) <= st.best_value + kBoundSlack) {
+    return;
+  }
+
+  const Request& req = st.instance->request(r);
+  // Route first (greedy-style incumbents early), then skip.
+  const auto& candidates = (*st.paths)[static_cast<std::size_t>(r)];
+  for (int k = 0; k < static_cast<int>(candidates.size()); ++k) {
+    const Path& path = candidates[static_cast<std::size_t>(k)];
+    if (!fits(path, st.residual, req.demand)) continue;
+    const double consumed = req.demand * static_cast<double>(path.size());
+    for (EdgeId e : path) st.residual[static_cast<std::size_t>(e)] -= req.demand;
+    st.residual_total -= consumed;
+    st.current_value += req.value;
+    st.chosen[static_cast<std::size_t>(r)] = k;
+    dfs(st, r + 1);
+    st.chosen[static_cast<std::size_t>(r)] = -1;
+    st.current_value -= req.value;
+    st.residual_total += consumed;
+    for (EdgeId e : path) st.residual[static_cast<std::size_t>(e)] += req.demand;
+    if (st.aborted) return;
+  }
+  dfs(st, r + 1);
+}
+
+}  // namespace
+
+UfpExactResult solve_ufp_exact(const UfpInstance& instance,
+                               const UfpExactOptions& options) {
+  const Graph& g = instance.graph();
+  const int R = instance.num_requests();
+
+  std::vector<std::vector<Path>> paths(static_cast<std::size_t>(R));
+  for (int r = 0; r < R; ++r) {
+    const Request& req = instance.request(r);
+    PathEnumResult enumerated =
+        enumerate_simple_paths(g, req.source, req.target, options.path_enum);
+    TUFP_REQUIRE(!enumerated.truncated,
+                 "path enumeration truncated: exact solve requires full S_r");
+    paths[static_cast<std::size_t>(r)] = std::move(enumerated.paths);
+  }
+
+  SearchState st;
+  st.instance = &instance;
+  st.paths = &paths;
+  st.residual.assign(g.capacities().begin(), g.capacities().end());
+  st.suffix_value.assign(static_cast<std::size_t>(R) + 1, 0.0);
+  for (int r = R - 1; r >= 0; --r) {
+    st.suffix_value[static_cast<std::size_t>(r)] =
+        st.suffix_value[static_cast<std::size_t>(r) + 1] +
+        instance.request(r).value;
+  }
+  st.chosen.assign(static_cast<std::size_t>(R), -1);
+  st.best_chosen = st.chosen;
+  st.max_nodes = options.max_nodes;
+  for (double cap : st.residual) st.residual_total += cap;
+  for (int r = 0; r < R; ++r) {
+    const auto& candidates = paths[static_cast<std::size_t>(r)];
+    if (candidates.empty()) continue;
+    std::size_t min_hops = candidates.front().size();
+    for (const Path& p : candidates) min_hops = std::min(min_hops, p.size());
+    st.by_density.push_back({r,
+                             instance.request(r).demand *
+                                 static_cast<double>(min_hops),
+                             instance.request(r).value});
+  }
+  std::sort(st.by_density.begin(), st.by_density.end(),
+            [](const SearchState::KnapsackItem& a,
+               const SearchState::KnapsackItem& b) {
+              return a.value * b.weight > b.value * a.weight;
+            });
+
+  if (options.use_lp_root_bound) {
+    UfpLpOptions lp_options;
+    lp_options.path_enum = options.path_enum;
+    const UfpFractionalSolution lp = solve_ufp_lp(instance, lp_options);
+    if (lp.solved_to_optimality) st.lp_bound = lp.objective + kBoundSlack;
+  }
+
+  dfs(st, 0);
+
+  UfpExactResult result{0.0, UfpSolution(R), st.nodes, !st.aborted};
+  result.optimal_value = st.best_value;
+  for (int r = 0; r < R; ++r) {
+    const int k = st.best_chosen[static_cast<std::size_t>(r)];
+    if (k >= 0) {
+      result.solution.assign(
+          r, paths[static_cast<std::size_t>(r)][static_cast<std::size_t>(k)]);
+    }
+  }
+  return result;
+}
+
+}  // namespace tufp

@@ -1,0 +1,38 @@
+// Exact integral optimum of small UFP instances by branch and bound.
+//
+// Depth-first search over requests in declaration order; at each request
+// the solver branches on "route along candidate path k" (for every
+// enumerated simple path that fits the residual capacities) and "skip".
+// Pruning uses the residual-value bound (current value + total value of
+// the undecided suffix) and optionally the exact LP relaxation at the
+// root. The result is the true OPT — the denominator of every measured
+// approximation ratio on small instances.
+#pragma once
+
+#include <cstdint>
+
+#include "tufp/graph/path_enum.hpp"
+#include "tufp/ufp/instance.hpp"
+#include "tufp/ufp/solution.hpp"
+
+namespace tufp {
+
+struct UfpExactOptions {
+  PathEnumOptions path_enum;
+  std::int64_t max_nodes = 50'000'000;
+  bool use_lp_root_bound = true;  // prune with the Figure-1 relaxation
+};
+
+struct UfpExactResult {
+  double optimal_value = 0.0;
+  UfpSolution solution;
+  std::int64_t nodes = 0;
+  // False when max_nodes was exhausted: optimal_value is then only the
+  // best incumbent found (a lower bound on OPT).
+  bool proven_optimal = true;
+};
+
+UfpExactResult solve_ufp_exact(const UfpInstance& instance,
+                               const UfpExactOptions& options = {});
+
+}  // namespace tufp

@@ -1,0 +1,54 @@
+// Garg-Konemann fractional unsplittable flow (the multicommodity
+// substrate, paper refs [9] Garg-Konemann'98 / [8] Fleischer'99).
+//
+// The paper's motivation leans on the fractional problem (Figure 1's
+// relaxation) admitting combinatorial (1+eps)-approximations by exactly
+// this primal-dual width machinery — indeed Algorithm 1 is "motivated by"
+// it. This implementation solves the profit version column-generation
+// style: rows are edge capacities plus the per-request unit budgets;
+// columns (request, path) are priced by Dijkstra under the exponential
+// row duals; the cheapest column is augmented by its bottleneck width and
+// the touched duals inflate by (1+eps * load/capacity). Scaling the
+// accumulated primal by 1 + log_{1+eps}(1/delta) restores feasibility and
+// loses only a (1+O(eps)) factor against the fractional optimum.
+//
+// Used as (i) a scalable fractional baseline where the exact path LP is
+// out of reach, and (ii) the reproduction of the paper's claim that the
+// fractional problem is "easy" — see bench_lp_duality part (c).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tufp/graph/path.hpp"
+#include "tufp/ufp/instance.hpp"
+
+namespace tufp {
+
+struct GkConfig {
+  double epsilon = 0.1;  // in (0, 0.5]
+  std::int64_t max_iterations = 2'000'000;
+};
+
+// One fractional routing decision (amounts are post-scaling).
+struct GkFlow {
+  int request = -1;
+  Path path;
+  double amount = 0.0;
+};
+
+struct GkResult {
+  // Feasible fractional objective value (lower bound on the Figure-1 LP
+  // optimum; >= (1 - O(eps)) of it when converged).
+  double objective = 0.0;
+  std::vector<GkFlow> flows;
+  // Per-request routed fraction, sum over paths; <= 1 each.
+  std::vector<double> request_totals;
+  std::int64_t iterations = 0;
+  bool converged = true;  // false only when max_iterations was exhausted
+};
+
+GkResult garg_konemann_fractional_ufp(const UfpInstance& instance,
+                                      const GkConfig& config = {});
+
+}  // namespace tufp

@@ -1,0 +1,42 @@
+#include "tufp/lp/packing_lp.hpp"
+
+#include "tufp/util/assert.hpp"
+
+namespace tufp {
+
+int PackingLp::add_variable(double objective) {
+  TUFP_REQUIRE(objective >= 0.0, "packing LP objective must be non-negative");
+  objective_.push_back(objective);
+  return num_vars() - 1;
+}
+
+int PackingLp::add_row(double rhs) {
+  TUFP_REQUIRE(rhs >= 0.0, "packing LP rhs must be non-negative");
+  rhs_.push_back(rhs);
+  rows_.emplace_back();
+  return num_rows() - 1;
+}
+
+void PackingLp::add_coefficient(int row, int var, double coeff) {
+  TUFP_REQUIRE(row >= 0 && row < num_rows(), "row index out of range");
+  TUFP_REQUIRE(var >= 0 && var < num_vars(), "var index out of range");
+  TUFP_REQUIRE(coeff > 0.0, "packing LP coefficients must be positive");
+  rows_[static_cast<std::size_t>(row)].push_back({var, coeff});
+}
+
+double PackingLp::objective(int var) const {
+  TUFP_REQUIRE(var >= 0 && var < num_vars(), "var index out of range");
+  return objective_[static_cast<std::size_t>(var)];
+}
+
+double PackingLp::rhs(int row) const {
+  TUFP_REQUIRE(row >= 0 && row < num_rows(), "row index out of range");
+  return rhs_[static_cast<std::size_t>(row)];
+}
+
+const std::vector<PackingLp::Coefficient>& PackingLp::row(int i) const {
+  TUFP_REQUIRE(i >= 0 && i < num_rows(), "row index out of range");
+  return rows_[static_cast<std::size_t>(i)];
+}
+
+}  // namespace tufp

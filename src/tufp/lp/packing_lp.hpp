@@ -1,0 +1,44 @@
+// Sparse packing linear programs: max c.x  s.t.  Ax <= b, x >= 0,
+// with all data non-negative.
+//
+// Both LPs in the paper are of this shape: Figure 1's relaxation (rows =
+// edges + requests, vars = paths) and its MUCA specialization (rows =
+// items + requests, vars = bundles). The model is sparse; the simplex
+// densifies on solve (exact optima are only computed on small instances —
+// DESIGN.md §5).
+#pragma once
+
+#include <vector>
+
+namespace tufp {
+
+class PackingLp {
+ public:
+  // Adds a variable with objective coefficient c_j >= 0; returns its index.
+  int add_variable(double objective);
+
+  // Adds a constraint row with right-hand side b_i >= 0; returns its index.
+  int add_row(double rhs);
+
+  // Sets A[row, var] += coeff (coeff > 0).
+  void add_coefficient(int row, int var, double coeff);
+
+  int num_vars() const { return static_cast<int>(objective_.size()); }
+  int num_rows() const { return static_cast<int>(rhs_.size()); }
+
+  double objective(int var) const;
+  double rhs(int row) const;
+
+  struct Coefficient {
+    int var;
+    double value;
+  };
+  const std::vector<Coefficient>& row(int i) const;
+
+ private:
+  std::vector<double> objective_;
+  std::vector<double> rhs_;
+  std::vector<std::vector<Coefficient>> rows_;
+};
+
+}  // namespace tufp

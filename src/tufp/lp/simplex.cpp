@@ -1,0 +1,137 @@
+#include "tufp/lp/simplex.hpp"
+
+#include <algorithm>
+
+#include "tufp/util/assert.hpp"
+#include "tufp/util/math.hpp"
+
+namespace tufp {
+
+namespace {
+
+// Dense tableau with columns [vars | slacks | rhs]. Row 0..m-1 are
+// constraints; the objective (reduced cost) row is kept separately.
+class Tableau {
+ public:
+  Tableau(const PackingLp& lp)
+      : m_(lp.num_rows()), n_(lp.num_vars()), width_(n_ + m_ + 1) {
+    data_.assign(static_cast<std::size_t>(m_) * width_, 0.0);
+    reduced_.assign(static_cast<std::size_t>(width_), 0.0);
+    basis_.resize(static_cast<std::size_t>(m_));
+    for (int i = 0; i < m_; ++i) {
+      for (const auto& [var, coeff] : lp.row(i)) at(i, var) += coeff;
+      at(i, n_ + i) = 1.0;  // slack
+      at(i, n_ + m_) = lp.rhs(i);
+      basis_[static_cast<std::size_t>(i)] = n_ + i;
+    }
+    for (int j = 0; j < n_; ++j) reduced_[static_cast<std::size_t>(j)] = -lp.objective(j);
+  }
+
+  double& at(int row, int col) {
+    return data_[static_cast<std::size_t>(row) * width_ + col];
+  }
+  double at(int row, int col) const {
+    return data_[static_cast<std::size_t>(row) * width_ + col];
+  }
+
+  // Bland's rule: entering = lowest-index column with negative reduced
+  // cost; leaving = ratio-test winner with the lowest basis variable index.
+  // Returns false when optimal.
+  bool pivot_step(double tol) {
+    int entering = -1;
+    for (int j = 0; j < n_ + m_; ++j) {
+      if (reduced_[static_cast<std::size_t>(j)] < -tol) {
+        entering = j;
+        break;
+      }
+    }
+    if (entering < 0) return false;
+
+    int leaving = -1;
+    double best_ratio = kInf;
+    for (int i = 0; i < m_; ++i) {
+      const double a = at(i, entering);
+      if (a <= tol) continue;
+      const double ratio = at(i, n_ + m_) / a;
+      if (ratio < best_ratio - tol ||
+          (ratio < best_ratio + tol &&
+           (leaving < 0 || basis_[static_cast<std::size_t>(i)] <
+                               basis_[static_cast<std::size_t>(leaving)]))) {
+        best_ratio = std::min(best_ratio, ratio);
+        leaving = i;
+      }
+    }
+    // Packing LPs with non-negative A are always bounded (x_j is capped by
+    // any row containing it; columns with no rows would make the LP
+    // unbounded only if their objective is positive — caught here).
+    TUFP_CHECK(leaving >= 0, "packing LP unbounded: variable has no binding row");
+
+    pivot(leaving, entering);
+    return true;
+  }
+
+  void pivot(int row, int col) {
+    const double p = at(row, col);
+    for (int j = 0; j < width_; ++j) at(row, j) /= p;
+    for (int i = 0; i < m_; ++i) {
+      if (i == row) continue;
+      const double factor = at(i, col);
+      if (factor == 0.0) continue;
+      for (int j = 0; j < width_; ++j) at(i, j) -= factor * at(row, j);
+    }
+    const double rfactor = reduced_[static_cast<std::size_t>(col)];
+    if (rfactor != 0.0) {
+      for (int j = 0; j < width_; ++j) {
+        reduced_[static_cast<std::size_t>(j)] -= rfactor * at(row, j);
+      }
+    }
+    basis_[static_cast<std::size_t>(row)] = col;
+  }
+
+  LpSolution extract(const PackingLp& lp) const {
+    LpSolution sol;
+    sol.x.assign(static_cast<std::size_t>(n_), 0.0);
+    for (int i = 0; i < m_; ++i) {
+      const int var = basis_[static_cast<std::size_t>(i)];
+      if (var < n_) sol.x[static_cast<std::size_t>(var)] = at(i, n_ + m_);
+    }
+    sol.duals.assign(static_cast<std::size_t>(m_), 0.0);
+    for (int i = 0; i < m_; ++i) {
+      sol.duals[static_cast<std::size_t>(i)] =
+          std::max(0.0, reduced_[static_cast<std::size_t>(n_ + i)]);
+    }
+    sol.objective = 0.0;
+    for (int j = 0; j < n_; ++j) {
+      sol.objective += lp.objective(j) * sol.x[static_cast<std::size_t>(j)];
+    }
+    return sol;
+  }
+
+ private:
+  int m_, n_, width_;
+  std::vector<double> data_;
+  std::vector<double> reduced_;
+  std::vector<int> basis_;
+};
+
+}  // namespace
+
+LpSolution solve_packing_lp(const PackingLp& lp, const SimplexOptions& options) {
+  TUFP_REQUIRE(lp.num_vars() > 0, "LP has no variables");
+  Tableau tableau(lp);
+  std::int64_t pivots = 0;
+  while (tableau.pivot_step(options.tolerance)) {
+    if (++pivots >= options.max_pivots) {
+      LpSolution sol = tableau.extract(lp);
+      sol.status = LpSolution::Status::kPivotLimit;
+      sol.pivots = pivots;
+      return sol;
+    }
+  }
+  LpSolution sol = tableau.extract(lp);
+  sol.status = LpSolution::Status::kOptimal;
+  sol.pivots = pivots;
+  return sol;
+}
+
+}  // namespace tufp

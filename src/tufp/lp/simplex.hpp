@@ -1,0 +1,37 @@
+// Dense tableau simplex for packing LPs.
+//
+// max c.x  s.t.  Ax <= b, x >= 0 with b >= 0, so the all-slack basis is
+// feasible and no phase-1 is needed. Bland's rule guarantees termination
+// under degeneracy. Returns primal values, objective, and the dual vector
+// (reduced costs of the slack columns), which downstream code uses both
+// for weak-duality checks (Figure 1 vs its dual) and as certified upper
+// bounds in the branch-and-bound solver.
+//
+// Complexity is O(rows * cols) per pivot on a dense tableau: intended for
+// the small exact-baseline instances only (DESIGN.md §5).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tufp/lp/packing_lp.hpp"
+
+namespace tufp {
+
+struct SimplexOptions {
+  std::int64_t max_pivots = 200000;
+  double tolerance = 1e-9;
+};
+
+struct LpSolution {
+  enum class Status { kOptimal, kPivotLimit };
+  Status status = Status::kOptimal;
+  double objective = 0.0;
+  std::vector<double> x;      // primal values, size num_vars
+  std::vector<double> duals;  // row duals, size num_rows, >= 0
+  std::int64_t pivots = 0;
+};
+
+LpSolution solve_packing_lp(const PackingLp& lp, const SimplexOptions& options = {});
+
+}  // namespace tufp

@@ -1,0 +1,74 @@
+#include "tufp/lp/ufp_lp.hpp"
+
+#include "tufp/util/assert.hpp"
+
+namespace tufp {
+
+UfpFractionalSolution solve_ufp_lp(const UfpInstance& instance,
+                                   const UfpLpOptions& options) {
+  const Graph& g = instance.graph();
+  const int R = instance.num_requests();
+  const int m = g.num_edges();
+
+  UfpFractionalSolution out;
+  out.paths.resize(static_cast<std::size_t>(R));
+
+  PackingLp lp;
+  // Rows 0..m-1: edge capacities. Rows m..m+R-1: per-request selection.
+  for (EdgeId e = 0; e < m; ++e) lp.add_row(g.capacity(e));
+  for (int r = 0; r < R; ++r) lp.add_row(1.0);
+
+  struct VarRef {
+    int request;
+    int path_index;
+  };
+  std::vector<VarRef> var_refs;
+
+  for (int r = 0; r < R; ++r) {
+    const Request& req = instance.request(r);
+    PathEnumResult enumerated = enumerate_simple_paths(
+        g, req.source, req.target, options.path_enum);
+    TUFP_REQUIRE(!enumerated.truncated,
+                 "path enumeration truncated: exact LP requires full S_r");
+    auto& per_request = out.paths[static_cast<std::size_t>(r)];
+    per_request = std::move(enumerated.paths);
+    for (int k = 0; k < static_cast<int>(per_request.size()); ++k) {
+      const int var = lp.add_variable(req.value);
+      var_refs.push_back({r, k});
+      lp.add_coefficient(m + r, var, 1.0);
+      for (EdgeId e : per_request[static_cast<std::size_t>(k)]) {
+        lp.add_coefficient(e, var, req.demand);
+      }
+    }
+  }
+
+  if (lp.num_vars() == 0) {
+    // Every request is unreachable: the optimum is trivially 0.
+    out.objective = 0.0;
+    out.edge_duals.assign(static_cast<std::size_t>(m), 0.0);
+    out.request_duals.assign(static_cast<std::size_t>(R), 0.0);
+    out.x.resize(static_cast<std::size_t>(R));
+    return out;
+  }
+
+  const LpSolution sol = solve_packing_lp(lp, options.simplex);
+  out.solved_to_optimality = sol.status == LpSolution::Status::kOptimal;
+  out.objective = sol.objective;
+
+  out.x.resize(static_cast<std::size_t>(R));
+  for (int r = 0; r < R; ++r) {
+    out.x[static_cast<std::size_t>(r)].assign(
+        out.paths[static_cast<std::size_t>(r)].size(), 0.0);
+  }
+  for (int j = 0; j < lp.num_vars(); ++j) {
+    const VarRef ref = var_refs[static_cast<std::size_t>(j)];
+    out.x[static_cast<std::size_t>(ref.request)]
+         [static_cast<std::size_t>(ref.path_index)] =
+        sol.x[static_cast<std::size_t>(j)];
+  }
+  out.edge_duals.assign(sol.duals.begin(), sol.duals.begin() + m);
+  out.request_duals.assign(sol.duals.begin() + m, sol.duals.end());
+  return out;
+}
+
+}  // namespace tufp

@@ -1,0 +1,42 @@
+// The Figure-1 linear programming relaxation over enumerated paths.
+//
+//   max sum_r v_r sum_{s in S_r} x_s
+//   s.t. sum_{s : e in s} d_s x_s <= c_e        for every edge e
+//        sum_{s in S_r} x_s      <= 1           for every request r
+//        x >= 0
+//
+// Solving this exactly (dense simplex over exhaustively enumerated S_r)
+// gives the fractional optimum — the multicommodity-flow value the paper's
+// motivation section compares against — plus the dual variables (y_e, z_r)
+// used by the weak-duality experiments (bench E12).
+#pragma once
+
+#include <vector>
+
+#include "tufp/graph/path_enum.hpp"
+#include "tufp/lp/simplex.hpp"
+#include "tufp/ufp/instance.hpp"
+
+namespace tufp {
+
+struct UfpLpOptions {
+  PathEnumOptions path_enum;
+  SimplexOptions simplex;
+};
+
+struct UfpFractionalSolution {
+  double objective = 0.0;  // fractional OPT
+  // x[r][k]: weight on the k-th enumerated path of request r.
+  std::vector<std::vector<double>> x;
+  std::vector<std::vector<Path>> paths;  // enumerated S_r, same layout as x
+  std::vector<double> edge_duals;        // y_e, one per edge
+  std::vector<double> request_duals;     // z_r, one per request
+  bool solved_to_optimality = true;
+};
+
+// Throws when path enumeration truncates (exact solves refuse incomplete
+// S_r) — shrink the instance or raise the limits.
+UfpFractionalSolution solve_ufp_lp(const UfpInstance& instance,
+                                   const UfpLpOptions& options = {});
+
+}  // namespace tufp

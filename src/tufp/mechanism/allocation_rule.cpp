@@ -1,0 +1,17 @@
+#include "tufp/mechanism/allocation_rule.hpp"
+
+namespace tufp {
+
+UfpRule make_bounded_ufp_rule(const BoundedUfpConfig& config) {
+  return [config](const UfpInstance& instance) {
+    return bounded_ufp(instance, config).solution;
+  };
+}
+
+MucaRule make_bounded_muca_rule(const BoundedMucaConfig& config) {
+  return [config](const MucaInstance& instance) {
+    return bounded_muca(instance, config).solution;
+  };
+}
+
+}  // namespace tufp

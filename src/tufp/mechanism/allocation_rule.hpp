@@ -1,0 +1,28 @@
+// Allocation rules — the algorithmic half of a mechanism.
+//
+// Theorem 2.3 (Lehmann et al. / Briest et al.): a monotone and exact
+// allocation algorithm induces a truthful mechanism once winners are
+// charged their critical values. The payment and audit machinery below
+// is algorithm-agnostic: any callable mapping an instance to a solution
+// can be plugged in, including non-monotone baselines (which the auditors
+// then catch red-handed — bench E8).
+#pragma once
+
+#include <functional>
+
+#include "tufp/auction/bounded_muca.hpp"
+#include "tufp/ufp/bounded_ufp.hpp"
+
+namespace tufp {
+
+using UfpRule = std::function<UfpSolution(const UfpInstance&)>;
+using MucaRule = std::function<MucaSolution(const MucaInstance&)>;
+
+// The paper's Algorithm 1 as an allocation rule (monotone + exact, so the
+// induced mechanism is truthful — Corollary 3.2).
+UfpRule make_bounded_ufp_rule(const BoundedUfpConfig& config = {});
+
+// The paper's Algorithm 2 (Corollary 4.2, unknown single-minded agents).
+MucaRule make_bounded_muca_rule(const BoundedMucaConfig& config = {});
+
+}  // namespace tufp

@@ -1,0 +1,217 @@
+#include "tufp/mechanism/truthfulness_audit.hpp"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+#include "tufp/util/assert.hpp"
+
+namespace tufp {
+
+namespace {
+
+// Deterministic grid of value-misreport factors, padded with random draws.
+std::vector<double> value_factors(int count, Rng& rng) {
+  static constexpr double kGrid[] = {0.25, 0.5, 0.8, 0.95, 1.05, 1.25, 2.0, 4.0};
+  std::vector<double> factors;
+  for (double f : kGrid) {
+    if (static_cast<int>(factors.size()) >= count) break;
+    factors.push_back(f);
+  }
+  while (static_cast<int>(factors.size()) < count) {
+    factors.push_back(rng.next_double(0.1, 5.0));
+  }
+  return factors;
+}
+
+}  // namespace
+
+AuditReport audit_ufp_truthfulness(const UfpInstance& instance,
+                                   const UfpRule& rule,
+                                   const AuditOptions& options) {
+  Rng rng(options.seed);
+  const UfpMechanismResult truthful =
+      run_ufp_mechanism(instance, rule, options.payments);
+
+  AuditReport report;
+  report.agents_audited = instance.num_requests();
+
+  for (int r = 0; r < instance.num_requests(); ++r) {
+    const Request& truth = instance.request(r);
+    const double truthful_utility = truthful.utilities[static_cast<std::size_t>(r)];
+
+    // Candidate misreports: value scalings at the true demand, plus demand
+    // shadings/inflations at the true value (inflations capped at 1 to stay
+    // inside the normalized declaration space).
+    std::vector<Request> probes;
+    for (double f : value_factors(options.value_misreports_per_agent, rng)) {
+      Request probe = truth;
+      probe.value = truth.value * f;
+      probes.push_back(probe);
+    }
+    for (int k = 0; k < options.demand_misreports_per_agent; ++k) {
+      Request probe = truth;
+      probe.demand = k % 2 == 0
+                         ? truth.demand * rng.next_double(0.3, 0.95)
+                         : std::min(1.0, truth.demand * rng.next_double(1.05, 2.0));
+      if (probe.demand <= 0.0 || probe.demand == truth.demand) continue;
+      probes.push_back(probe);
+    }
+
+    for (const Request& probe : probes) {
+      ++report.misreports_tried;
+      const UfpInstance misreported = instance.with_request(r, probe);
+      if (!rule(misreported).is_selected(r)) continue;  // loser: utility 0
+      long evals = 0;
+      const double payment =
+          ufp_critical_value(misreported, rule, r, options.payments, &evals);
+      // Exactness: the mechanism routes the *declared* demand, so an agent
+      // that shaded its demand receives an unusable allocation.
+      const bool covers = probe.demand >= truth.demand - 1e-12;
+      const double utility = (covers ? truth.value : 0.0) - payment;
+      if (utility > truthful_utility + options.tolerance) {
+        std::ostringstream os;
+        os << "agent " << r << " gains by declaring (d=" << probe.demand
+           << ", v=" << probe.value << ") instead of (d=" << truth.demand
+           << ", v=" << truth.value << ")";
+        report.violations.push_back({r, truthful_utility, utility, probe.value,
+                                     probe.demand, os.str()});
+      }
+    }
+  }
+  return report;
+}
+
+AuditReport audit_muca_truthfulness(const MucaInstance& instance,
+                                    const MucaRule& rule,
+                                    const AuditOptions& options) {
+  Rng rng(options.seed);
+  const MucaMechanismResult truthful =
+      run_muca_mechanism(instance, rule, options.payments);
+
+  AuditReport report;
+  report.agents_audited = instance.num_requests();
+
+  for (int r = 0; r < instance.num_requests(); ++r) {
+    const MucaRequest& truth = instance.request(r);
+    const double truthful_utility = truthful.utilities[static_cast<std::size_t>(r)];
+
+    std::vector<MucaRequest> probes;
+    for (double f : value_factors(options.value_misreports_per_agent, rng)) {
+      MucaRequest probe = truth;
+      probe.value = truth.value * f;
+      probes.push_back(probe);
+    }
+    // Unknown single-minded agents may also lie about the bundle:
+    // alternately drop an item (under-declare) or add one (over-declare).
+    const std::set<int> truth_items(truth.bundle.begin(), truth.bundle.end());
+    for (int k = 0; k < options.bundle_misreports_per_agent; ++k) {
+      MucaRequest probe = truth;
+      if (k % 2 == 0 && probe.bundle.size() > 1) {
+        const auto drop = static_cast<std::size_t>(
+            rng.next_below(probe.bundle.size()));
+        probe.bundle.erase(probe.bundle.begin() + static_cast<std::ptrdiff_t>(drop));
+      } else {
+        const int extra = static_cast<int>(
+            rng.next_below(static_cast<std::uint64_t>(instance.num_items())));
+        if (truth_items.contains(extra)) continue;
+        probe.bundle.push_back(extra);
+      }
+      probes.push_back(probe);
+    }
+
+    for (const MucaRequest& probe : probes) {
+      ++report.misreports_tried;
+      const MucaInstance misreported = instance.with_request(r, probe);
+      if (!rule(misreported).is_selected(r)) continue;
+      long evals = 0;
+      const double payment =
+          muca_critical_value(misreported, rule, r, options.payments, &evals);
+      // The declared bundle covers the agent's need iff it contains every
+      // item of the true bundle.
+      const std::set<int> declared_items(probe.bundle.begin(), probe.bundle.end());
+      bool covers = true;
+      for (int u : truth.bundle) {
+        if (!declared_items.contains(u)) {
+          covers = false;
+          break;
+        }
+      }
+      const double utility = (covers ? truth.value : 0.0) - payment;
+      if (utility > truthful_utility + options.tolerance) {
+        std::ostringstream os;
+        os << "agent " << r << " gains by declaring value " << probe.value
+           << " with a bundle of " << probe.bundle.size() << " items";
+        report.violations.push_back(
+            {r, truthful_utility, utility, probe.value, 0.0, os.str()});
+      }
+    }
+  }
+  return report;
+}
+
+MonotonicityReport audit_ufp_monotonicity(const UfpInstance& instance,
+                                          const UfpRule& rule,
+                                          const MonotonicityOptions& options) {
+  Rng rng(options.seed);
+  const UfpSolution base = rule(instance);
+
+  MonotonicityReport report;
+  report.agents_audited = instance.num_requests();
+
+  for (int r = 0; r < instance.num_requests(); ++r) {
+    const Request& truth = instance.request(r);
+    for (int k = 0; k < options.probes_per_agent; ++k) {
+      ++report.probes_tried;
+      Request probe = truth;
+      if (base.is_selected(r)) {
+        // Definition 2.1: an improvement must keep the request selected.
+        probe.value = truth.value * rng.next_double(1.0, 4.0);
+        probe.demand = truth.demand * rng.next_double(0.25, 1.0);
+      } else {
+        // Contrapositive: a worsening must keep it unselected.
+        probe.value = truth.value * rng.next_double(0.25, 1.0);
+        probe.demand = std::min(1.0, truth.demand * rng.next_double(1.0, 2.0));
+      }
+      const bool now_selected =
+          rule(instance.with_request(r, probe)).is_selected(r);
+      const bool violated =
+          base.is_selected(r) ? !now_selected : now_selected;
+      if (violated) {
+        report.violations.push_back({r, truth.value, probe.value, truth.demand,
+                                     probe.demand});
+      }
+    }
+  }
+  return report;
+}
+
+MonotonicityReport audit_muca_monotonicity(const MucaInstance& instance,
+                                           const MucaRule& rule,
+                                           const MonotonicityOptions& options) {
+  Rng rng(options.seed);
+  const MucaSolution base = rule(instance);
+
+  MonotonicityReport report;
+  report.agents_audited = instance.num_requests();
+
+  for (int r = 0; r < instance.num_requests(); ++r) {
+    const MucaRequest& truth = instance.request(r);
+    for (int k = 0; k < options.probes_per_agent; ++k) {
+      ++report.probes_tried;
+      MucaRequest probe = truth;
+      probe.value = base.is_selected(r) ? truth.value * rng.next_double(1.0, 4.0)
+                                        : truth.value * rng.next_double(0.25, 1.0);
+      const bool now_selected =
+          rule(instance.with_request(r, probe)).is_selected(r);
+      const bool violated =
+          base.is_selected(r) ? !now_selected : now_selected;
+      if (violated) {
+        report.violations.push_back({r, truth.value, probe.value, 0.0, 0.0});
+      }
+    }
+  }
+  return report;
+}
+
+}  // namespace tufp

@@ -1,0 +1,94 @@
+// Empirical truthfulness and monotonicity auditing.
+//
+// The paper's guarantee is game-theoretic: under Bounded-UFP/Bounded-MUCA
+// with critical payments, no agent can gain utility by misreporting its
+// private type (Corollaries 3.2/4.2). These auditors *simulate* the selfish
+// agents the setting postulates: for each agent they sweep a grid plus
+// random sample of misreports — value scalings, demand inflation/shading,
+// and for MUCA bundle supersets/subsets (the unknown single-minded case) —
+// recompute the full mechanism outcome, and compare the agent's utility at
+// its true valuation against the truthful run. A violation is a misreport
+// that strictly beats truth-telling beyond tolerance.
+//
+// Utility model (single-minded, quasi-linear): an agent whose allocation
+// covers its true requirement (demand' >= demand_true; bundle' a superset
+// of the true bundle) enjoys its true value; an allocation that under-covers
+// is worthless; winners pay their critical value, losers pay nothing.
+//
+// The same driver exposes a direct Definition-2.1 monotonicity audit, used
+// both to certify the paper's algorithms and to demonstrate that the
+// classical randomized-rounding baseline is *not* monotone (bench E8).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "tufp/mechanism/critical_payment.hpp"
+#include "tufp/util/rng.hpp"
+
+namespace tufp {
+
+struct AuditOptions {
+  int value_misreports_per_agent = 8;
+  int demand_misreports_per_agent = 4;  // UFP only
+  int bundle_misreports_per_agent = 4;  // MUCA only
+  double tolerance = 1e-4;  // must exceed the payment bisection tolerance
+  std::uint64_t seed = 0x5eed;
+  PaymentOptions payments;
+};
+
+struct AuditViolation {
+  int agent = -1;
+  double truthful_utility = 0.0;
+  double misreport_utility = 0.0;
+  double declared_value = 0.0;
+  double declared_demand = 0.0;  // UFP
+  std::string description;
+};
+
+struct AuditReport {
+  int agents_audited = 0;
+  long misreports_tried = 0;
+  std::vector<AuditViolation> violations;
+  bool truthful() const { return violations.empty(); }
+};
+
+AuditReport audit_ufp_truthfulness(const UfpInstance& instance,
+                                   const UfpRule& rule,
+                                   const AuditOptions& options = {});
+
+AuditReport audit_muca_truthfulness(const MucaInstance& instance,
+                                    const MucaRule& rule,
+                                    const AuditOptions& options = {});
+
+// Direct Definition-2.1 check: for sampled agents and sampled
+// improvements (value up, demand down; everything else fixed), a selected
+// request must stay selected. Returns violations found.
+struct MonotonicityOptions {
+  int probes_per_agent = 6;
+  std::uint64_t seed = 0xcafe;
+};
+
+struct MonotonicityViolation {
+  int agent = -1;
+  double original_value = 0.0, improved_value = 0.0;
+  double original_demand = 0.0, improved_demand = 0.0;
+};
+
+struct MonotonicityReport {
+  int agents_audited = 0;
+  long probes_tried = 0;
+  std::vector<MonotonicityViolation> violations;
+  bool monotone() const { return violations.empty(); }
+};
+
+MonotonicityReport audit_ufp_monotonicity(const UfpInstance& instance,
+                                          const UfpRule& rule,
+                                          const MonotonicityOptions& options = {});
+
+MonotonicityReport audit_muca_monotonicity(
+    const MucaInstance& instance, const MucaRule& rule,
+    const MonotonicityOptions& options = {});
+
+}  // namespace tufp

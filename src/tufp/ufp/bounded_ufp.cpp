@@ -1,0 +1,144 @@
+#include "tufp/ufp/bounded_ufp.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "tufp/ufp/detail/sp_cache.hpp"
+#include "tufp/util/assert.hpp"
+#include "tufp/util/math.hpp"
+
+namespace tufp {
+
+namespace {
+
+// Margin for "path fits residual capacity" checks under the guard; keeps
+// accumulated floating point from rejecting exactly-full edges.
+constexpr double kFitSlack = 1e-9;
+
+bool path_fits(const Path& path, const std::vector<double>& residual,
+               double demand) {
+  for (EdgeId e : path) {
+    if (residual[static_cast<std::size_t>(e)] + kFitSlack < demand) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+BoundedUfpResult bounded_ufp(const UfpInstance& instance,
+                             const BoundedUfpConfig& config) {
+  TUFP_REQUIRE(config.epsilon > 0.0 && config.epsilon <= 1.0,
+               "epsilon outside (0,1]");
+  TUFP_REQUIRE(instance.is_normalized(),
+               "Bounded-UFP requires demands in (0,1]; call normalized() first");
+  const Graph& g = instance.graph();
+  const double B = instance.bound_B();
+  TUFP_REQUIRE(B >= 1.0, "Bounded-UFP requires B = min capacity >= 1");
+  const double eps = config.epsilon;
+  TUFP_REQUIRE(eps * B <= kMaxSafeExponent,
+               "eps*B too large for double-range weights (see DESIGN.md §6)");
+  TUFP_REQUIRE(!config.run_to_saturation || config.capacity_guard,
+               "run_to_saturation requires the capacity guard");
+
+  const int m = g.num_edges();
+  const int R = instance.num_requests();
+
+  BoundedUfpResult result{UfpSolution(R)};
+  result.dual_upper_bound = kInf;
+
+  // Line 4: y_e = 1/c_e, so D1(0) = sum_e c_e y_e = m.
+  std::vector<double> y(static_cast<std::size_t>(m));
+  for (EdgeId e = 0; e < m; ++e) {
+    y[static_cast<std::size_t>(e)] = 1.0 / g.capacity(e);
+  }
+  double dual_sum = static_cast<double>(m);
+  const double threshold = std::exp(eps * (B - 1.0));
+
+  std::vector<double> residual(g.capacities().begin(), g.capacities().end());
+  std::vector<std::int64_t> edge_stamp(static_cast<std::size_t>(m), 0);
+  std::int64_t now = 0;
+
+  std::vector<int> remaining(static_cast<std::size_t>(R));
+  for (int r = 0; r < R; ++r) remaining[static_cast<std::size_t>(r)] = r;
+
+  detail::SpCache cache(instance, config.parallel, config.num_threads);
+
+  double primal_value = 0.0;
+
+  // Line 5: while (L != empty and sum c_e y_e <= e^{eps(B-1)}).
+  while (!remaining.empty()) {
+    if (!config.run_to_saturation && dual_sum > threshold) {
+      result.stopped_by_threshold = true;
+      break;
+    }
+    ++now;
+    cache.refresh(y, edge_stamp, now, remaining, config.lazy_shortest_paths);
+    result.sp_computations +=
+        static_cast<std::int64_t>(cache.recomputed_last_refresh());
+
+    // Line 9: request minimizing (d_r/v_r)|p_r|; deterministic tie-break on
+    // request id. alpha_cert tracks the minimum over *all* remaining
+    // reachable requests (needed for the dual certificate regardless of
+    // which requests the guard filters).
+    int best = -1;
+    double best_priority = kInf;
+    double alpha_cert = kInf;
+    for (int r : remaining) {
+      const auto& entry = cache.entry(r);
+      if (!entry.reachable) continue;
+      const Request& req = instance.request(r);
+      const double priority = req.demand / req.value * entry.length;
+      alpha_cert = std::min(alpha_cert, priority);
+      if (config.capacity_guard && !path_fits(entry.path, residual, req.demand)) {
+        continue;
+      }
+      if (priority < best_priority) {
+        best_priority = priority;
+        best = r;
+      }
+    }
+
+    if (alpha_cert < kInf && alpha_cert > 0.0) {
+      // Claim 3.6 machinery: (y/alpha, z) with z_r = v_r for selected
+      // requests is dual feasible, so its value bounds the fractional OPT.
+      result.dual_upper_bound = std::min(result.dual_upper_bound,
+                                         dual_sum / alpha_cert + primal_value);
+    }
+
+    if (best < 0) break;  // nothing reachable (or nothing fits under guard)
+
+    // Lines 10-12: inflate weights along the chosen path, commit request.
+    const Request& req = instance.request(best);
+    const auto& entry = cache.entry(best);
+    const double dual_before = dual_sum;
+    for (EdgeId e : entry.path) {
+      const auto ei = static_cast<std::size_t>(e);
+      const double cap = g.capacity(e);
+      const double old_y = y[ei];
+      y[ei] = old_y * std::exp(eps * B * req.demand / cap);
+      dual_sum += cap * (y[ei] - old_y);
+      edge_stamp[ei] = now;
+      residual[ei] -= req.demand;
+    }
+    result.solution.assign(best, entry.path);
+    primal_value += req.value;
+    ++result.iterations;
+    remaining.erase(std::find(remaining.begin(), remaining.end(), best));
+
+    if (config.record_trace) {
+      result.trace.push_back({best, best_priority, dual_before, primal_value});
+    }
+  }
+
+  // Everything routed: the solution is optimal, so its own value is a
+  // valid (tight) upper bound.
+  if (remaining.empty()) {
+    result.dual_upper_bound = std::min(result.dual_upper_bound, primal_value);
+  }
+
+  result.final_dual_sum = dual_sum;
+  result.y = std::move(y);
+  return result;
+}
+
+}  // namespace tufp

@@ -1,0 +1,100 @@
+// Algorithm 1: Bounded-UFP(eps) — the paper's primary contribution.
+//
+// A deterministic, monotone, exact primal-dual algorithm for the
+// Omega(ln m)-bounded unsplittable flow problem achieving approximation
+// (1+eps)*e/(e-1) (Theorem 3.1). Maintains dual weights y_e = (1/c_e) *
+// e^{eps*B*f_e/c_e}; each iteration satisfies the request minimizing the
+// normalized shortest-path length (d_r/v_r)*|p_r| and exponentially
+// inflates the weights along the chosen path; stops when the dual value
+// sum_e c_e*y_e crosses e^{eps*(B-1)}.
+//
+// Monotonicity (Lemma 3.4) + exactness (Def. 2.2) make the algorithm a
+// truthful mechanism when combined with critical-value payments
+// (Theorem 2.3; see mechanism/critical_payment.hpp).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tufp/ufp/instance.hpp"
+#include "tufp/ufp/solution.hpp"
+
+namespace tufp {
+
+struct BoundedUfpConfig {
+  // Accuracy parameter in (0,1]. Theorem 3.1 invokes the algorithm with
+  // eps/6 to obtain the (1+eps)*e/(e-1) guarantee in the ln(m)/eps^2
+  // regime; the config takes the raw algorithm parameter.
+  double epsilon = 1.0 / 6.0;
+
+  // Paper-faithful Algorithm 1 never checks residual capacity — Lemma 3.3
+  // proves feasibility from the threshold alone, but only in the
+  // B = Omega(ln m) regime. With the guard on, a request whose current
+  // shortest path does not fit the residual capacities is skipped for the
+  // round; this keeps outputs feasible on arbitrary instances and
+  // preserves monotonicity and exactness (DESIGN.md §6).
+  bool capacity_guard = true;
+
+  // Reuse cached shortest paths whose edges were untouched since their
+  // computation (provably equivalent; see detail/sp_cache.hpp). Off only
+  // for the equivalence tests / ablation bench.
+  bool lazy_shortest_paths = true;
+
+  // Ignore the e^{eps(B-1)} stopping threshold and keep selecting while
+  // anything fits. Off-paper convenience for out-of-regime instances
+  // (where the faithful threshold can be below the initial dual value m
+  // and the loop would exit immediately); requires capacity_guard, which
+  // then solely enforces feasibility. The approximation guarantee of
+  // Theorem 3.1 applies only to the faithful setting.
+  bool run_to_saturation = false;
+
+  // OpenMP-parallel per-request shortest paths. Deterministic for any
+  // thread count.
+  bool parallel = true;
+  int num_threads = 0;  // 0: runtime default
+
+  // Record one IterationRecord per selection (tests/benches).
+  bool record_trace = false;
+};
+
+struct IterationRecord {
+  int request = -1;
+  double alpha = 0.0;       // normalized length of the selected path, alpha(i)
+  double dual_sum = 0.0;    // D1(i) = sum_e c_e y_e before the update
+  double primal_value = 0.0;  // P(i+1), value routed after this selection
+};
+
+struct BoundedUfpResult {
+  UfpSolution solution;
+  int iterations = 0;
+
+  // sum_e c_e y_e when the loop exited.
+  double final_dual_sum = 0.0;
+  // Final dual weights y_e (inputs to dual_certificate / diagnostics).
+  std::vector<double> y;
+
+  // Best (smallest) dual-feasible upper bound on the *fractional* optimum
+  // observed during the run: min_i D1(i)/alpha(i) + P(i) (Claim 3.6).
+  // Always >= OPT >= solution value, so value/dual_upper_bound lower-bounds
+  // the true approximation quality of this run.
+  double dual_upper_bound = 0.0;
+
+  // True when the loop exited because sum c_e y_e > e^{eps(B-1)}; false
+  // when every request was routed (output provably optimal) or, under the
+  // capacity guard, when no remaining request fit.
+  bool stopped_by_threshold = false;
+
+  // Total Dijkstra computations performed. The naive loop costs
+  // iterations * |remaining| of them; lazy invalidation only recomputes
+  // requests whose cached path touched updated edges (DESIGN.md §6).
+  std::int64_t sp_computations = 0;
+
+  std::vector<IterationRecord> trace;
+};
+
+// Preconditions: normalized instance (d_r <= 1), B >= 1, eps in (0,1],
+// eps*B within safe double exponent range (util/math.hpp).
+BoundedUfpResult bounded_ufp(const UfpInstance& instance,
+                             const BoundedUfpConfig& config = {});
+
+}  // namespace tufp

@@ -1,0 +1,124 @@
+#include "tufp/ufp/bounded_ufp_repeat.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "tufp/ufp/detail/sp_cache.hpp"
+#include "tufp/util/assert.hpp"
+#include "tufp/util/math.hpp"
+
+namespace tufp {
+
+namespace {
+
+constexpr double kFitSlack = 1e-9;
+
+bool path_fits(const Path& path, const std::vector<double>& residual,
+               double demand) {
+  for (EdgeId e : path) {
+    if (residual[static_cast<std::size_t>(e)] + kFitSlack < demand) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+BoundedUfpRepeatResult bounded_ufp_repeat(const UfpInstance& instance,
+                                          const BoundedUfpRepeatConfig& config) {
+  TUFP_REQUIRE(config.epsilon > 0.0 && config.epsilon <= 1.0,
+               "epsilon outside (0,1]");
+  TUFP_REQUIRE(instance.is_normalized(),
+               "Bounded-UFP-Repeat requires demands in (0,1]");
+  const Graph& g = instance.graph();
+  const double B = instance.bound_B();
+  TUFP_REQUIRE(B >= 1.0, "Bounded-UFP-Repeat requires B >= 1");
+  const double eps = config.epsilon;
+  TUFP_REQUIRE(eps * B <= kMaxSafeExponent,
+               "eps*B too large for double-range weights");
+
+  const int m = g.num_edges();
+  const int R = instance.num_requests();
+
+  BoundedUfpRepeatResult result{UfpMultiSolution(R)};
+  result.dual_upper_bound = kInf;
+
+  std::vector<double> y(static_cast<std::size_t>(m));
+  for (EdgeId e = 0; e < m; ++e) y[static_cast<std::size_t>(e)] = 1.0 / g.capacity(e);
+  double dual_sum = static_cast<double>(m);
+  const double threshold = std::exp(eps * (B - 1.0));
+
+  std::vector<double> residual(g.capacities().begin(), g.capacities().end());
+  std::vector<std::int64_t> edge_stamp(static_cast<std::size_t>(m), 0);
+  std::int64_t now = 0;
+
+  std::vector<int> live(static_cast<std::size_t>(R));
+  for (int r = 0; r < R; ++r) live[static_cast<std::size_t>(r)] = r;
+
+  detail::SpCache cache(instance, config.parallel, config.num_threads);
+
+  double primal_value = 0.0;
+
+  // Line 3: while (sum c_e y_e <= e^{eps(B-1)}). L never shrinks here.
+  while (dual_sum <= threshold) {
+    if (config.max_iterations > 0 && result.iterations >= config.max_iterations) {
+      result.hit_iteration_cap = true;
+      break;
+    }
+    ++now;
+    cache.refresh(y, edge_stamp, now, live, config.lazy_shortest_paths);
+    result.sp_computations +=
+        static_cast<std::int64_t>(cache.recomputed_last_refresh());
+
+    int best = -1;
+    double best_priority = kInf;
+    double alpha_cert = kInf;
+    for (int r : live) {
+      const auto& entry = cache.entry(r);
+      if (!entry.reachable) continue;
+      const Request& req = instance.request(r);
+      const double priority = req.demand / req.value * entry.length;
+      alpha_cert = std::min(alpha_cert, priority);
+      if (config.capacity_guard && !path_fits(entry.path, residual, req.demand)) {
+        continue;
+      }
+      if (priority < best_priority) {
+        best_priority = priority;
+        best = r;
+      }
+    }
+
+    if (alpha_cert < kInf && alpha_cert > 0.0) {
+      // Claim 5.2: y/alpha is feasible for Figure 5's dual (no z terms).
+      result.dual_upper_bound =
+          std::min(result.dual_upper_bound, dual_sum / alpha_cert);
+    }
+
+    if (best < 0) break;  // no routable request at all
+
+    const Request& req = instance.request(best);
+    const auto& entry = cache.entry(best);
+    const double dual_before = dual_sum;
+    for (EdgeId e : entry.path) {
+      const auto ei = static_cast<std::size_t>(e);
+      const double cap = g.capacity(e);
+      const double old_y = y[ei];
+      y[ei] = old_y * std::exp(eps * B * req.demand / cap);
+      dual_sum += cap * (y[ei] - old_y);
+      edge_stamp[ei] = now;
+      residual[ei] -= req.demand;
+    }
+    result.solution.add(best, entry.path);
+    primal_value += req.value;
+    ++result.iterations;
+    if (config.record_trace) {
+      result.trace.push_back({best, best_priority, dual_before, primal_value});
+    }
+  }
+
+  result.stopped_by_threshold = dual_sum > threshold;
+  result.final_dual_sum = dual_sum;
+  result.y = std::move(y);
+  return result;
+}
+
+}  // namespace tufp

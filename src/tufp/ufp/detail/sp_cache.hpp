@@ -1,0 +1,130 @@
+// Per-request shortest-path cache shared by Bounded-UFP and
+// Bounded-UFP-Repeat (internal header).
+//
+// Both algorithms need, every iteration, the shortest s_r -> t_r path under
+// the current dual weights y for every live request (Alg. 1 lines 6-8,
+// Alg. 3 lines 4-6). Two facts make caching sound:
+//   1. y only ever increases, so path lengths only grow;
+//   2. an update touches exactly the edges of one selected path.
+// Hence a cached shortest path whose edges were not updated since it was
+// computed is still shortest: its own length is unchanged while every
+// competitor is at least as long as before. We track a per-edge update
+// stamp and recompute only requests whose cached path intersects edges
+// stamped after the cache entry.
+//
+// Recomputation is embarrassingly parallel across requests; with OpenMP
+// each thread drives its own ShortestPathEngine. Results are bitwise
+// deterministic regardless of thread count (entries are independent).
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "tufp/graph/dijkstra.hpp"
+#include "tufp/ufp/instance.hpp"
+#include "tufp/util/assert.hpp"
+#include "tufp/util/math.hpp"
+
+#if defined(TUFP_HAVE_OPENMP)
+#include <omp.h>
+#endif
+
+namespace tufp::detail {
+
+class SpCache {
+ public:
+  struct Entry {
+    Path path;
+    double length = kInf;
+    std::int64_t computed_at = -1;  // stamp epoch of the computation
+    bool reachable = true;
+  };
+
+  SpCache(const UfpInstance& instance, bool parallel, int num_threads)
+      : instance_(&instance),
+        entries_(static_cast<std::size_t>(instance.num_requests())),
+        parallel_(parallel),
+        num_threads_(num_threads) {
+    int pool = 1;
+#if defined(TUFP_HAVE_OPENMP)
+    if (parallel_) pool = num_threads_ > 0 ? num_threads_ : omp_get_max_threads();
+#endif
+    engines_.reserve(static_cast<std::size_t>(pool));
+    for (int i = 0; i < pool; ++i) {
+      engines_.push_back(std::make_unique<ShortestPathEngine>(instance.graph()));
+    }
+  }
+
+  // Ensures entries for `active` are shortest paths under `y`, where
+  // edge_stamp[e] is the iteration at which e's weight last changed and
+  // `now` the current iteration. With lazy=false everything recomputes.
+  void refresh(std::span<const double> y, std::span<const std::int64_t> edge_stamp,
+               std::int64_t now, std::span<const int> active, bool lazy) {
+    stale_.clear();
+    for (int r : active) {
+      Entry& entry = entries_[static_cast<std::size_t>(r)];
+      if (!entry.reachable) continue;  // graph is static: stays unreachable
+      if (lazy && entry.computed_at >= 0 && is_current(entry, edge_stamp)) continue;
+      stale_.push_back(r);
+    }
+
+    const auto work = [&](std::size_t idx, int engine_id) {
+      const int r = stale_[idx];
+      Entry& entry = entries_[static_cast<std::size_t>(r)];
+      const Request& req = instance_->request(r);
+      entry.length = engines_[static_cast<std::size_t>(engine_id)]->shortest_path(
+          y, req.source, req.target, &entry.path);
+      entry.computed_at = now;
+      if (entry.length >= kInf) {
+        entry.reachable = false;
+        entry.path.clear();
+        entry.computed_at = std::numeric_limits<std::int64_t>::max();
+      }
+    };
+
+#if defined(TUFP_HAVE_OPENMP)
+    if (parallel_ && stale_.size() > 1) {
+      const int pool = static_cast<int>(engines_.size());
+#pragma omp parallel for schedule(dynamic, 4) num_threads(pool)
+      for (std::size_t i = 0; i < stale_.size(); ++i) {
+        work(i, omp_get_thread_num());
+      }
+      return;
+    }
+#endif
+    for (std::size_t i = 0; i < stale_.size(); ++i) work(i, 0);
+  }
+
+  const Entry& entry(int r) const {
+    return entries_[static_cast<std::size_t>(r)];
+  }
+
+  std::size_t recomputed_last_refresh() const { return stale_.size(); }
+
+ private:
+  static bool is_current(const Entry& entry,
+                         std::span<const std::int64_t> edge_stamp) {
+    for (EdgeId e : entry.path) {
+      // An edge stamped *at* the entry's epoch was updated after that
+      // refresh ran (refresh happens at the top of an iteration, the
+      // selected path's update at its bottom), so >= — not > — is the
+      // staleness condition.
+      if (edge_stamp[static_cast<std::size_t>(e)] >= entry.computed_at) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  const UfpInstance* instance_;
+  std::vector<Entry> entries_;
+  std::vector<std::unique_ptr<ShortestPathEngine>> engines_;
+  std::vector<int> stale_;
+  bool parallel_;
+  int num_threads_;
+};
+
+}  // namespace tufp::detail

@@ -1,0 +1,37 @@
+// Dual-feasible upper bounds on the fractional UFP optimum.
+//
+// Weak LP duality (Figure 1): any feasible assignment of the dual
+// variables (y_e, z_r) upper-bounds the fractional — hence also the
+// integral — optimum. Given an arbitrary positive weight vector y (for
+// instance a snapshot from a primal-dual run) the *best rescaled*
+// certificate is
+//     UB = min_{alpha>0} [ (1/alpha) sum_e c_e y_e + sum_r z_r(alpha) ],
+//     z_r(alpha) = max(0, v_r - (d_r/alpha) * sp_r(y)),
+// where sp_r(y) is the shortest s_r->t_r distance under y (shortest
+// suffices: every other path in S_r is longer, so its constraint is
+// slacker). The objective is convex piecewise-linear in 1/alpha, so the
+// minimum sits on a kink; we sweep the kinks in O(R log R).
+//
+// This is how the reproduction measures approximation ratios on instances
+// too large for the exact ILP: value/UB is a sound lower bound on the true
+// quality of a run.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "tufp/ufp/instance.hpp"
+
+namespace tufp {
+
+struct DualCertificate {
+  double upper_bound = 0.0;  // feasible dual objective value
+  double alpha = 0.0;        // chosen rescaling (0 encodes alpha = infinity)
+  std::vector<double> z;     // per-request dual variables at the optimum
+};
+
+// Preconditions: y has one strictly positive entry per edge.
+DualCertificate best_dual_bound(const UfpInstance& instance,
+                                std::span<const double> y);
+
+}  // namespace tufp

@@ -1,0 +1,99 @@
+#include "tufp/ufp/instance.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "tufp/util/assert.hpp"
+
+namespace tufp {
+
+UfpInstance::UfpInstance(Graph graph, std::vector<Request> requests)
+    : UfpInstance(std::make_shared<const Graph>(std::move(graph)),
+                  std::move(requests)) {}
+
+UfpInstance::UfpInstance(std::shared_ptr<const Graph> graph,
+                         std::vector<Request> requests)
+    : graph_(std::move(graph)), requests_(std::move(requests)) {
+  TUFP_REQUIRE(graph_ != nullptr, "instance graph must not be null");
+  TUFP_REQUIRE(graph_->finalized(), "instance graph must be finalized");
+  TUFP_REQUIRE(graph_->num_edges() > 0, "instance graph must have edges");
+  for (const Request& r : requests_) {
+    TUFP_REQUIRE(r.source >= 0 && r.source < graph_->num_vertices(),
+                 "request source out of range");
+    TUFP_REQUIRE(r.target >= 0 && r.target < graph_->num_vertices(),
+                 "request target out of range");
+    TUFP_REQUIRE(r.source != r.target, "request source == target");
+    TUFP_REQUIRE(r.demand > 0.0, "request demand must be positive");
+    TUFP_REQUIRE(r.value > 0.0, "request value must be positive");
+  }
+}
+
+const Request& UfpInstance::request(int r) const {
+  TUFP_REQUIRE(r >= 0 && r < num_requests(), "request index out of range");
+  return requests_[static_cast<std::size_t>(r)];
+}
+
+double UfpInstance::max_demand() const {
+  TUFP_REQUIRE(!requests_.empty(), "max_demand of empty request set");
+  return std::max_element(requests_.begin(), requests_.end(),
+                          [](const Request& a, const Request& b) {
+                            return a.demand < b.demand;
+                          })
+      ->demand;
+}
+
+double UfpInstance::min_demand() const {
+  TUFP_REQUIRE(!requests_.empty(), "min_demand of empty request set");
+  return std::min_element(requests_.begin(), requests_.end(),
+                          [](const Request& a, const Request& b) {
+                            return a.demand < b.demand;
+                          })
+      ->demand;
+}
+
+double UfpInstance::total_value() const {
+  double total = 0.0;
+  for (const Request& r : requests_) total += r.value;
+  return total;
+}
+
+bool UfpInstance::is_normalized(double tol) const {
+  for (const Request& r : requests_) {
+    if (r.demand > 1.0 + tol) return false;
+  }
+  return true;
+}
+
+bool UfpInstance::in_large_capacity_regime(double eps) const {
+  TUFP_REQUIRE(eps > 0.0 && eps <= 1.0, "eps outside (0,1]");
+  const double m = static_cast<double>(graph_->num_edges());
+  return bound_B() >= std::log(m) / (eps * eps);
+}
+
+UfpInstance UfpInstance::normalized() const {
+  TUFP_REQUIRE(!requests_.empty(), "cannot normalize an empty request set");
+  const double scale = 1.0 / max_demand();
+  Graph g = graph_->is_directed() ? Graph::directed(graph_->num_vertices())
+                                  : Graph::undirected(graph_->num_vertices());
+  for (EdgeId e = 0; e < graph_->num_edges(); ++e) {
+    const auto [u, v] = graph_->endpoints(e);
+    g.add_edge(u, v, graph_->capacity(e) * scale);
+  }
+  g.finalize();
+  std::vector<Request> reqs = requests_;
+  for (Request& r : reqs) r.demand *= scale;
+  return UfpInstance(std::move(g), std::move(reqs));
+}
+
+UfpInstance UfpInstance::with_request(int r, const Request& declared) const {
+  TUFP_REQUIRE(r >= 0 && r < num_requests(), "request index out of range");
+  const Request& original = requests_[static_cast<std::size_t>(r)];
+  TUFP_REQUIRE(declared.source == original.source &&
+                   declared.target == original.target,
+               "terminals are public knowledge and cannot be redeclared");
+  std::vector<Request> reqs = requests_;
+  reqs[static_cast<std::size_t>(r)] = declared;
+  return UfpInstance(graph_, std::move(reqs));
+}
+
+}  // namespace tufp

@@ -1,0 +1,69 @@
+// The B-bounded unsplittable flow problem instance (paper §1).
+//
+// An instance is an edge-capacitated graph plus connection requests
+// (s_r, t_r, d_r, v_r). Following the paper's normalized formulation we
+// work with B = min_e c_e and demands d_r in (0, 1]; `normalized()`
+// rescales an arbitrary instance into that form. The large-capacity regime
+// the theorems need is B >= ln(m)/eps^2 (`in_large_capacity_regime`).
+//
+// The graph is held by shared_ptr: the mechanism layer re-runs allocation
+// rules against single-declaration variants (`with_request`) many times per
+// payment computation, and those variants share the immutable topology.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "tufp/graph/graph.hpp"
+
+namespace tufp {
+
+struct Request {
+  VertexId source = kInvalidVertex;
+  VertexId target = kInvalidVertex;
+  double demand = 0.0;  // d_r > 0
+  double value = 0.0;   // v_r > 0
+};
+
+class UfpInstance {
+ public:
+  // Validates on construction: finalized graph with >= 1 edge, every
+  // request with s != t in range and positive demand/value.
+  UfpInstance(Graph graph, std::vector<Request> requests);
+  UfpInstance(std::shared_ptr<const Graph> graph, std::vector<Request> requests);
+
+  const Graph& graph() const { return *graph_; }
+  const std::shared_ptr<const Graph>& shared_graph() const { return graph_; }
+  const std::vector<Request>& requests() const { return requests_; }
+  const Request& request(int r) const;
+  int num_requests() const { return static_cast<int>(requests_.size()); }
+
+  // B in the paper's normalized formulation: min edge capacity.
+  double bound_B() const { return graph_->min_capacity(); }
+
+  double max_demand() const;
+  double min_demand() const;
+  double total_value() const;
+
+  // All demands in (0, 1] (the formulation Algorithms 1-3 assume).
+  bool is_normalized(double tol = 1e-12) const;
+
+  // B >= ln(m)/eps^2, the Omega(ln m)-bounded regime of Theorems 3.1/4.1/5.1.
+  bool in_large_capacity_regime(double eps) const;
+
+  // Rescales demands and capacities by 1/max_demand so d_r in (0,1]
+  // (the equivalence noted in the paper's problem definition). Values are
+  // untouched; the optimal selection is invariant under this scaling.
+  UfpInstance normalized() const;
+
+  // Copy of the instance with request r's declaration replaced; shares the
+  // graph. Source/target are the publicly known part of the type and must
+  // stay fixed (paper §"The setting").
+  UfpInstance with_request(int r, const Request& declared) const;
+
+ private:
+  std::shared_ptr<const Graph> graph_;
+  std::vector<Request> requests_;
+};
+
+}  // namespace tufp

@@ -1,0 +1,60 @@
+#include "tufp/ufp/reasonable.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "tufp/util/assert.hpp"
+
+namespace tufp {
+
+ExponentialLengthFunction::ExponentialLengthFunction(double eps, double B)
+    : eps_(eps), B_(B) {
+  TUFP_REQUIRE(eps > 0.0 && eps <= 1.0, "eps outside (0,1]");
+  TUFP_REQUIRE(B >= 1.0, "B must be >= 1");
+}
+
+std::string ExponentialLengthFunction::name() const {
+  std::ostringstream os;
+  os << "h(eps=" << eps_ << ",B=" << B_ << ")";
+  return os.str();
+}
+
+double ExponentialLengthFunction::evaluate(
+    double demand, double value, const Path& path, std::span<const double> flows,
+    std::span<const double> capacities) const {
+  double sum = 0.0;
+  for (EdgeId e : path) {
+    const auto ei = static_cast<std::size_t>(e);
+    sum += (1.0 / capacities[ei]) * std::exp(eps_ * B_ * flows[ei] / capacities[ei]);
+  }
+  return demand / value * sum;
+}
+
+HopBiasedFunction::HopBiasedFunction(double eps, double B) : inner_(eps, B) {}
+
+std::string HopBiasedFunction::name() const {
+  return "h1=ln(1+hops)*" + inner_.name();
+}
+
+double HopBiasedFunction::evaluate(double demand, double value, const Path& path,
+                                   std::span<const double> flows,
+                                   std::span<const double> capacities) const {
+  const double base = inner_.evaluate(demand, value, path, flows, capacities);
+  return std::log(1.0 + static_cast<double>(path.size())) * base;
+}
+
+std::string FlowProductFunction::name() const { return "h2=prod(f/c)"; }
+
+double FlowProductFunction::evaluate(double demand, double value, const Path& path,
+                                     std::span<const double> flows,
+                                     std::span<const double> capacities) const {
+  double product = 1.0;
+  for (EdgeId e : path) {
+    const auto ei = static_cast<std::size_t>(e);
+    product *= flows[ei] / capacities[ei];
+    if (product == 0.0) break;
+  }
+  return demand / value * product;
+}
+
+}  // namespace tufp

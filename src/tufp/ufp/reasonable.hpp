@@ -1,0 +1,80 @@
+// Reasonable path-priority functions (Definition 3.9).
+//
+// A priority function g : S -> R is *reasonable* when, restricted to
+// unit-demand/unit-value requests on identically-capacitated edges, it
+// weakly prefers paths that are shorter (fewer edges) and carry pointwise
+// less flow. The paper's inapproximability results (Theorems 3.11/3.12)
+// hold for every iterative algorithm minimizing such a function; this
+// header materializes the three examples the paper names:
+//   h  (p) = d_p/v_p * sum_{e in p} (1/c_e) e^{eps*B*f_e/c_e}   (Alg. 1's rule)
+//   h1 (p) = ln(1 + |p|) * h(p)                                  (hop biased)
+//   h2 (p) = d_p/v_p * prod_{e in p} f_e/c_e                     (flow product)
+// Functions are evaluated on explicit candidate paths by the enumeration-
+// based minimizer (iterative_minimizer.hpp), so arbitrary non-additive
+// shapes (h2) are supported uniformly.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string>
+
+#include "tufp/graph/path.hpp"
+
+namespace tufp {
+
+class ReasonableFunction {
+ public:
+  virtual ~ReasonableFunction() = default;
+
+  virtual std::string name() const = 0;
+
+  // Priority of routing a (demand, value) request along `path` given the
+  // current per-edge flows. Lower is better.
+  virtual double evaluate(double demand, double value, const Path& path,
+                          std::span<const double> flows,
+                          std::span<const double> capacities) const = 0;
+};
+
+// h — the rule Algorithm 1 minimizes (the paper notes Bounded-UFP is a
+// reasonable iterative path-minimizing algorithm via exactly this form).
+class ExponentialLengthFunction final : public ReasonableFunction {
+ public:
+  ExponentialLengthFunction(double eps, double B);
+  std::string name() const override;
+  double evaluate(double demand, double value, const Path& path,
+                  std::span<const double> flows,
+                  std::span<const double> capacities) const override;
+
+  double eps() const { return eps_; }
+  double B() const { return B_; }
+
+ private:
+  double eps_;
+  double B_;
+};
+
+// h1 = ln(1 + |p|) * h(p): "mildly biased towards paths with less edges".
+class HopBiasedFunction final : public ReasonableFunction {
+ public:
+  HopBiasedFunction(double eps, double B);
+  std::string name() const override;
+  double evaluate(double demand, double value, const Path& path,
+                  std::span<const double> flows,
+                  std::span<const double> capacities) const override;
+
+ private:
+  ExponentialLengthFunction inner_;
+};
+
+// h2 = d/v * prod_e f_e/c_e: the paper's "although it is not clear why
+// anyone would like to use it" example; any path containing a flow-free
+// edge scores 0.
+class FlowProductFunction final : public ReasonableFunction {
+ public:
+  std::string name() const override;
+  double evaluate(double demand, double value, const Path& path,
+                  std::span<const double> flows,
+                  std::span<const double> capacities) const override;
+};
+
+}  // namespace tufp

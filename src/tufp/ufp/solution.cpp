@@ -1,0 +1,156 @@
+#include "tufp/ufp/solution.hpp"
+
+#include <sstream>
+
+#include "tufp/util/assert.hpp"
+
+namespace tufp {
+
+namespace {
+
+// Shared feasibility core: check loads vs capacities and path validity.
+FeasibilityReport check_core(const UfpInstance& instance,
+                             const std::vector<double>& loads,
+                             const std::vector<std::pair<int, const Path*>>& walks,
+                             double tol) {
+  const Graph& g = instance.graph();
+  for (const auto& [r, path] : walks) {
+    const Request& req = instance.request(r);
+    if (!is_simple_path(g, *path, req.source, req.target)) {
+      std::ostringstream os;
+      os << "request " << r << " path is not a simple s->t path";
+      return {false, os.str()};
+    }
+  }
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    const double cap = g.capacity(e);
+    const double load = loads[static_cast<std::size_t>(e)];
+    if (load > cap + tol) {
+      std::ostringstream os;
+      os << "edge " << e << " overloaded: load " << load << " > capacity " << cap;
+      return {false, os.str()};
+    }
+  }
+  return {true, {}};
+}
+
+}  // namespace
+
+UfpSolution::UfpSolution(int num_requests)
+    : paths_(static_cast<std::size_t>(num_requests)) {
+  TUFP_REQUIRE(num_requests >= 0, "negative request count");
+}
+
+void UfpSolution::assign(int r, Path path) {
+  TUFP_REQUIRE(r >= 0 && r < num_requests(), "request index out of range");
+  TUFP_REQUIRE(!paths_[static_cast<std::size_t>(r)].has_value(),
+               "request already selected (exactness: one path per request)");
+  TUFP_REQUIRE(!path.empty(), "allocation path must be non-empty");
+  paths_[static_cast<std::size_t>(r)] = std::move(path);
+  ++num_selected_;
+}
+
+bool UfpSolution::is_selected(int r) const {
+  TUFP_REQUIRE(r >= 0 && r < num_requests(), "request index out of range");
+  return paths_[static_cast<std::size_t>(r)].has_value();
+}
+
+const Path* UfpSolution::path_of(int r) const {
+  TUFP_REQUIRE(r >= 0 && r < num_requests(), "request index out of range");
+  const auto& p = paths_[static_cast<std::size_t>(r)];
+  return p.has_value() ? &*p : nullptr;
+}
+
+std::vector<int> UfpSolution::selected_requests() const {
+  std::vector<int> out;
+  out.reserve(static_cast<std::size_t>(num_selected_));
+  for (int r = 0; r < num_requests(); ++r) {
+    if (paths_[static_cast<std::size_t>(r)].has_value()) out.push_back(r);
+  }
+  return out;
+}
+
+double UfpSolution::total_value(const UfpInstance& instance) const {
+  TUFP_REQUIRE(instance.num_requests() == num_requests(),
+               "solution/instance request count mismatch");
+  double total = 0.0;
+  for (int r = 0; r < num_requests(); ++r) {
+    if (is_selected(r)) total += instance.request(r).value;
+  }
+  return total;
+}
+
+std::vector<double> UfpSolution::edge_loads(const UfpInstance& instance) const {
+  TUFP_REQUIRE(instance.num_requests() == num_requests(),
+               "solution/instance request count mismatch");
+  std::vector<double> loads(static_cast<std::size_t>(instance.graph().num_edges()),
+                            0.0);
+  for (int r = 0; r < num_requests(); ++r) {
+    const Path* p = path_of(r);
+    if (p == nullptr) continue;
+    for (EdgeId e : *p) loads[static_cast<std::size_t>(e)] += instance.request(r).demand;
+  }
+  return loads;
+}
+
+FeasibilityReport UfpSolution::check_feasibility(const UfpInstance& instance,
+                                                 double tol) const {
+  std::vector<std::pair<int, const Path*>> walks;
+  for (int r = 0; r < num_requests(); ++r) {
+    if (const Path* p = path_of(r)) walks.emplace_back(r, p);
+  }
+  return check_core(instance, edge_loads(instance), walks, tol);
+}
+
+UfpMultiSolution::UfpMultiSolution(int num_requests)
+    : num_requests_(num_requests),
+      repetition_count_(static_cast<std::size_t>(num_requests), 0) {
+  TUFP_REQUIRE(num_requests >= 0, "negative request count");
+}
+
+void UfpMultiSolution::add(int r, Path path) {
+  TUFP_REQUIRE(r >= 0 && r < num_requests_, "request index out of range");
+  TUFP_REQUIRE(!path.empty(), "allocation path must be non-empty");
+  allocations_.push_back({r, std::move(path)});
+  ++repetition_count_[static_cast<std::size_t>(r)];
+}
+
+int UfpMultiSolution::repetitions_of(int r) const {
+  TUFP_REQUIRE(r >= 0 && r < num_requests_, "request index out of range");
+  return repetition_count_[static_cast<std::size_t>(r)];
+}
+
+double UfpMultiSolution::total_value(const UfpInstance& instance) const {
+  TUFP_REQUIRE(instance.num_requests() == num_requests_,
+               "solution/instance request count mismatch");
+  double total = 0.0;
+  for (const auto& alloc : allocations_) {
+    total += instance.request(alloc.request).value;
+  }
+  return total;
+}
+
+std::vector<double> UfpMultiSolution::edge_loads(const UfpInstance& instance) const {
+  TUFP_REQUIRE(instance.num_requests() == num_requests_,
+               "solution/instance request count mismatch");
+  std::vector<double> loads(static_cast<std::size_t>(instance.graph().num_edges()),
+                            0.0);
+  for (const auto& alloc : allocations_) {
+    for (EdgeId e : alloc.path) {
+      loads[static_cast<std::size_t>(e)] += instance.request(alloc.request).demand;
+    }
+  }
+  return loads;
+}
+
+FeasibilityReport UfpMultiSolution::check_feasibility(const UfpInstance& instance,
+                                                      double tol) const {
+  std::vector<std::pair<int, const Path*>> walks;
+  walks.reserve(allocations_.size());
+  for (const auto& alloc : allocations_) {
+    walks.emplace_back(alloc.request, &alloc.path);
+  }
+  return check_core(instance, edge_loads(instance), walks, tol);
+}
+
+}  // namespace tufp

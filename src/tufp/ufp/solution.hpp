@@ -1,0 +1,79 @@
+// Solutions of the unsplittable flow problem, single-shot and repeated.
+//
+// UfpSolution encodes an *exact* allocation (Definition 2.2): a request is
+// either routed with its full demand along exactly one path or not at all.
+// UfpMultiSolution is the "with repetitions" variant of §5 where a request
+// may be satisfied several times over possibly different paths.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "tufp/graph/path.hpp"
+#include "tufp/ufp/instance.hpp"
+
+namespace tufp {
+
+struct FeasibilityReport {
+  bool feasible = true;
+  std::string message;  // first violation found, empty when feasible
+};
+
+class UfpSolution {
+ public:
+  explicit UfpSolution(int num_requests);
+
+  // Routes request `r` along `path`. Each request at most once (exactness).
+  void assign(int r, Path path);
+
+  bool is_selected(int r) const;
+  // Null when the request is not selected.
+  const Path* path_of(int r) const;
+
+  int num_requests() const { return static_cast<int>(paths_.size()); }
+  int num_selected() const { return num_selected_; }
+  std::vector<int> selected_requests() const;
+
+  double total_value(const UfpInstance& instance) const;
+  std::vector<double> edge_loads(const UfpInstance& instance) const;
+
+  // Capacity constraints hold (within tol) and every selected path is a
+  // simple s_r -> t_r path (Lemma 3.3's contract).
+  FeasibilityReport check_feasibility(const UfpInstance& instance,
+                                      double tol = 1e-9) const;
+
+ private:
+  std::vector<std::optional<Path>> paths_;
+  int num_selected_ = 0;
+};
+
+// Allocation entry of the repetitions variant: request r routed once along
+// `path` (the same request may appear in many entries).
+struct RepeatedAllocation {
+  int request = -1;
+  Path path;
+};
+
+class UfpMultiSolution {
+ public:
+  explicit UfpMultiSolution(int num_requests);
+
+  void add(int r, Path path);
+
+  const std::vector<RepeatedAllocation>& allocations() const { return allocations_; }
+  int num_requests() const { return num_requests_; }
+  int repetitions_of(int r) const;
+
+  double total_value(const UfpInstance& instance) const;
+  std::vector<double> edge_loads(const UfpInstance& instance) const;
+  FeasibilityReport check_feasibility(const UfpInstance& instance,
+                                      double tol = 1e-9) const;
+
+ private:
+  int num_requests_ = 0;
+  std::vector<RepeatedAllocation> allocations_;
+  std::vector<int> repetition_count_;
+};
+
+}  // namespace tufp

@@ -1,0 +1,47 @@
+// Checked assertions for library invariants.
+//
+// TUFP_REQUIRE is for precondition violations by the caller (throws
+// std::invalid_argument); TUFP_CHECK is for internal invariants that must
+// hold if the library is correct (throws std::logic_error). Both are always
+// on: the algorithms here back *mechanisms* whose truthfulness depends on
+// exact adherence to the paper's selection rules, so silently continuing
+// after a broken invariant would corrupt payments, not just performance.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace tufp {
+
+namespace detail {
+
+[[noreturn]] inline void fail_require(const char* expr, const char* file, int line,
+                                      const std::string& msg) {
+  std::ostringstream os;
+  os << "tufp precondition failed: " << expr << " at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw std::invalid_argument(os.str());
+}
+
+[[noreturn]] inline void fail_check(const char* expr, const char* file, int line,
+                                    const std::string& msg) {
+  std::ostringstream os;
+  os << "tufp invariant failed: " << expr << " at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw std::logic_error(os.str());
+}
+
+}  // namespace detail
+
+#define TUFP_REQUIRE(expr, msg)                                              \
+  do {                                                                       \
+    if (!(expr)) ::tufp::detail::fail_require(#expr, __FILE__, __LINE__, (msg)); \
+  } while (false)
+
+#define TUFP_CHECK(expr, msg)                                                \
+  do {                                                                       \
+    if (!(expr)) ::tufp::detail::fail_check(#expr, __FILE__, __LINE__, (msg)); \
+  } while (false)
+
+}  // namespace tufp

@@ -1,0 +1,45 @@
+// Numeric helpers and the constants the paper's bounds are phrased in.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace tufp {
+
+// e/(e-1) ~= 1.5819767..., the approximation ratio of Bounded-UFP and the
+// lower bound for reasonable iterative path-minimizing algorithms (Thm 3.11).
+inline constexpr double kE = 2.718281828459045235360287471352662498;
+inline constexpr double kEOverEMinus1 = kE / (kE - 1.0);
+
+inline constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// Relative/absolute tolerance comparison for accumulated floating point.
+inline bool approx_eq(double a, double b, double rel = 1e-9, double abs = 1e-12) {
+  return std::fabs(a - b) <= std::max(abs, rel * std::max(std::fabs(a), std::fabs(b)));
+}
+
+inline bool approx_le(double a, double b, double rel = 1e-9, double abs = 1e-12) {
+  return a <= b + std::max(abs, rel * std::max(std::fabs(a), std::fabs(b)));
+}
+
+// The largest exponent x for which e^x stays comfortably inside double
+// range. Bounded-UFP drives edge weights up to e^{eps*B}/c_e and compares
+// the dual value against e^{eps*(B-1)}; callers must keep eps*B below this.
+inline constexpr double kMaxSafeExponent = 700.0;
+
+// Value of the Figure-2 staircase bound Bl*(1 - (B/(B+1))^B): the maximum
+// value any reasonable iterative path-minimizing algorithm extracts from
+// the staircase instance, pre integrality correction (Thm 3.11).
+inline double staircase_alg_value(int l, int B) {
+  const double base = static_cast<double>(B) / (B + 1);
+  return static_cast<double>(B) * l * (1.0 - std::pow(base, B));
+}
+
+// The ratio the staircase forces in the limit: 1/(1-(B/(B+1))^B) -> e/(e-1).
+inline double staircase_ratio(int B) {
+  const double base = static_cast<double>(B) / (B + 1);
+  return 1.0 / (1.0 - std::pow(base, B));
+}
+
+}  // namespace tufp

@@ -1,0 +1,142 @@
+// Deterministic pseudo-random number generation.
+//
+// Everything stochastic in tufp (workload generators, misreport sampling,
+// randomized rounding) flows through Xoshiro256StarStar seeded via
+// SplitMix64, so every experiment is reproducible from a single uint64
+// seed. The generators satisfy UniformRandomBitGenerator and can be used
+// with <random> distributions, but we provide bias-free helpers directly
+// so results do not depend on the standard library's unspecified
+// distribution algorithms.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "tufp/util/assert.hpp"
+
+namespace tufp {
+
+// SplitMix64: used to expand a single seed into xoshiro's 256-bit state.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+// xoshiro256** by Blackman & Vigna — fast, high quality, 2^256-1 period.
+class Xoshiro256StarStar {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Xoshiro256StarStar(std::uint64_t seed = 0x853c49e6748fea9bULL) {
+    SplitMix64 sm(seed);
+    for (auto& s : state_) s = sm.next();
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return std::numeric_limits<result_type>::max(); }
+
+  result_type operator()() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  // Unbiased integer in [0, bound) by rejection (Lemire-style widening).
+  std::uint64_t next_below(std::uint64_t bound) {
+    TUFP_REQUIRE(bound > 0, "next_below bound must be positive");
+    const std::uint64_t threshold = (0 - bound) % bound;  // 2^64 mod bound
+    for (;;) {
+      const std::uint64_t r = (*this)();
+      if (r >= threshold) return r % bound;
+    }
+  }
+
+  // Integer in [lo, hi] inclusive.
+  std::int64_t next_int(std::int64_t lo, std::int64_t hi) {
+    TUFP_REQUIRE(lo <= hi, "next_int empty range");
+    const std::uint64_t span = static_cast<std::uint64_t>(hi - lo) + 1;
+    return lo + static_cast<std::int64_t>(span == 0 ? (*this)() : next_below(span));
+  }
+
+  // Uniform double in [0, 1) with 53 bits of randomness.
+  double next_double() { return static_cast<double>((*this)() >> 11) * 0x1.0p-53; }
+
+  // Uniform double in [lo, hi).
+  double next_double(double lo, double hi) {
+    TUFP_REQUIRE(lo <= hi, "next_double empty range");
+    return lo + (hi - lo) * next_double();
+  }
+
+  bool next_bool(double p_true = 0.5) { return next_double() < p_true; }
+
+  // Derive an independent child stream (for per-thread / per-agent use).
+  Xoshiro256StarStar split() {
+    return Xoshiro256StarStar((*this)() ^ 0x9e3779b97f4a7c15ULL);
+  }
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4];
+};
+
+using Rng = Xoshiro256StarStar;
+
+// Zipf-distributed integer in [1, n] with exponent s, via inverse CDF over
+// precomputed weights. Small-n use only (workload value skew).
+class ZipfSampler {
+ public:
+  ZipfSampler(int n, double s) : cdf_(static_cast<std::size_t>(n)) {
+    TUFP_REQUIRE(n >= 1, "Zipf support must be non-empty");
+    TUFP_REQUIRE(s >= 0.0, "Zipf exponent must be non-negative");
+    double total = 0.0;
+    for (int k = 1; k <= n; ++k) {
+      total += 1.0 / pow_int(k, s);
+      cdf_[static_cast<std::size_t>(k - 1)] = total;
+    }
+    for (auto& c : cdf_) c /= total;
+  }
+
+  int sample(Rng& rng) const {
+    const double u = rng.next_double();
+    // Binary search the CDF.
+    std::size_t lo = 0, hi = cdf_.size() - 1;
+    while (lo < hi) {
+      const std::size_t mid = (lo + hi) / 2;
+      if (cdf_[mid] < u) lo = mid + 1; else hi = mid;
+    }
+    return static_cast<int>(lo) + 1;
+  }
+
+ private:
+  static double pow_int(int k, double s) {
+    double r = 1.0;
+    // std::pow is fine; wrapped to keep a single call site.
+    r = std::pow(static_cast<double>(k), s);
+    return r;
+  }
+
+  std::vector<double> cdf_;
+};
+
+}  // namespace tufp

@@ -1,0 +1,84 @@
+#include "tufp/util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "tufp/util/assert.hpp"
+
+namespace tufp {
+
+void RunningStats::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+void RunningStats::merge(const RunningStats& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double delta = other.mean_ - mean_;
+  const auto n = static_cast<double>(n_), m = static_cast<double>(other.n_);
+  m2_ += other.m2_ + delta * delta * n * m / (n + m);
+  mean_ += delta * m / (n + m);
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  n_ += other.n_;
+}
+
+double RunningStats::variance() const {
+  return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double RunningStats::min() const {
+  TUFP_REQUIRE(n_ > 0, "min of empty stats");
+  return min_;
+}
+
+double RunningStats::max() const {
+  TUFP_REQUIRE(n_ > 0, "max of empty stats");
+  return max_;
+}
+
+double percentile(std::vector<double> values, double q) {
+  TUFP_REQUIRE(!values.empty(), "percentile of empty sample");
+  TUFP_REQUIRE(q >= 0.0 && q <= 1.0, "percentile q outside [0,1]");
+  std::sort(values.begin(), values.end());
+  if (values.size() == 1) return values.front();
+  const double pos = q * static_cast<double>(values.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, values.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return values[lo] * (1.0 - frac) + values[hi] * frac;
+}
+
+double geometric_mean(const std::vector<double>& values) {
+  TUFP_REQUIRE(!values.empty(), "geometric mean of empty sample");
+  double log_sum = 0.0;
+  for (double v : values) {
+    TUFP_REQUIRE(v > 0.0, "geometric mean requires positive values");
+    log_sum += std::log(v);
+  }
+  return std::exp(log_sum / static_cast<double>(values.size()));
+}
+
+std::string format_mean_std(const RunningStats& s, int precision) {
+  std::ostringstream os;
+  os.precision(precision);
+  os << std::fixed << s.mean() << " ± " << s.stddev();
+  return os.str();
+}
+
+}  // namespace tufp

@@ -1,0 +1,42 @@
+// Streaming and batch statistics used by benches and the auditors.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace tufp {
+
+// Welford's online mean/variance; numerically stable for long streams.
+class RunningStats {
+ public:
+  void add(double x);
+  void merge(const RunningStats& other);
+
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  double variance() const;           // sample variance (n-1 denominator)
+  double stddev() const;
+  double min() const;
+  double max() const;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+// Batch percentile (linear interpolation between order statistics).
+// q in [0,1]; q=0.5 is the median. Copies and sorts: intended for bench
+// result post-processing, not hot paths.
+double percentile(std::vector<double> values, double q);
+
+// Geometric mean of strictly positive values (ratio aggregation).
+double geometric_mean(const std::vector<double>& values);
+
+// "mean ± stddev" formatting for bench tables.
+std::string format_mean_std(const RunningStats& s, int precision = 4);
+
+}  // namespace tufp

@@ -1,0 +1,67 @@
+// Aligned console tables with optional CSV export.
+//
+// Every experiment binary in bench/ regenerates one paper
+// figure/theorem-shaped series and prints it through this writer, so all
+// reproduction output has a uniform, machine-extractable format.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace tufp {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  // Row cells: doubles are formatted with the table precision; strings and
+  // integers verbatim.
+  Table& add_row(std::vector<std::string> cells);
+
+  class RowBuilder {
+   public:
+    explicit RowBuilder(Table& table) : table_(table) {}
+    RowBuilder& cell(const std::string& s);
+    RowBuilder& cell(const char* s);
+    RowBuilder& cell(double v);
+    RowBuilder& cell(int v);
+    RowBuilder& cell(long v);
+    RowBuilder& cell(long long v);
+    RowBuilder& cell(std::size_t v);
+    ~RowBuilder();
+
+    RowBuilder(const RowBuilder&) = delete;
+    RowBuilder& operator=(const RowBuilder&) = delete;
+
+   private:
+    Table& table_;
+    std::vector<std::string> cells_;
+  };
+
+  // Returns a builder that commits the row on destruction.
+  RowBuilder row() { return RowBuilder(*this); }
+
+  void set_precision(int digits) { precision_ = digits; }
+  int precision() const { return precision_; }
+
+  // Pretty-print with column alignment and a header rule.
+  void print(std::ostream& os) const;
+
+  // RFC-4180-ish CSV (quotes cells containing comma/quote/newline).
+  void write_csv(std::ostream& os) const;
+
+  std::size_t num_rows() const { return rows_.size(); }
+  std::size_t num_cols() const { return headers_.size(); }
+  const std::vector<std::string>& header() const { return headers_; }
+  const std::vector<std::vector<std::string>>& rows() const { return rows_; }
+
+  static std::string format_double(double v, int precision);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+  int precision_ = 4;
+};
+
+}  // namespace tufp

@@ -1,0 +1,163 @@
+#include "tufp/workload/io.hpp"
+
+#include <fstream>
+#include <iomanip>
+#include <istream>
+#include <limits>
+#include <ostream>
+#include <sstream>
+
+#include "tufp/util/assert.hpp"
+
+namespace tufp {
+
+namespace {
+
+// Reads the next token, skipping '#'-to-end-of-line comments.
+std::string next_token(std::istream& is) {
+  std::string token;
+  while (is >> token) {
+    if (token[0] != '#') return token;
+    is.ignore(std::numeric_limits<std::streamsize>::max(), '\n');
+  }
+  throw std::invalid_argument("tufp io: unexpected end of input");
+}
+
+std::string expect_token(std::istream& is, const std::string& expected) {
+  const std::string token = next_token(is);
+  if (token != expected) {
+    throw std::invalid_argument("tufp io: expected '" + expected + "', got '" +
+                                token + "'");
+  }
+  return token;
+}
+
+template <typename T>
+T parse(const std::string& token) {
+  std::istringstream ss(token);
+  T value;
+  if (!(ss >> value) || !ss.eof()) {
+    throw std::invalid_argument("tufp io: bad numeric token '" + token + "'");
+  }
+  return value;
+}
+
+}  // namespace
+
+void save_ufp(const UfpInstance& instance, std::ostream& os) {
+  const Graph& g = instance.graph();
+  os << std::setprecision(17);
+  os << "ufp " << (g.is_directed() ? "directed" : "undirected") << ' '
+     << g.num_vertices() << ' ' << g.num_edges() << ' '
+     << instance.num_requests() << '\n';
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    const auto [u, v] = g.endpoints(e);
+    os << "edge " << u << ' ' << v << ' ' << g.capacity(e) << '\n';
+  }
+  for (const Request& r : instance.requests()) {
+    os << "req " << r.source << ' ' << r.target << ' ' << r.demand << ' '
+       << r.value << '\n';
+  }
+}
+
+UfpInstance load_ufp(std::istream& is) {
+  expect_token(is, "ufp");
+  const std::string direction = next_token(is);
+  if (direction != "directed" && direction != "undirected") {
+    throw std::invalid_argument("tufp io: bad direction '" + direction + "'");
+  }
+  const int n = parse<int>(next_token(is));
+  const int m = parse<int>(next_token(is));
+  const int R = parse<int>(next_token(is));
+
+  Graph g = direction == "directed" ? Graph::directed(n) : Graph::undirected(n);
+  for (int e = 0; e < m; ++e) {
+    expect_token(is, "edge");
+    const auto u = parse<VertexId>(next_token(is));
+    const auto v = parse<VertexId>(next_token(is));
+    const auto cap = parse<double>(next_token(is));
+    g.add_edge(u, v, cap);
+  }
+  g.finalize();
+
+  std::vector<Request> requests;
+  requests.reserve(static_cast<std::size_t>(R));
+  for (int r = 0; r < R; ++r) {
+    expect_token(is, "req");
+    Request req;
+    req.source = parse<VertexId>(next_token(is));
+    req.target = parse<VertexId>(next_token(is));
+    req.demand = parse<double>(next_token(is));
+    req.value = parse<double>(next_token(is));
+    requests.push_back(req);
+  }
+  return UfpInstance(std::move(g), std::move(requests));
+}
+
+void save_muca(const MucaInstance& instance, std::ostream& os) {
+  os << std::setprecision(17);
+  os << "muca " << instance.num_items() << ' ' << instance.num_requests()
+     << '\n';
+  for (int u = 0; u < instance.num_items(); ++u) {
+    os << "item " << instance.multiplicity(u) << '\n';
+  }
+  for (const MucaRequest& r : instance.requests()) {
+    os << "req " << r.value << ' ' << r.bundle.size();
+    for (int u : r.bundle) os << ' ' << u;
+    os << '\n';
+  }
+}
+
+MucaInstance load_muca(std::istream& is) {
+  expect_token(is, "muca");
+  const int m = parse<int>(next_token(is));
+  const int R = parse<int>(next_token(is));
+
+  std::vector<int> multiplicities;
+  multiplicities.reserve(static_cast<std::size_t>(m));
+  for (int u = 0; u < m; ++u) {
+    expect_token(is, "item");
+    multiplicities.push_back(parse<int>(next_token(is)));
+  }
+
+  std::vector<MucaRequest> requests;
+  requests.reserve(static_cast<std::size_t>(R));
+  for (int r = 0; r < R; ++r) {
+    expect_token(is, "req");
+    MucaRequest req;
+    req.value = parse<double>(next_token(is));
+    const int k = parse<int>(next_token(is));
+    req.bundle.reserve(static_cast<std::size_t>(k));
+    for (int i = 0; i < k; ++i) req.bundle.push_back(parse<int>(next_token(is)));
+    requests.push_back(std::move(req));
+  }
+  return MucaInstance(std::move(multiplicities), std::move(requests));
+}
+
+void save_ufp_file(const UfpInstance& instance, const std::string& path) {
+  std::ofstream os(path);
+  TUFP_REQUIRE(os.good(), "cannot open file for writing: " + path);
+  save_ufp(instance, os);
+  TUFP_REQUIRE(os.good(), "write failed: " + path);
+}
+
+UfpInstance load_ufp_file(const std::string& path) {
+  std::ifstream is(path);
+  TUFP_REQUIRE(is.good(), "cannot open file for reading: " + path);
+  return load_ufp(is);
+}
+
+void save_muca_file(const MucaInstance& instance, const std::string& path) {
+  std::ofstream os(path);
+  TUFP_REQUIRE(os.good(), "cannot open file for writing: " + path);
+  save_muca(instance, os);
+  TUFP_REQUIRE(os.good(), "write failed: " + path);
+}
+
+MucaInstance load_muca_file(const std::string& path) {
+  std::ifstream is(path);
+  TUFP_REQUIRE(is.good(), "cannot open file for reading: " + path);
+  return load_muca(is);
+}
+
+}  // namespace tufp

@@ -1,0 +1,37 @@
+// Plain-text instance serialization.
+//
+// Formats (whitespace separated, '#' comments allowed between records):
+//
+//   ufp <directed|undirected> <num_vertices> <num_edges> <num_requests>
+//   edge <u> <v> <capacity>          x num_edges
+//   req  <s> <t> <demand> <value>    x num_requests
+//
+//   muca <num_items> <num_requests>
+//   item <multiplicity>              x num_items
+//   req  <value> <k> <u_1> ... <u_k> x num_requests
+//
+// Loaders validate aggressively and throw std::invalid_argument with the
+// offending token on malformed input.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "tufp/auction/muca_instance.hpp"
+#include "tufp/ufp/instance.hpp"
+
+namespace tufp {
+
+void save_ufp(const UfpInstance& instance, std::ostream& os);
+UfpInstance load_ufp(std::istream& is);
+
+void save_muca(const MucaInstance& instance, std::ostream& os);
+MucaInstance load_muca(std::istream& is);
+
+// File-path conveniences (throw on I/O failure).
+void save_ufp_file(const UfpInstance& instance, const std::string& path);
+UfpInstance load_ufp_file(const std::string& path);
+void save_muca_file(const MucaInstance& instance, const std::string& path);
+MucaInstance load_muca_file(const std::string& path);
+
+}  // namespace tufp

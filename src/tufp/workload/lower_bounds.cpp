@@ -1,0 +1,188 @@
+#include "tufp/workload/lower_bounds.hpp"
+
+#include <algorithm>
+
+#include "tufp/util/assert.hpp"
+#include "tufp/util/math.hpp"
+
+namespace tufp {
+
+TieScore StaircaseInstance::paper_tie_score() const {
+  // "i minimal, j maximal": i dominates, then larger j preferred. i is
+  // recovered from the request's source vertex, j from the final edge
+  // (v_j, t) of the candidate path.
+  const int ll = l;
+  const UfpInstance* inst = &instance;
+  return [ll, inst](int request, const Path& path) {
+    const VertexId source = inst->request(request).source;
+    const int i = static_cast<int>(source) + 1;  // s_i ids are 0..l-1
+    TUFP_CHECK(!path.empty(), "staircase path must be non-empty");
+    const auto [vj, t_vertex] = inst->graph().endpoints(path.back());
+    (void)t_vertex;
+    const int j = static_cast<int>(vj) - ll + 1;  // v_j ids are l..2l-1
+    return static_cast<double>(i) * (ll + 2) + (ll - j);
+  };
+}
+
+double StaircaseInstance::optimal_value() const {
+  return static_cast<double>(B) * l;
+}
+
+double StaircaseInstance::predicted_alg_value() const {
+  return staircase_alg_value(l, B);
+}
+
+StaircaseInstance make_staircase(int l, int B, bool subdivided) {
+  TUFP_REQUIRE(l >= 1, "staircase needs l >= 1");
+  TUFP_REQUIRE(B >= 1, "staircase needs B >= 1");
+
+  // Layout: s_i -> id i-1, v_j -> id l+j-1, t -> id 2l; chain vertices of
+  // the subdivided variant appended afterwards.
+  const VertexId t = static_cast<VertexId>(2 * l);
+  int num_vertices = 2 * l + 1;
+  if (subdivided) {
+    for (int i = 1; i <= l; ++i) {
+      for (int j = i; j <= l; ++j) num_vertices += i * l - j;  // chain interior
+    }
+  }
+  Graph g = Graph::directed(num_vertices);
+
+  // (v_j, t) edges first (their relative order is irrelevant for ties).
+  for (int j = 1; j <= l; ++j) {
+    g.add_edge(static_cast<VertexId>(l + j - 1), t, static_cast<double>(B));
+  }
+  // (s_i, v_j) edges with j descending: Dijkstra keeps the first-settled
+  // parent on exact ties, so descending insertion realizes the paper's
+  // "maximal j" adversarial resolution for Dijkstra-based algorithms too.
+  VertexId next_aux = static_cast<VertexId>(2 * l + 1);
+  for (int i = 1; i <= l; ++i) {
+    for (int j = l; j >= i; --j) {
+      const auto si = static_cast<VertexId>(i - 1);
+      const auto vj = static_cast<VertexId>(l + j - 1);
+      if (!subdivided) {
+        g.add_edge(si, vj, static_cast<double>(B));
+        continue;
+      }
+      const int chain_edges = i * l + 1 - j;
+      VertexId prev = si;
+      for (int k = 1; k < chain_edges; ++k) {
+        g.add_edge(prev, next_aux, static_cast<double>(B));
+        prev = next_aux++;
+      }
+      g.add_edge(prev, vj, static_cast<double>(B));
+    }
+  }
+  g.finalize();
+
+  // Requests: B copies of (s_i, t, 1, 1), i ascending — the id-order
+  // fallback then realizes "minimal i".
+  std::vector<Request> requests;
+  requests.reserve(static_cast<std::size_t>(l) * B);
+  for (int i = 1; i <= l; ++i) {
+    for (int b = 0; b < B; ++b) {
+      requests.push_back({static_cast<VertexId>(i - 1), t, 1.0, 1.0});
+    }
+  }
+
+  StaircaseInstance out{UfpInstance(std::move(g), std::move(requests)),
+                        l,
+                        B,
+                        t,
+                        {},
+                        {},
+                        subdivided};
+  for (int i = 1; i <= l; ++i) out.s.push_back(static_cast<VertexId>(i - 1));
+  for (int j = 1; j <= l; ++j) out.v.push_back(static_cast<VertexId>(l + j - 1));
+  return out;
+}
+
+TieScore Fig3Instance::paper_tie_score() const {
+  const UfpInstance* inst = &instance;
+  const VertexId v7 = v[6];
+  return [inst, v7](int request, const Path& path) {
+    // Groups: requests are declared (v1,v3) x B, (v4,v6) x B, (v1,v6) x B,
+    // (v3,v4) x B; the adversary prefers the first two groups and, within
+    // them, the paths through v7.
+    const int B_count = inst->num_requests() / 4;
+    const int group = request / B_count;
+    const double rank = group <= 1 ? 0.0 : 1.0;
+    bool via_v7 = false;
+    for (EdgeId e : path) {
+      const auto [a, b] = inst->graph().endpoints(e);
+      if (a == v7 || b == v7) {
+        via_v7 = true;
+        break;
+      }
+    }
+    return rank * 2.0 + (via_v7 ? 0.0 : 1.0);
+  };
+}
+
+Fig3Instance make_fig3(int B) {
+  TUFP_REQUIRE(B >= 2 && B % 2 == 0, "Figure 3 needs even B >= 2");
+  // v1..v7 -> ids 0..6.
+  Graph g = Graph::undirected(7);
+  const auto cap = static_cast<double>(B);
+  const auto V = [](int k) { return static_cast<VertexId>(k - 1); };
+  g.add_edge(V(1), V(2), cap);
+  g.add_edge(V(2), V(3), cap);
+  g.add_edge(V(4), V(5), cap);
+  g.add_edge(V(5), V(6), cap);
+  g.add_edge(V(1), V(7), cap);
+  g.add_edge(V(3), V(7), cap);
+  g.add_edge(V(4), V(7), cap);
+  g.add_edge(V(6), V(7), cap);
+  g.finalize();
+
+  std::vector<Request> requests;
+  requests.reserve(static_cast<std::size_t>(4) * B);
+  const std::pair<int, int> groups[] = {{1, 3}, {4, 6}, {1, 6}, {3, 4}};
+  for (const auto& [a, b] : groups) {
+    for (int k = 0; k < B; ++k) requests.push_back({V(a), V(b), 1.0, 1.0});
+  }
+
+  Fig3Instance out{UfpInstance(std::move(g), std::move(requests)), B, {}};
+  for (int k = 1; k <= 7; ++k) out.v.push_back(V(k));
+  return out;
+}
+
+Fig4Instance make_fig4(int p, int B, int items_per_cell) {
+  TUFP_REQUIRE(p >= 3 && p % 2 == 1, "Figure 4 needs odd p >= 3");
+  TUFP_REQUIRE(B >= 2 && B % 2 == 0, "Figure 4 needs even B >= 2");
+  TUFP_REQUIRE(items_per_cell >= 1, "items_per_cell must be >= 1");
+
+  const int m = p * (p + 1) * items_per_cell;
+  std::vector<int> multiplicities(static_cast<std::size_t>(m), B);
+
+  // U_{i,j} = items [cell_base(i,j), cell_base(i,j) + items_per_cell).
+  const auto cell = [&](int i, int j, std::vector<int>& bundle) {
+    const int base = ((i - 1) * (p + 1) + (j - 1)) * items_per_cell;
+    for (int k = 0; k < items_per_cell; ++k) bundle.push_back(base + k);
+  };
+
+  std::vector<MucaRequest> requests;
+  // Type 1 (declared first so id-order tie-breaking realizes the paper's
+  // "select U_1, then U_2, ..." schedule): B/2 copies of each row bundle.
+  for (int row = 1; row <= p; ++row) {
+    std::vector<int> bundle;
+    for (int j = 1; j <= p + 1; ++j) cell(row, j, bundle);
+    for (int k = 0; k < B / 2; ++k) requests.push_back({bundle, 1.0});
+  }
+  const int num_type1 = static_cast<int>(requests.size());
+  // Type 2: per phase l, two variants sharing U_{1,2l-1} and U_{1,2l}.
+  for (int phase = 1; phase <= (p + 1) / 2; ++phase) {
+    for (int variant = 0; variant < 2; ++variant) {
+      std::vector<int> bundle;
+      cell(1, 2 * phase - 1, bundle);
+      cell(1, 2 * phase, bundle);
+      const int column = variant == 0 ? 2 * phase - 1 : 2 * phase;
+      for (int i = 2; i <= p; ++i) cell(i, column, bundle);
+      for (int k = 0; k < B / 2; ++k) requests.push_back({bundle, 1.0});
+    }
+  }
+
+  return Fig4Instance{MucaInstance(std::move(multiplicities), std::move(requests)),
+                      p, B, items_per_cell, num_type1};
+}
+
+}  // namespace tufp

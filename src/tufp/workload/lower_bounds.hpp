@@ -1,0 +1,95 @@
+// The paper's lower-bound constructions (Figures 2, 3 and 4).
+//
+// Each builder returns the instance together with the adversarial
+// tie-breaking schedule the proof assumes (as a TieScore / request
+// ordering) and the closed-form values the theorems predict, so the bench
+// harness can print measured-vs-predicted side by side.
+#pragma once
+
+#include <vector>
+
+#include "tufp/auction/muca_instance.hpp"
+#include "tufp/ufp/instance.hpp"
+#include "tufp/ufp/iterative_minimizer.hpp"
+
+namespace tufp {
+
+// ---------------------------------------------------------------------------
+// Figure 2: the directed staircase. Vertices s_1..s_l, v_1..v_l, t; edges
+// s_i -> v_j for j >= i and v_j -> t, all with capacity B; B unit requests
+// (s_i, t, 1, 1) per source. OPT = B*l (route s_i via v_i); any reasonable
+// iterative path-minimizing algorithm with the paper's tie-break
+// ("i minimal, j maximal") extracts at most B*l*(1-(B/(B+1))^B) + B^2,
+// forcing ratio -> e/(e-1) (Theorem 3.11).
+
+struct StaircaseInstance {
+  UfpInstance instance;
+  int l = 0;
+  int B = 0;
+  VertexId t = kInvalidVertex;
+  std::vector<VertexId> s;  // s_1..s_l (index 0-based)
+  std::vector<VertexId> v;  // v_1..v_l
+  bool subdivided = false;
+
+  // The paper's adversarial schedule: minimal i first, then maximal j.
+  TieScore paper_tie_score() const;
+
+  double optimal_value() const;        // B*l
+  double predicted_alg_value() const;  // B*l*(1-(B/(B+1))^B) (fluid limit)
+};
+
+// `subdivided` replaces each (s_i, v_j) edge by a directed chain of
+// i*l+1-j edges — the paper's device for making the schedule structural
+// instead of tie-broken (see EXPERIMENTS.md for the caveat it carries).
+// Directed-arc insertion order is adversarial (j descending) so that
+// Dijkstra-based algorithms resolve equal-length ties toward maximal j.
+StaircaseInstance make_staircase(int l, int B, bool subdivided = false);
+
+// ---------------------------------------------------------------------------
+// Figure 3: the 7-vertex undirected gadget, capacity B on all 8 edges,
+// four groups of B unit requests: (v1,v3), (v4,v6), (v1,v6), (v3,v4).
+// OPT = 4B; with the adversarial schedule any reasonable iterative
+// path-minimizing algorithm ends at 3B: ratio 4/3 for arbitrary B
+// (Theorem 3.12).
+
+struct Fig3Instance {
+  UfpInstance instance;
+  int B = 0;
+  // Vertex ids of v1..v7 (index 0 = v1).
+  std::vector<VertexId> v;
+
+  // Adversarial schedule: prefer the (v1,v3)/(v4,v6) groups, and among
+  // their paths the ones through v7.
+  TieScore paper_tie_score() const;
+
+  double optimal_value() const { return 4.0 * B; }
+  double predicted_alg_value() const { return 3.0 * B; }
+};
+
+Fig3Instance make_fig3(int B);
+
+// ---------------------------------------------------------------------------
+// Figure 4: the MUCA gadget. p odd, B even, m a multiple of p*(p+1); items
+// partitioned into U_{i,j} (i=1..p, j=1..p+1) of m/(p(p+1)) items each.
+// Type-1: B/2 unit requests per row bundle U_i. Type-2: for each
+// l = 1..(p+1)/2 and each variant, B/2 unit requests. OPT = p*B; any
+// reasonable iterative bundle-minimizing algorithm (type-1-first schedule)
+// gets (3p+1)B/4: ratio -> 4/3 (Theorem 4.5).
+
+struct Fig4Instance {
+  MucaInstance instance;
+  int p = 0;
+  int B = 0;
+  int items_per_cell = 0;     // m/(p(p+1))
+  int num_type1_requests = 0;  // p * B/2, declared first (ids 0..)
+
+  double optimal_value() const { return static_cast<double>(p) * B; }
+  double predicted_alg_value() const {
+    return (3.0 * p + 1.0) * B / 4.0;
+  }
+};
+
+// items_per_cell >= 1 scales m = p*(p+1)*items_per_cell.
+Fig4Instance make_fig4(int p, int B, int items_per_cell = 1);
+
+}  // namespace tufp

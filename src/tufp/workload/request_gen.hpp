@@ -1,0 +1,34 @@
+// Random request workloads over arbitrary graphs.
+#pragma once
+
+#include <vector>
+
+#include "tufp/graph/graph.hpp"
+#include "tufp/ufp/instance.hpp"
+#include "tufp/util/rng.hpp"
+
+namespace tufp {
+
+enum class ValueModel {
+  kUniform,        // v ~ U[value_min, value_max]
+  kZipf,           // v = value_max / rank^s, rank ~ Zipf — few hot requests
+  kProportional,   // v proportional to demand * hop distance (+- 20% noise)
+};
+
+struct RequestGenConfig {
+  int num_requests = 50;
+  double demand_min = 0.2;
+  double demand_max = 1.0;  // normalized formulation: <= 1
+  ValueModel value_model = ValueModel::kUniform;
+  double value_min = 1.0;
+  double value_max = 10.0;
+  double zipf_exponent = 1.1;
+  // Resample terminal pairs until the target is reachable from the source
+  // (bounded retries; throws if the graph is too disconnected).
+  int max_pair_retries = 200;
+};
+
+std::vector<Request> generate_requests(const Graph& graph,
+                                       const RequestGenConfig& config, Rng& rng);
+
+}  // namespace tufp

@@ -1,0 +1,82 @@
+#include "tufp/workload/scenarios.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "tufp/graph/generators.hpp"
+#include "tufp/util/assert.hpp"
+
+namespace tufp {
+
+double regime_capacity(int num_edges, double eps, double slack) {
+  TUFP_REQUIRE(num_edges >= 1, "need at least one edge");
+  TUFP_REQUIRE(eps > 0.0 && eps <= 1.0, "eps outside (0,1]");
+  TUFP_REQUIRE(slack > 0.0, "slack must be positive");
+  return std::max(1.0, slack * std::log(static_cast<double>(num_edges)) /
+                           (eps * eps));
+}
+
+UfpInstance make_grid_scenario(int rows, int cols, double capacity,
+                               int num_requests, ValueModel value_model,
+                               std::uint64_t seed) {
+  Rng rng(seed);
+  Graph g = grid_graph(rows, cols, capacity, /*directed=*/false);
+  RequestGenConfig config;
+  config.num_requests = num_requests;
+  config.value_model = value_model;
+  std::vector<Request> requests = generate_requests(g, config, rng);
+  return UfpInstance(std::move(g), std::move(requests));
+}
+
+UfpInstance make_random_scenario(int num_vertices, int num_edges,
+                                 double capacity, int num_requests,
+                                 std::uint64_t seed) {
+  Rng rng(seed);
+  Graph g = random_graph(num_vertices, num_edges, capacity, capacity,
+                         /*directed=*/true, rng);
+  RequestGenConfig config;
+  config.num_requests = num_requests;
+  std::vector<Request> requests = generate_requests(g, config, rng);
+  return UfpInstance(std::move(g), std::move(requests));
+}
+
+MucaInstance make_random_auction(int num_items, int multiplicity,
+                                 int num_requests, int bundle_min,
+                                 int bundle_max, double value_min,
+                                 double value_max, std::uint64_t seed) {
+  TUFP_REQUIRE(num_items >= 1, "need at least one item");
+  TUFP_REQUIRE(multiplicity >= 1, "multiplicity must be positive");
+  TUFP_REQUIRE(bundle_min >= 1 && bundle_min <= bundle_max &&
+                   bundle_max <= num_items,
+               "bad bundle size range");
+  TUFP_REQUIRE(value_min > 0.0 && value_min <= value_max, "bad value range");
+
+  Rng rng(seed);
+  std::vector<int> multiplicities(static_cast<std::size_t>(num_items),
+                                  multiplicity);
+  std::vector<int> pool(static_cast<std::size_t>(num_items));
+  std::iota(pool.begin(), pool.end(), 0);
+
+  std::vector<MucaRequest> requests;
+  requests.reserve(static_cast<std::size_t>(num_requests));
+  for (int r = 0; r < num_requests; ++r) {
+    const auto size = static_cast<int>(
+        rng.next_int(bundle_min, bundle_max));
+    // Partial Fisher-Yates: the first `size` entries become the bundle.
+    for (int k = 0; k < size; ++k) {
+      const auto j = static_cast<std::size_t>(
+          k + static_cast<int>(rng.next_below(
+                  static_cast<std::uint64_t>(num_items - k))));
+      std::swap(pool[static_cast<std::size_t>(k)], pool[j]);
+    }
+    MucaRequest req;
+    req.bundle.assign(pool.begin(), pool.begin() + size);
+    std::sort(req.bundle.begin(), req.bundle.end());
+    req.value = rng.next_double(value_min, value_max);
+    requests.push_back(std::move(req));
+  }
+  return MucaInstance(std::move(multiplicities), std::move(requests));
+}
+
+}  // namespace tufp

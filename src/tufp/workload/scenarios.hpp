@@ -1,0 +1,33 @@
+// Canned end-to-end scenarios used by benches, tests and examples.
+#pragma once
+
+#include <cstdint>
+
+#include "tufp/auction/muca_instance.hpp"
+#include "tufp/ufp/instance.hpp"
+#include "tufp/workload/request_gen.hpp"
+
+namespace tufp {
+
+// Smallest capacity that puts an m-edge graph into the paper's regime for
+// accuracy eps, times a slack factor: slack * ln(m)/eps^2 (at least 1).
+double regime_capacity(int num_edges, double eps, double slack = 1.0);
+
+// ISP-style undirected mesh with uniform capacity and mixed traffic.
+UfpInstance make_grid_scenario(int rows, int cols, double capacity,
+                               int num_requests, ValueModel value_model,
+                               std::uint64_t seed);
+
+// Random connected directed graph scenario.
+UfpInstance make_random_scenario(int num_vertices, int num_edges,
+                                 double capacity, int num_requests,
+                                 std::uint64_t seed);
+
+// Random single-minded auction: bundle sizes uniform in
+// [bundle_min, bundle_max], values uniform in [value_min, value_max].
+MucaInstance make_random_auction(int num_items, int multiplicity,
+                                 int num_requests, int bundle_min,
+                                 int bundle_max, double value_min,
+                                 double value_max, std::uint64_t seed);
+
+}  // namespace tufp

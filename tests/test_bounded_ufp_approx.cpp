@@ -1,0 +1,116 @@
+// Theorem 3.1 / Lemma 3.8 as executable assertions: in the
+// B >= ln(m)/eps^2 regime with eps <= 1/6, Bounded-UFP(eps) is within
+// (1+6eps)*e/(e-1) of the optimum. The dual certificate produced by the
+// run satisfies the same chain (the proof goes through verbatim with the
+// certificate in place of the optimal dual value).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tufp/graph/generators.hpp"
+#include "tufp/lp/branch_and_bound.hpp"
+#include "tufp/lp/ufp_lp.hpp"
+#include "tufp/ufp/bounded_ufp.hpp"
+#include "tufp/util/math.hpp"
+#include "tufp/util/rng.hpp"
+#include "tufp/workload/request_gen.hpp"
+#include "tufp/workload/scenarios.hpp"
+
+namespace tufp {
+namespace {
+
+UfpInstance regime_grid_instance(std::uint64_t seed, double eps,
+                                 int num_requests) {
+  Rng rng(seed);
+  Graph probe = grid_graph(3, 3, 1.0, false);
+  const double B = regime_capacity(probe.num_edges(), eps, 1.02);
+  Graph g = grid_graph(3, 3, B, false);
+  RequestGenConfig cfg;
+  cfg.num_requests = num_requests;
+  std::vector<Request> reqs = generate_requests(g, cfg, rng);
+  return UfpInstance(std::move(g), std::move(reqs));
+}
+
+class ApproxTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ApproxTest, ValueWithinPaperBoundOfFractionalOpt) {
+  const double eps = 1.0 / 6.0;
+  const UfpInstance inst = regime_grid_instance(GetParam(), eps, 30);
+  ASSERT_TRUE(inst.in_large_capacity_regime(eps));
+
+  BoundedUfpConfig cfg;
+  cfg.epsilon = eps;
+  const BoundedUfpResult result = bounded_ufp(inst, cfg);
+  ASSERT_TRUE(result.solution.check_feasibility(inst).feasible);
+  const double value = result.solution.total_value(inst);
+
+  const double frac_opt = solve_ufp_lp(inst).objective;
+  const double bound = (1.0 + 6.0 * eps) * kEOverEMinus1;
+  EXPECT_GE(value * bound, frac_opt - 1e-6)
+      << "seed " << GetParam() << " value=" << value << " frac=" << frac_opt;
+  // Never above the fractional optimum.
+  EXPECT_LE(value, frac_opt + 1e-6);
+}
+
+TEST_P(ApproxTest, CertificateDominatesFractionalOpt) {
+  const double eps = 1.0 / 6.0;
+  const UfpInstance inst = regime_grid_instance(GetParam() + 1000, eps, 25);
+  BoundedUfpConfig cfg;
+  cfg.epsilon = eps;
+  const BoundedUfpResult result = bounded_ufp(inst, cfg);
+  const double frac_opt = solve_ufp_lp(inst).objective;
+  // The per-run certificate is dual feasible, hence at least the (strong-
+  // duality) fractional optimum.
+  EXPECT_GE(result.dual_upper_bound, frac_opt - 1e-6) << "seed " << GetParam();
+}
+
+TEST_P(ApproxTest, ValueWithinPaperBoundOfCertificate) {
+  const double eps = 1.0 / 6.0;
+  const UfpInstance inst = regime_grid_instance(GetParam() + 2000, eps, 35);
+  BoundedUfpConfig cfg;
+  cfg.epsilon = eps;
+  const BoundedUfpResult result = bounded_ufp(inst, cfg);
+  const double value = result.solution.total_value(inst);
+  const double bound = (1.0 + 6.0 * eps) * kEOverEMinus1;
+  EXPECT_GE(value * bound, result.dual_upper_bound - 1e-6)
+      << "seed " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ApproxTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+TEST(Approx, MatchesExactOptimumOnSmallRegimeInstances) {
+  for (std::uint64_t seed = 50; seed < 56; ++seed) {
+    const double eps = 1.0 / 6.0;
+    const UfpInstance inst = regime_grid_instance(seed, eps, 10);
+    BoundedUfpConfig cfg;
+    cfg.epsilon = eps;
+    const double value = bounded_ufp(inst, cfg).solution.total_value(inst);
+    const UfpExactResult exact = solve_ufp_exact(inst);
+    ASSERT_TRUE(exact.proven_optimal);
+    const double bound = (1.0 + 6.0 * eps) * kEOverEMinus1;
+    EXPECT_GE(value * bound, exact.optimal_value - 1e-9) << "seed " << seed;
+    EXPECT_LE(value, exact.optimal_value + 1e-9);
+  }
+}
+
+TEST(Approx, SmallerEpsilonTightensTheCertifiedRatio) {
+  // The certified ratio dual_upper_bound/value should not degrade as eps
+  // shrinks (statistically); check the endpoints on a fixed instance.
+  const UfpInstance inst = regime_grid_instance(9, 0.15, 40);
+  double prev_ratio = kInf;
+  for (double eps : {1.0, 0.5, 0.15}) {
+    if (!inst.in_large_capacity_regime(eps)) continue;
+    BoundedUfpConfig cfg;
+    cfg.epsilon = eps;
+    const BoundedUfpResult result = bounded_ufp(inst, cfg);
+    const double value = result.solution.total_value(inst);
+    ASSERT_GT(value, 0.0);
+    const double ratio = result.dual_upper_bound / value;
+    EXPECT_LE(ratio, prev_ratio * 1.5);  // loose: no catastrophic regression
+    prev_ratio = ratio;
+  }
+}
+
+}  // namespace
+}  // namespace tufp

@@ -1,0 +1,132 @@
+#include "tufp/lp/branch_and_bound.hpp"
+
+#include <gtest/gtest.h>
+
+#include "tufp/graph/generators.hpp"
+#include "tufp/lp/ufp_lp.hpp"
+#include "tufp/util/rng.hpp"
+#include "tufp/workload/request_gen.hpp"
+
+namespace tufp {
+namespace {
+
+// Brute force over all subsets x all path choices — ground truth for tiny
+// instances.
+double brute_force_opt(const UfpInstance& inst) {
+  std::vector<std::vector<Path>> paths(static_cast<std::size_t>(inst.num_requests()));
+  for (int r = 0; r < inst.num_requests(); ++r) {
+    paths[static_cast<std::size_t>(r)] =
+        enumerate_simple_paths(inst.graph(), inst.request(r).source,
+                               inst.request(r).target)
+            .paths;
+  }
+  double best = 0.0;
+  std::vector<double> residual(inst.graph().capacities().begin(),
+                               inst.graph().capacities().end());
+  const auto rec = [&](auto&& self, int r, double value) -> void {
+    best = std::max(best, value);
+    if (r == inst.num_requests()) return;
+    self(self, r + 1, value);  // skip
+    const Request& req = inst.request(r);
+    for (const Path& p : paths[static_cast<std::size_t>(r)]) {
+      bool fits = true;
+      for (EdgeId e : p) {
+        if (residual[static_cast<std::size_t>(e)] + 1e-9 < req.demand) {
+          fits = false;
+          break;
+        }
+      }
+      if (!fits) continue;
+      for (EdgeId e : p) residual[static_cast<std::size_t>(e)] -= req.demand;
+      self(self, r + 1, value + req.value);
+      for (EdgeId e : p) residual[static_cast<std::size_t>(e)] += req.demand;
+    }
+  };
+  rec(rec, 0, 0.0);
+  return best;
+}
+
+TEST(BranchAndBound, BottleneckPicksBestRequest) {
+  Graph g = Graph::directed(2);
+  g.add_edge(0, 1, 1.0);
+  g.finalize();
+  UfpInstance inst(std::move(g), {{0, 1, 0.75, 2.0}, {0, 1, 0.75, 3.0}});
+  const UfpExactResult result = solve_ufp_exact(inst);
+  EXPECT_TRUE(result.proven_optimal);
+  EXPECT_DOUBLE_EQ(result.optimal_value, 3.0);
+  EXPECT_FALSE(result.solution.is_selected(0));
+  EXPECT_TRUE(result.solution.is_selected(1));
+}
+
+TEST(BranchAndBound, PathChoiceMatters) {
+  // Two edge-disjoint routes; both requests fit only if they split.
+  Graph g = Graph::directed(4);
+  g.add_edge(0, 1, 1.0);  // e0
+  g.add_edge(1, 3, 1.0);  // e1
+  g.add_edge(0, 2, 1.0);  // e2
+  g.add_edge(2, 3, 1.0);  // e3
+  g.finalize();
+  UfpInstance inst(std::move(g), {{0, 3, 1.0, 1.0}, {0, 3, 1.0, 1.0}});
+  const UfpExactResult result = solve_ufp_exact(inst);
+  EXPECT_DOUBLE_EQ(result.optimal_value, 2.0);
+  EXPECT_TRUE(result.solution.check_feasibility(inst).feasible);
+}
+
+TEST(BranchAndBound, SolutionAlwaysFeasibleAndOptimal) {
+  const auto check = [](std::uint64_t seed) {
+    Rng rng(seed);
+    Graph g = grid_graph(2, 3, 1.2, /*directed=*/false);
+    RequestGenConfig cfg;
+    cfg.num_requests = 5;
+    std::vector<Request> reqs = generate_requests(g, cfg, rng);
+    UfpInstance inst(std::move(g), std::move(reqs));
+    const UfpExactResult result = solve_ufp_exact(inst);
+    EXPECT_TRUE(result.proven_optimal);
+    EXPECT_TRUE(result.solution.check_feasibility(inst).feasible);
+    EXPECT_NEAR(result.solution.total_value(inst), result.optimal_value, 1e-9);
+    EXPECT_NEAR(result.optimal_value, brute_force_opt(inst), 1e-9)
+        << "seed " << seed;
+  };
+  for (std::uint64_t seed = 900; seed < 912; ++seed) check(seed);
+}
+
+TEST(BranchAndBound, LpBoundNeverBelowIlp) {
+  for (std::uint64_t seed = 300; seed < 308; ++seed) {
+    Rng rng(seed);
+    Graph g = grid_graph(2, 3, 1.0, false);
+    RequestGenConfig cfg;
+    cfg.num_requests = 6;
+    std::vector<Request> reqs = generate_requests(g, cfg, rng);
+    UfpInstance inst(std::move(g), std::move(reqs));
+    const double lp = solve_ufp_lp(inst).objective;
+    const double ilp = solve_ufp_exact(inst).optimal_value;
+    EXPECT_GE(lp, ilp - 1e-7) << "seed " << seed;
+  }
+}
+
+TEST(BranchAndBound, NodeCapAborts) {
+  Rng rng(31337);
+  Graph g = grid_graph(3, 3, 2.0, false);
+  RequestGenConfig cfg;
+  cfg.num_requests = 10;
+  std::vector<Request> reqs = generate_requests(g, cfg, rng);
+  UfpInstance inst(std::move(g), std::move(reqs));
+  UfpExactOptions options;
+  options.max_nodes = 3;
+  options.use_lp_root_bound = false;
+  const UfpExactResult result = solve_ufp_exact(inst, options);
+  EXPECT_FALSE(result.proven_optimal);
+}
+
+TEST(BranchAndBound, EmptyInstance) {
+  Graph g = Graph::directed(2);
+  g.add_edge(0, 1, 1.0);
+  g.finalize();
+  UfpInstance inst(std::move(g), {});
+  const UfpExactResult result = solve_ufp_exact(inst);
+  EXPECT_DOUBLE_EQ(result.optimal_value, 0.0);
+  EXPECT_TRUE(result.proven_optimal);
+}
+
+}  // namespace
+}  // namespace tufp

@@ -1,0 +1,120 @@
+// Cross-solver consistency: every algorithm in the library, run on the
+// same random instances, must respect the partial order theory imposes:
+//
+//   any feasible integral value  <=  exact integral OPT
+//   exact integral OPT           <=  exact fractional OPT (Figure 1 LP)
+//   GK fractional value          <=  exact fractional OPT
+//   fractional OPT               <=  every dual certificate
+//   BKV-skeleton selections      ==  Bounded-UFP selections (same config)
+//
+// One seeded sweep ties all modules together end to end — an integration
+// net that catches cross-module regressions no unit test sees.
+#include <gtest/gtest.h>
+
+#include "tufp/baselines/bkv.hpp"
+#include "tufp/baselines/greedy.hpp"
+#include "tufp/baselines/randomized_rounding.hpp"
+#include "tufp/graph/generators.hpp"
+#include "tufp/lp/branch_and_bound.hpp"
+#include "tufp/lp/garg_konemann.hpp"
+#include "tufp/lp/ufp_lp.hpp"
+#include "tufp/ufp/bounded_ufp.hpp"
+#include "tufp/ufp/dual_certificate.hpp"
+#include "tufp/ufp/iterative_minimizer.hpp"
+#include "tufp/ufp/reasonable.hpp"
+#include "tufp/util/rng.hpp"
+#include "tufp/workload/request_gen.hpp"
+
+namespace tufp {
+namespace {
+
+constexpr double kTol = 1e-6;
+
+class CrossSolverTest : public ::testing::TestWithParam<std::uint64_t> {
+ protected:
+  UfpInstance make(std::uint64_t seed) const {
+    Rng rng(seed);
+    Graph g = grid_graph(2, 3, 1.6, false);
+    RequestGenConfig cfg;
+    cfg.num_requests = 9;
+    std::vector<Request> reqs = generate_requests(g, cfg, rng);
+    return UfpInstance(std::move(g), std::move(reqs));
+  }
+};
+
+TEST_P(CrossSolverTest, FullOrderingHolds) {
+  const UfpInstance inst = make(GetParam() * 211 + 5);
+
+  // Exact references.
+  const UfpExactResult exact = solve_ufp_exact(inst);
+  ASSERT_TRUE(exact.proven_optimal);
+  const double int_opt = exact.optimal_value;
+  const double frac_opt = solve_ufp_lp(inst).objective;
+  ASSERT_GE(frac_opt, int_opt - kTol);
+
+  // Every integral heuristic: feasible and below intOPT.
+  BoundedUfpConfig sat;
+  sat.run_to_saturation = true;
+  const BoundedUfpResult bounded = bounded_ufp(inst, sat);
+  const ExponentialLengthFunction h(sat.epsilon, inst.bound_B());
+  IterativeMinimizerConfig mini_cfg;
+  mini_cfg.function = &h;
+  const auto minimizer = reasonable_iterative_minimizer(inst, mini_cfg);
+  RoundingConfig rr_cfg;
+  rr_cfg.seed = GetParam();
+  const RoundingResult rounding = randomized_rounding_ufp(inst, rr_cfg);
+
+  const struct {
+    const char* name;
+    const UfpSolution* solution;
+  } integral[] = {
+      {"bounded_ufp", &bounded.solution},
+      {"minimizer(h)", &minimizer.solution},
+      {"greedy(value)", nullptr},
+      {"greedy(density)", nullptr},
+      {"randomized_rounding", &rounding.solution},
+  };
+  const UfpSolution greedy_v = greedy_ufp(inst, GreedyRanking::kByValue);
+  const UfpSolution greedy_d = greedy_ufp(inst, GreedyRanking::kByDensity);
+  for (const auto& algo : integral) {
+    const UfpSolution* sol = algo.solution;
+    if (std::string(algo.name) == "greedy(value)") sol = &greedy_v;
+    if (std::string(algo.name) == "greedy(density)") sol = &greedy_d;
+    ASSERT_TRUE(sol->check_feasibility(inst).feasible)
+        << algo.name << " seed " << GetParam();
+    EXPECT_LE(sol->total_value(inst), int_opt + kTol)
+        << algo.name << " seed " << GetParam();
+  }
+
+  // Fractional solvers: below fracOPT.
+  const GkResult gk = garg_konemann_fractional_ufp(inst);
+  EXPECT_LE(gk.objective, frac_opt + kTol);
+
+  // Dual side: every certificate dominates fracOPT.
+  const BkvResult bkv = bkv_ufp(inst, sat);
+  EXPECT_GE(bkv.tight_upper_bound, frac_opt - kTol);
+  EXPECT_GE(bkv.coarse_upper_bound, bkv.tight_upper_bound - kTol);
+  const DualCertificate cert = best_dual_bound(inst, bounded.y);
+  EXPECT_GE(cert.upper_bound, frac_opt - kTol);
+
+  // Skeleton equivalence: BKV and Bounded-UFP select identically.
+  EXPECT_EQ(bkv.solution.selected_requests(),
+            bounded.solution.selected_requests());
+}
+
+TEST_P(CrossSolverTest, CertificateSandwichesBoundedUfp) {
+  const UfpInstance inst = make(GetParam() * 509 + 11);
+  BoundedUfpConfig sat;
+  sat.run_to_saturation = true;
+  const BoundedUfpResult result = bounded_ufp(inst, sat);
+  const double value = result.solution.total_value(inst);
+  const double int_opt = solve_ufp_exact(inst).optimal_value;
+  EXPECT_LE(value, int_opt + kTol);
+  EXPECT_GE(result.dual_upper_bound, int_opt - kTol);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CrossSolverTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9, 10));
+
+}  // namespace
+}  // namespace tufp

@@ -1,0 +1,109 @@
+#include "tufp/ufp/dual_certificate.hpp"
+
+#include <gtest/gtest.h>
+
+#include "tufp/graph/dijkstra.hpp"
+#include "tufp/graph/generators.hpp"
+#include "tufp/lp/branch_and_bound.hpp"
+#include "tufp/lp/ufp_lp.hpp"
+#include "tufp/ufp/bounded_ufp.hpp"
+#include "tufp/util/math.hpp"
+#include "tufp/util/rng.hpp"
+#include "tufp/workload/request_gen.hpp"
+
+namespace tufp {
+namespace {
+
+UfpInstance small_instance(std::uint64_t seed, double capacity = 1.5,
+                           int requests = 8) {
+  Rng rng(seed);
+  Graph g = grid_graph(2, 3, capacity, false);
+  RequestGenConfig cfg;
+  cfg.num_requests = requests;
+  std::vector<Request> reqs = generate_requests(g, cfg, rng);
+  return UfpInstance(std::move(g), std::move(reqs));
+}
+
+TEST(DualCertificate, RejectsNonPositiveWeights) {
+  const UfpInstance inst = small_instance(1);
+  std::vector<double> y(static_cast<std::size_t>(inst.graph().num_edges()), 1.0);
+  y[0] = 0.0;
+  EXPECT_THROW(best_dual_bound(inst, y), std::invalid_argument);
+  std::vector<double> wrong_size(3, 1.0);
+  EXPECT_THROW(best_dual_bound(inst, wrong_size), std::invalid_argument);
+}
+
+TEST(DualCertificate, TrivialFallbackIsTotalValue) {
+  // With huge weights the best alpha is infinity: UB = sum of values.
+  const UfpInstance inst = small_instance(2);
+  std::vector<double> y(static_cast<std::size_t>(inst.graph().num_edges()), 1e12);
+  const DualCertificate cert = best_dual_bound(inst, y);
+  EXPECT_LE(cert.upper_bound, inst.total_value() + 1e-9);
+}
+
+class DualCertRandomTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DualCertRandomTest, BoundsFractionalAndIntegralOpt) {
+  const UfpInstance inst = small_instance(GetParam());
+  Rng rng(GetParam() * 31 + 7);
+  std::vector<double> y(static_cast<std::size_t>(inst.graph().num_edges()));
+  for (auto& w : y) w = rng.next_double(0.01, 3.0);
+
+  const DualCertificate cert = best_dual_bound(inst, y);
+  const double frac = solve_ufp_lp(inst).objective;
+  const double integral = solve_ufp_exact(inst).optimal_value;
+  EXPECT_GE(cert.upper_bound, frac - 1e-7) << "seed " << GetParam();
+  EXPECT_GE(cert.upper_bound, integral - 1e-7);
+  EXPECT_GE(frac, integral - 1e-7);
+}
+
+TEST_P(DualCertRandomTest, CertificateIsDualFeasible) {
+  const UfpInstance inst = small_instance(GetParam() + 100);
+  Rng rng(GetParam() * 17 + 3);
+  std::vector<double> y(static_cast<std::size_t>(inst.graph().num_edges()));
+  for (auto& w : y) w = rng.next_double(0.05, 2.0);
+
+  const DualCertificate cert = best_dual_bound(inst, y);
+  // Verify z_r + (d_r/alpha) * sp_r >= v_r directly (shortest path suffices
+  // for all paths in S_r).
+  ShortestPathEngine engine(inst.graph());
+  for (int r = 0; r < inst.num_requests(); ++r) {
+    const Request& req = inst.request(r);
+    const double sp = engine.shortest_path(y, req.source, req.target);
+    if (sp >= kInf) continue;
+    const double scaled =
+        cert.alpha > 0.0 ? req.demand * sp / cert.alpha : 0.0;
+    EXPECT_GE(cert.z[static_cast<std::size_t>(r)] + scaled, req.value - 1e-7);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DualCertRandomTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9, 10));
+
+TEST(DualCertificate, TightensAlongAlgorithmRun) {
+  // Feeding the algorithm's own final weights into the standalone
+  // certificate gives a valid bound (often looser than the in-run minimum).
+  const UfpInstance inst = small_instance(42, 3.0, 10);
+  BoundedUfpConfig cfg;
+  cfg.run_to_saturation = true;
+  const BoundedUfpResult result = bounded_ufp(inst, cfg);
+  EXPECT_GT(result.iterations, 0);
+  const DualCertificate cert = best_dual_bound(inst, result.y);
+  const double value = result.solution.total_value(inst);
+  EXPECT_GE(cert.upper_bound, value - 1e-9);
+  EXPECT_GE(result.dual_upper_bound, value - 1e-9);
+}
+
+TEST(DualCertificate, UnreachableRequestsIgnored) {
+  Graph g = Graph::directed(3);
+  g.add_edge(0, 1, 1.0);
+  g.finalize();
+  UfpInstance inst(std::move(g), {{0, 1, 1.0, 2.0}, {0, 2, 1.0, 500.0}});
+  const std::vector<double> y{1.0};
+  const DualCertificate cert = best_dual_bound(inst, y);
+  // The unreachable request has no dual constraint; the bound stays small.
+  EXPECT_LE(cert.upper_bound, 2.0 + 1e-9);
+}
+
+}  // namespace
+}  // namespace tufp

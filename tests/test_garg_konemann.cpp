@@ -1,0 +1,141 @@
+// The fractional multicommodity substrate (Garg-Konemann / Fleischer):
+// primal feasibility by construction and (1-O(eps)) optimality against
+// the exact Figure-1 LP.
+#include "tufp/lp/garg_konemann.hpp"
+
+#include <gtest/gtest.h>
+
+#include "tufp/graph/generators.hpp"
+#include "tufp/lp/ufp_lp.hpp"
+#include "tufp/util/math.hpp"
+#include "tufp/util/rng.hpp"
+#include "tufp/workload/request_gen.hpp"
+
+namespace tufp {
+namespace {
+
+UfpInstance small_instance(std::uint64_t seed, double capacity = 1.5,
+                           int requests = 8) {
+  Rng rng(seed);
+  Graph g = grid_graph(2, 3, capacity, false);
+  RequestGenConfig cfg;
+  cfg.num_requests = requests;
+  std::vector<Request> reqs = generate_requests(g, cfg, rng);
+  return UfpInstance(std::move(g), std::move(reqs));
+}
+
+void expect_feasible(const UfpInstance& inst, const GkResult& result) {
+  std::vector<double> loads(static_cast<std::size_t>(inst.graph().num_edges()),
+                            0.0);
+  std::vector<double> totals(static_cast<std::size_t>(inst.num_requests()), 0.0);
+  for (const GkFlow& flow : result.flows) {
+    ASSERT_GE(flow.amount, 0.0);
+    const Request& req = inst.request(flow.request);
+    ASSERT_TRUE(is_simple_path(inst.graph(), flow.path, req.source, req.target));
+    totals[static_cast<std::size_t>(flow.request)] += flow.amount;
+    for (EdgeId e : flow.path) {
+      loads[static_cast<std::size_t>(e)] += req.demand * flow.amount;
+    }
+  }
+  for (EdgeId e = 0; e < inst.graph().num_edges(); ++e) {
+    EXPECT_LE(loads[static_cast<std::size_t>(e)],
+              inst.graph().capacity(e) + 1e-7)
+        << "edge " << e;
+  }
+  for (int r = 0; r < inst.num_requests(); ++r) {
+    EXPECT_LE(totals[static_cast<std::size_t>(r)], 1.0 + 1e-7);
+    EXPECT_NEAR(totals[static_cast<std::size_t>(r)],
+                result.request_totals[static_cast<std::size_t>(r)], 1e-9);
+  }
+}
+
+TEST(GargKonemann, EmptyInstance) {
+  Graph g = grid_graph(2, 2, 2.0, false);
+  UfpInstance inst(std::move(g), {});
+  const GkResult result = garg_konemann_fractional_ufp(inst);
+  EXPECT_DOUBLE_EQ(result.objective, 0.0);
+  EXPECT_EQ(result.iterations, 0);
+}
+
+TEST(GargKonemann, ValidatesEpsilon) {
+  const UfpInstance inst = small_instance(1);
+  GkConfig cfg;
+  cfg.epsilon = 0.0;
+  EXPECT_THROW(garg_konemann_fractional_ufp(inst, cfg), std::invalid_argument);
+  cfg.epsilon = 0.9;
+  EXPECT_THROW(garg_konemann_fractional_ufp(inst, cfg), std::invalid_argument);
+}
+
+TEST(GargKonemann, UnreachableRequestsIgnored) {
+  Graph g = Graph::directed(3);
+  g.add_edge(0, 1, 2.0);
+  g.finalize();
+  UfpInstance inst(std::move(g), {{0, 1, 1.0, 4.0}, {1, 2, 1.0, 100.0}});
+  const GkResult result = garg_konemann_fractional_ufp(inst);
+  EXPECT_DOUBLE_EQ(result.request_totals[1], 0.0);
+  EXPECT_GT(result.request_totals[0], 0.0);
+}
+
+class GkPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(GkPropertyTest, FeasibleByConstruction) {
+  const UfpInstance inst = small_instance(GetParam());
+  const GkResult result = garg_konemann_fractional_ufp(inst);
+  ASSERT_TRUE(result.converged);
+  expect_feasible(inst, result);
+}
+
+TEST_P(GkPropertyTest, NearOptimalAgainstExactLp) {
+  const UfpInstance inst = small_instance(GetParam() + 50, 2.0, 10);
+  GkConfig cfg;
+  cfg.epsilon = 0.08;
+  const GkResult result = garg_konemann_fractional_ufp(inst, cfg);
+  ASSERT_TRUE(result.converged);
+  const double lp = solve_ufp_lp(inst).objective;
+  EXPECT_LE(result.objective, lp + 1e-6) << "seed " << GetParam();
+  EXPECT_GE(result.objective, (1.0 - 3.0 * cfg.epsilon) * lp - 1e-6)
+      << "seed " << GetParam() << " gk=" << result.objective << " lp=" << lp;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GkPropertyTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+TEST(GargKonemann, TighterEpsilonImprovesValue) {
+  const UfpInstance inst = small_instance(99, 1.8, 10);
+  const double lp = solve_ufp_lp(inst).objective;
+  double previous = 0.0;
+  for (double eps : {0.4, 0.2, 0.08}) {
+    GkConfig cfg;
+    cfg.epsilon = eps;
+    const double value = garg_konemann_fractional_ufp(inst, cfg).objective;
+    EXPECT_GE(value, previous * 0.98);  // monotone-ish improvement
+    EXPECT_LE(value, lp + 1e-6);
+    previous = value;
+  }
+  EXPECT_GE(previous, 0.75 * lp);
+}
+
+TEST(GargKonemann, IterationCapReportsNonConvergence) {
+  const UfpInstance inst = small_instance(7);
+  GkConfig cfg;
+  cfg.max_iterations = 2;
+  const GkResult result = garg_konemann_fractional_ufp(inst, cfg);
+  EXPECT_FALSE(result.converged);
+  expect_feasible(inst, result);  // scaled output is feasible regardless
+}
+
+TEST(GargKonemann, SingleEdgeMatchesFractionalKnapsack) {
+  Graph g = Graph::directed(2);
+  g.add_edge(0, 1, 1.0);
+  g.finalize();
+  UfpInstance inst(std::move(g), {{0, 1, 0.75, 3.0}, {0, 1, 0.75, 2.0}});
+  GkConfig cfg;
+  cfg.epsilon = 0.05;
+  const GkResult result = garg_konemann_fractional_ufp(inst, cfg);
+  // Exact fractional optimum is 3 + 2/3 (see test_ufp_lp).
+  EXPECT_GE(result.objective, (1.0 - 3 * 0.05) * (3.0 + 2.0 / 3.0));
+  EXPECT_LE(result.objective, 3.0 + 2.0 / 3.0 + 1e-9);
+}
+
+}  // namespace
+}  // namespace tufp

@@ -1,0 +1,158 @@
+#include "tufp/graph/generators.hpp"
+
+#include <gtest/gtest.h>
+
+#include "tufp/util/rng.hpp"
+#include "tufp/workload/lower_bounds.hpp"
+
+namespace tufp {
+namespace {
+
+TEST(Generators, GridUndirectedEdgeCount) {
+  const Graph g = grid_graph(3, 4, 2.0, /*directed=*/false);
+  EXPECT_EQ(g.num_vertices(), 12);
+  // rows*(cols-1) horizontal + (rows-1)*cols vertical.
+  EXPECT_EQ(g.num_edges(), 3 * 3 + 2 * 4);
+  EXPECT_DOUBLE_EQ(g.min_capacity(), 2.0);
+}
+
+TEST(Generators, GridDirectedDoublesEdges) {
+  const Graph u = grid_graph(3, 3, 1.0, false);
+  const Graph d = grid_graph(3, 3, 1.0, true);
+  EXPECT_EQ(d.num_edges(), 2 * u.num_edges());
+}
+
+TEST(Generators, GridFullyReachable) {
+  const Graph g = grid_graph(4, 5, 1.0, /*directed=*/true);
+  const auto seen = reachable_from(g, 0);
+  for (bool b : seen) EXPECT_TRUE(b);
+}
+
+TEST(Generators, RingStructure) {
+  const Graph g = ring_graph(7, 3.0, false);
+  EXPECT_EQ(g.num_vertices(), 7);
+  EXPECT_EQ(g.num_edges(), 7);
+  for (VertexId v = 0; v < 7; ++v) EXPECT_EQ(g.arcs_from(v).size(), 2u);
+}
+
+TEST(Generators, RingRejectsTooSmall) {
+  EXPECT_THROW(ring_graph(2, 1.0, false), std::invalid_argument);
+}
+
+class RandomGraphTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RandomGraphTest, ConnectedWithRequestedEdges) {
+  Rng rng(GetParam());
+  const int n = 5 + static_cast<int>(rng.next_below(20));
+  const int m = 2 * n;
+  for (bool directed : {false, true}) {
+    Graph g = random_graph(n, m, 1.0, 4.0, directed, rng);
+    EXPECT_GE(g.num_edges(), directed ? 2 * (n - 1) : n - 1);
+    EXPECT_LE(g.num_edges(), std::max(m, directed ? 2 * (n - 1) : n - 1));
+    const auto seen = reachable_from(g, 0);
+    for (bool b : seen) EXPECT_TRUE(b) << "directed=" << directed;
+    EXPECT_GE(g.min_capacity(), 1.0);
+    EXPECT_LE(g.max_capacity(), 4.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomGraphTest,
+                         ::testing::Values(101, 102, 103, 104, 105, 106, 107,
+                                           108));
+
+TEST(Generators, LayeredGraphShape) {
+  Rng rng(55);
+  const Graph g = layered_graph(4, 6, 3, 1.0, 2.0, rng);
+  EXPECT_EQ(g.num_vertices(), 24);
+  EXPECT_EQ(g.num_edges(), 3 * 6 * 3);  // (layers-1) * width * fanout
+  // Every non-final-layer vertex has out-degree fanout with distinct heads.
+  for (int layer = 0; layer < 3; ++layer) {
+    for (int slot = 0; slot < 6; ++slot) {
+      const auto arcs = g.arcs_from(static_cast<VertexId>(layer * 6 + slot));
+      EXPECT_EQ(arcs.size(), 3u);
+      for (const Arc& a : arcs) {
+        EXPECT_GE(a.to, (layer + 1) * 6);
+        EXPECT_LT(a.to, (layer + 2) * 6);
+      }
+    }
+  }
+}
+
+TEST(Generators, LayeredRejectsBadFanout) {
+  Rng rng(1);
+  EXPECT_THROW(layered_graph(3, 4, 5, 1.0, 1.0, rng), std::invalid_argument);
+}
+
+TEST(Staircase, StructureMatchesPaper) {
+  const auto sc = make_staircase(5, 3);
+  const Graph& g = sc.instance.graph();
+  EXPECT_TRUE(g.is_directed());
+  EXPECT_EQ(g.num_vertices(), 2 * 5 + 1);
+  // m = l (v_j -> t) + l(l+1)/2 (s_i -> v_j for j >= i).
+  EXPECT_EQ(g.num_edges(), 5 + 5 * 6 / 2);
+  EXPECT_EQ(sc.instance.num_requests(), 5 * 3);
+  EXPECT_DOUBLE_EQ(sc.instance.bound_B(), 3.0);
+  EXPECT_DOUBLE_EQ(sc.optimal_value(), 15.0);
+}
+
+TEST(Staircase, EverySourceReachesSink) {
+  const auto sc = make_staircase(6, 2);
+  for (VertexId s : sc.s) {
+    const auto seen = reachable_from(sc.instance.graph(), s);
+    EXPECT_TRUE(seen[static_cast<std::size_t>(sc.t)]);
+  }
+}
+
+TEST(Staircase, SubdividedChainLengths) {
+  const int l = 4, B = 2;
+  const auto sc = make_staircase(l, B, /*subdivided=*/true);
+  const Graph& g = sc.instance.graph();
+  // Edge count: l sink edges + sum over i, j>=i of (i*l + 1 - j) chain edges.
+  int expected = l;
+  for (int i = 1; i <= l; ++i) {
+    for (int j = i; j <= l; ++j) expected += i * l + 1 - j;
+  }
+  EXPECT_EQ(g.num_edges(), expected);
+  for (VertexId s : sc.s) {
+    const auto seen = reachable_from(g, s);
+    EXPECT_TRUE(seen[static_cast<std::size_t>(sc.t)]);
+  }
+}
+
+TEST(Fig3, StructureMatchesPaper) {
+  const auto fig = make_fig3(4);
+  const Graph& g = fig.instance.graph();
+  EXPECT_FALSE(g.is_directed());
+  EXPECT_EQ(g.num_vertices(), 7);
+  EXPECT_EQ(g.num_edges(), 8);
+  EXPECT_EQ(fig.instance.num_requests(), 16);
+  EXPECT_DOUBLE_EQ(fig.optimal_value(), 16.0);
+  EXPECT_DOUBLE_EQ(fig.predicted_alg_value(), 12.0);
+}
+
+TEST(Fig3, RejectsOddB) {
+  EXPECT_THROW(make_fig3(3), std::invalid_argument);
+}
+
+TEST(Fig4, StructureMatchesPaper) {
+  const auto fig = make_fig4(3, 4);
+  EXPECT_EQ(fig.instance.num_items(), 3 * 4);
+  // Type 1: p * B/2; type 2: (p+1) * B/2.
+  EXPECT_EQ(fig.instance.num_requests(), (2 * 3 + 1) * 2);
+  EXPECT_EQ(fig.instance.bound_B(), 4);
+  EXPECT_DOUBLE_EQ(fig.optimal_value(), 12.0);
+  EXPECT_DOUBLE_EQ(fig.predicted_alg_value(), 10.0);
+  // All bundles have the same size m/p (the initial-tie requirement).
+  for (const MucaRequest& r : fig.instance.requests()) {
+    EXPECT_EQ(r.bundle.size(), static_cast<std::size_t>(12 / 3));
+  }
+}
+
+TEST(Fig4, RejectsBadParameters) {
+  EXPECT_THROW(make_fig4(4, 4), std::invalid_argument);  // even p
+  EXPECT_THROW(make_fig4(3, 3), std::invalid_argument);  // odd B
+  EXPECT_THROW(make_fig4(3, 4, 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace tufp

@@ -1,0 +1,165 @@
+#include "tufp/graph/graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace tufp {
+namespace {
+
+TEST(Graph, DirectedConstruction) {
+  Graph g = Graph::directed(3);
+  const EdgeId e0 = g.add_edge(0, 1, 2.0);
+  const EdgeId e1 = g.add_edge(1, 2, 3.0);
+  g.finalize();
+  EXPECT_TRUE(g.is_directed());
+  EXPECT_EQ(g.num_vertices(), 3);
+  EXPECT_EQ(g.num_edges(), 2);
+  EXPECT_EQ(g.num_arcs(), 2);
+  EXPECT_EQ(e0, 0);
+  EXPECT_EQ(e1, 1);
+  EXPECT_DOUBLE_EQ(g.capacity(e0), 2.0);
+  EXPECT_EQ(g.endpoints(e1), (std::pair<VertexId, VertexId>{1, 2}));
+}
+
+TEST(Graph, UndirectedHasTwoArcsPerEdge) {
+  Graph g = Graph::undirected(2);
+  g.add_edge(0, 1, 1.0);
+  g.finalize();
+  EXPECT_EQ(g.num_edges(), 1);
+  EXPECT_EQ(g.num_arcs(), 2);
+  ASSERT_EQ(g.arcs_from(0).size(), 1u);
+  ASSERT_EQ(g.arcs_from(1).size(), 1u);
+  EXPECT_EQ(g.arcs_from(0)[0].to, 1);
+  EXPECT_EQ(g.arcs_from(1)[0].to, 0);
+  EXPECT_EQ(g.arcs_from(0)[0].edge, g.arcs_from(1)[0].edge);
+}
+
+TEST(Graph, DirectedArcsOnlyForward) {
+  Graph g = Graph::directed(2);
+  g.add_edge(0, 1, 1.0);
+  g.finalize();
+  EXPECT_EQ(g.arcs_from(0).size(), 1u);
+  EXPECT_EQ(g.arcs_from(1).size(), 0u);
+}
+
+TEST(Graph, ParallelEdgesKeepDistinctIds) {
+  Graph g = Graph::directed(2);
+  const EdgeId a = g.add_edge(0, 1, 1.0);
+  const EdgeId b = g.add_edge(0, 1, 5.0);
+  g.finalize();
+  EXPECT_NE(a, b);
+  EXPECT_DOUBLE_EQ(g.capacity(a), 1.0);
+  EXPECT_DOUBLE_EQ(g.capacity(b), 5.0);
+  EXPECT_EQ(g.arcs_from(0).size(), 2u);
+}
+
+TEST(Graph, CsrArcOrderFollowsInsertion) {
+  Graph g = Graph::directed(4);
+  g.add_edge(0, 3, 1.0);
+  g.add_edge(0, 1, 1.0);
+  g.add_edge(0, 2, 1.0);
+  g.finalize();
+  const auto arcs = g.arcs_from(0);
+  ASSERT_EQ(arcs.size(), 3u);
+  EXPECT_EQ(arcs[0].to, 3);
+  EXPECT_EQ(arcs[1].to, 1);
+  EXPECT_EQ(arcs[2].to, 2);
+}
+
+TEST(Graph, TraverseDirected) {
+  Graph g = Graph::directed(2);
+  const EdgeId e = g.add_edge(0, 1, 1.0);
+  g.finalize();
+  EXPECT_EQ(g.traverse(0, e), 1);
+  EXPECT_THROW(g.traverse(1, e), std::invalid_argument);
+}
+
+TEST(Graph, TraverseUndirectedBothWays) {
+  Graph g = Graph::undirected(2);
+  const EdgeId e = g.add_edge(0, 1, 1.0);
+  g.finalize();
+  EXPECT_EQ(g.traverse(0, e), 1);
+  EXPECT_EQ(g.traverse(1, e), 0);
+}
+
+TEST(Graph, MinMaxCapacity) {
+  Graph g = Graph::directed(3);
+  g.add_edge(0, 1, 4.0);
+  g.add_edge(1, 2, 2.5);
+  g.add_edge(0, 2, 9.0);
+  g.finalize();
+  EXPECT_DOUBLE_EQ(g.min_capacity(), 2.5);
+  EXPECT_DOUBLE_EQ(g.max_capacity(), 9.0);
+}
+
+TEST(Graph, RejectsSelfLoop) {
+  Graph g = Graph::directed(2);
+  EXPECT_THROW(g.add_edge(0, 0, 1.0), std::invalid_argument);
+}
+
+TEST(Graph, RejectsNonPositiveCapacity) {
+  Graph g = Graph::directed(2);
+  EXPECT_THROW(g.add_edge(0, 1, 0.0), std::invalid_argument);
+  EXPECT_THROW(g.add_edge(0, 1, -1.0), std::invalid_argument);
+}
+
+TEST(Graph, RejectsOutOfRangeVertices) {
+  Graph g = Graph::directed(2);
+  EXPECT_THROW(g.add_edge(0, 2, 1.0), std::invalid_argument);
+  EXPECT_THROW(g.add_edge(-1, 1, 1.0), std::invalid_argument);
+}
+
+TEST(Graph, RejectsMutationAfterFinalize) {
+  Graph g = Graph::directed(2);
+  g.add_edge(0, 1, 1.0);
+  g.finalize();
+  EXPECT_THROW(g.add_edge(1, 0, 1.0), std::invalid_argument);
+  EXPECT_THROW(g.finalize(), std::invalid_argument);
+}
+
+TEST(Graph, RejectsQueriesBeforeFinalize) {
+  Graph g = Graph::directed(2);
+  g.add_edge(0, 1, 1.0);
+  EXPECT_THROW(g.arcs_from(0), std::invalid_argument);
+}
+
+TEST(Graph, RejectsBadEdgeIds) {
+  Graph g = Graph::directed(2);
+  g.add_edge(0, 1, 1.0);
+  g.finalize();
+  EXPECT_THROW(g.capacity(1), std::invalid_argument);
+  EXPECT_THROW(g.capacity(-1), std::invalid_argument);
+  EXPECT_THROW(g.endpoints(7), std::invalid_argument);
+}
+
+TEST(Graph, EmptyGraphCapacityThrows) {
+  Graph g = Graph::directed(2);
+  g.finalize();
+  EXPECT_THROW(g.min_capacity(), std::invalid_argument);
+}
+
+TEST(Graph, CapacitiesSpanMatches) {
+  Graph g = Graph::directed(3);
+  g.add_edge(0, 1, 1.0);
+  g.add_edge(1, 2, 2.0);
+  g.finalize();
+  const auto caps = g.capacities();
+  ASSERT_EQ(caps.size(), 2u);
+  EXPECT_DOUBLE_EQ(caps[0], 1.0);
+  EXPECT_DOUBLE_EQ(caps[1], 2.0);
+}
+
+TEST(Graph, LargeStarDegrees) {
+  const int n = 1000;
+  Graph g = Graph::directed(n);
+  for (int i = 1; i < n; ++i) g.add_edge(0, static_cast<VertexId>(i), 1.0);
+  g.finalize();
+  EXPECT_EQ(g.arcs_from(0).size(), static_cast<std::size_t>(n - 1));
+  std::set<VertexId> targets;
+  for (const Arc& a : g.arcs_from(0)) targets.insert(a.to);
+  EXPECT_EQ(targets.size(), static_cast<std::size_t>(n - 1));
+}
+
+}  // namespace
+}  // namespace tufp

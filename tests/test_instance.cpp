@@ -1,0 +1,95 @@
+#include "tufp/ufp/instance.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tufp/graph/generators.hpp"
+
+namespace tufp {
+namespace {
+
+Graph line(double cap = 4.0) {
+  Graph g = Graph::directed(3);
+  g.add_edge(0, 1, cap);
+  g.add_edge(1, 2, cap);
+  g.finalize();
+  return g;
+}
+
+TEST(UfpInstance, BasicAccessors) {
+  UfpInstance inst(line(), {{0, 2, 0.5, 3.0}, {0, 1, 1.0, 1.0}});
+  EXPECT_EQ(inst.num_requests(), 2);
+  EXPECT_DOUBLE_EQ(inst.bound_B(), 4.0);
+  EXPECT_DOUBLE_EQ(inst.max_demand(), 1.0);
+  EXPECT_DOUBLE_EQ(inst.min_demand(), 0.5);
+  EXPECT_DOUBLE_EQ(inst.total_value(), 4.0);
+  EXPECT_TRUE(inst.is_normalized());
+}
+
+TEST(UfpInstance, RejectsBadRequests) {
+  EXPECT_THROW(UfpInstance(line(), {{0, 0, 1.0, 1.0}}), std::invalid_argument);
+  EXPECT_THROW(UfpInstance(line(), {{0, 5, 1.0, 1.0}}), std::invalid_argument);
+  EXPECT_THROW(UfpInstance(line(), {{0, 2, 0.0, 1.0}}), std::invalid_argument);
+  EXPECT_THROW(UfpInstance(line(), {{0, 2, 1.0, -1.0}}), std::invalid_argument);
+}
+
+TEST(UfpInstance, RejectsUnfinalizedOrEdgelessGraph) {
+  Graph g = Graph::directed(2);
+  g.add_edge(0, 1, 1.0);
+  EXPECT_THROW(UfpInstance(std::move(g), {}), std::invalid_argument);
+  Graph empty = Graph::directed(2);
+  empty.finalize();
+  EXPECT_THROW(UfpInstance(std::move(empty), {}), std::invalid_argument);
+}
+
+TEST(UfpInstance, NormalizedScalesDemandsAndCapacities) {
+  UfpInstance inst(line(8.0), {{0, 2, 2.0, 3.0}, {0, 1, 4.0, 1.0}});
+  EXPECT_FALSE(inst.is_normalized());
+  const UfpInstance norm = inst.normalized();
+  EXPECT_TRUE(norm.is_normalized());
+  EXPECT_DOUBLE_EQ(norm.request(0).demand, 0.5);
+  EXPECT_DOUBLE_EQ(norm.request(1).demand, 1.0);
+  EXPECT_DOUBLE_EQ(norm.bound_B(), 2.0);
+  // Values untouched.
+  EXPECT_DOUBLE_EQ(norm.request(0).value, 3.0);
+  // B ratio is invariant.
+  EXPECT_DOUBLE_EQ(norm.bound_B() / norm.max_demand(),
+                   inst.bound_B() / inst.max_demand());
+}
+
+TEST(UfpInstance, RegimeCheck) {
+  // m = 2 edges; ln(2)/eps^2 with eps=1 is ~0.69, so B=4 qualifies.
+  UfpInstance inst(line(4.0), {{0, 2, 1.0, 1.0}});
+  EXPECT_TRUE(inst.in_large_capacity_regime(1.0));
+  // eps = 0.1 needs B >= 69.3.
+  EXPECT_FALSE(inst.in_large_capacity_regime(0.1));
+  EXPECT_THROW(inst.in_large_capacity_regime(0.0), std::invalid_argument);
+}
+
+TEST(UfpInstance, WithRequestSharesGraph) {
+  UfpInstance inst(line(), {{0, 2, 0.5, 3.0}});
+  Request changed = inst.request(0);
+  changed.value = 7.0;
+  const UfpInstance other = inst.with_request(0, changed);
+  EXPECT_EQ(&other.graph(), &inst.graph());
+  EXPECT_DOUBLE_EQ(other.request(0).value, 7.0);
+  EXPECT_DOUBLE_EQ(inst.request(0).value, 3.0);  // original untouched
+}
+
+TEST(UfpInstance, WithRequestRejectsTerminalChange) {
+  UfpInstance inst(line(), {{0, 2, 0.5, 3.0}});
+  Request changed = inst.request(0);
+  changed.target = 1;
+  EXPECT_THROW(inst.with_request(0, changed), std::invalid_argument);
+}
+
+TEST(UfpInstance, EmptyRequestStatsThrow) {
+  UfpInstance inst(line(), {});
+  EXPECT_THROW(inst.max_demand(), std::invalid_argument);
+  EXPECT_THROW(inst.normalized(), std::invalid_argument);
+  EXPECT_DOUBLE_EQ(inst.total_value(), 0.0);
+}
+
+}  // namespace
+}  // namespace tufp

@@ -1,0 +1,130 @@
+#include "tufp/workload/io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "tufp/graph/generators.hpp"
+#include "tufp/util/rng.hpp"
+#include "tufp/workload/request_gen.hpp"
+#include "tufp/workload/scenarios.hpp"
+
+namespace tufp {
+namespace {
+
+void expect_same_ufp(const UfpInstance& a, const UfpInstance& b) {
+  ASSERT_EQ(a.graph().num_vertices(), b.graph().num_vertices());
+  ASSERT_EQ(a.graph().num_edges(), b.graph().num_edges());
+  ASSERT_EQ(a.graph().is_directed(), b.graph().is_directed());
+  for (EdgeId e = 0; e < a.graph().num_edges(); ++e) {
+    EXPECT_EQ(a.graph().endpoints(e), b.graph().endpoints(e));
+    EXPECT_DOUBLE_EQ(a.graph().capacity(e), b.graph().capacity(e));
+  }
+  ASSERT_EQ(a.num_requests(), b.num_requests());
+  for (int r = 0; r < a.num_requests(); ++r) {
+    EXPECT_EQ(a.request(r).source, b.request(r).source);
+    EXPECT_EQ(a.request(r).target, b.request(r).target);
+    EXPECT_DOUBLE_EQ(a.request(r).demand, b.request(r).demand);
+    EXPECT_DOUBLE_EQ(a.request(r).value, b.request(r).value);
+  }
+}
+
+TEST(Io, UfpRoundTrip) {
+  Rng rng(7);
+  for (bool directed : {false, true}) {
+    Graph g = random_graph(8, 15, 0.5, 3.7, directed, rng);
+    RequestGenConfig cfg;
+    cfg.num_requests = 9;
+    std::vector<Request> reqs = generate_requests(g, cfg, rng);
+    const UfpInstance inst(std::move(g), std::move(reqs));
+    std::stringstream ss;
+    save_ufp(inst, ss);
+    const UfpInstance loaded = load_ufp(ss);
+    expect_same_ufp(inst, loaded);
+  }
+}
+
+TEST(Io, UfpDoublePrecisionSurvives) {
+  Graph g = Graph::directed(2);
+  g.add_edge(0, 1, 1.0 / 3.0);
+  g.finalize();
+  const UfpInstance inst(std::move(g), {{0, 1, 0.1 + 0.2, 1e-7}});
+  std::stringstream ss;
+  save_ufp(inst, ss);
+  const UfpInstance loaded = load_ufp(ss);
+  EXPECT_DOUBLE_EQ(loaded.graph().capacity(0), 1.0 / 3.0);
+  EXPECT_DOUBLE_EQ(loaded.request(0).demand, 0.1 + 0.2);
+  EXPECT_DOUBLE_EQ(loaded.request(0).value, 1e-7);
+}
+
+TEST(Io, MucaRoundTrip) {
+  const MucaInstance inst = make_random_auction(9, 3, 11, 2, 5, 0.5, 9.5, 13);
+  std::stringstream ss;
+  save_muca(inst, ss);
+  const MucaInstance loaded = load_muca(ss);
+  ASSERT_EQ(loaded.num_items(), inst.num_items());
+  ASSERT_EQ(loaded.num_requests(), inst.num_requests());
+  for (int u = 0; u < inst.num_items(); ++u) {
+    EXPECT_EQ(loaded.multiplicity(u), inst.multiplicity(u));
+  }
+  for (int r = 0; r < inst.num_requests(); ++r) {
+    EXPECT_EQ(loaded.request(r).bundle, inst.request(r).bundle);
+    EXPECT_DOUBLE_EQ(loaded.request(r).value, inst.request(r).value);
+  }
+}
+
+TEST(Io, CommentsAreSkipped) {
+  std::stringstream ss(
+      "# a tiny instance\n"
+      "ufp directed 2 1 1\n"
+      "# the only edge\n"
+      "edge 0 1 2.5\n"
+      "req 0 1 0.5 3.0\n");
+  const UfpInstance inst = load_ufp(ss);
+  EXPECT_EQ(inst.num_requests(), 1);
+  EXPECT_DOUBLE_EQ(inst.graph().capacity(0), 2.5);
+}
+
+TEST(Io, MalformedHeaderThrows) {
+  std::stringstream ss("nope directed 2 1 0\n");
+  EXPECT_THROW(load_ufp(ss), std::invalid_argument);
+}
+
+TEST(Io, BadDirectionThrows) {
+  std::stringstream ss("ufp sideways 2 1 0\n");
+  EXPECT_THROW(load_ufp(ss), std::invalid_argument);
+}
+
+TEST(Io, TruncatedInputThrows) {
+  std::stringstream ss("ufp directed 2 1 1\nedge 0 1 2.5\nreq 0 1");
+  EXPECT_THROW(load_ufp(ss), std::invalid_argument);
+}
+
+TEST(Io, NonNumericTokenThrows) {
+  std::stringstream ss("ufp directed 2 one 0\n");
+  EXPECT_THROW(load_ufp(ss), std::invalid_argument);
+}
+
+TEST(Io, InvalidSemanticsSurfaceAsErrors) {
+  // Structurally fine but semantically invalid (zero demand) — instance
+  // validation must fire.
+  std::stringstream ss("ufp directed 2 1 1\nedge 0 1 2.5\nreq 0 1 0.0 1.0\n");
+  EXPECT_THROW(load_ufp(ss), std::invalid_argument);
+}
+
+TEST(Io, FileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/tufp_io_test.txt";
+  Rng rng(21);
+  Graph g = grid_graph(2, 3, 2.0, false);
+  RequestGenConfig cfg;
+  cfg.num_requests = 4;
+  std::vector<Request> reqs = generate_requests(g, cfg, rng);
+  const UfpInstance inst(std::move(g), std::move(reqs));
+  save_ufp_file(inst, path);
+  const UfpInstance loaded = load_ufp_file(path);
+  expect_same_ufp(inst, loaded);
+  EXPECT_THROW(load_ufp_file(path + ".missing"), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace tufp

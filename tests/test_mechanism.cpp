@@ -1,0 +1,201 @@
+// Theorem 2.3 machinery: critical-value payments computed by bisection
+// over a monotone allocation rule.
+#include "tufp/mechanism/critical_payment.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "tufp/graph/generators.hpp"
+#include "tufp/util/rng.hpp"
+#include "tufp/workload/request_gen.hpp"
+#include "tufp/workload/scenarios.hpp"
+
+namespace tufp {
+namespace {
+
+UfpInstance competitive_instance(std::uint64_t seed, int requests = 10) {
+  Rng rng(seed);
+  Graph g = grid_graph(3, 3, 1.5, false);
+  RequestGenConfig cfg;
+  cfg.num_requests = requests;
+  std::vector<Request> reqs = generate_requests(g, cfg, rng);
+  return UfpInstance(std::move(g), std::move(reqs));
+}
+
+// Tight fixtures sit outside the ln(m)/eps^2 regime, where the faithful
+// threshold stops the loop before any selection; the saturating rule keeps
+// the mechanism meaningful (it is monotone and exact all the same).
+UfpRule saturating_rule() {
+  BoundedUfpConfig cfg;
+  cfg.run_to_saturation = true;
+  return make_bounded_ufp_rule(cfg);
+}
+
+TEST(CriticalPayment, SingleEdgeDuelHasExactThreshold) {
+  // Two unit-ish demands on one capacity-1 edge: only one wins; the winner
+  // pays (up to tolerance) the value at which it starts beating the rival.
+  Graph g = Graph::directed(2);
+  g.add_edge(0, 1, 1.0);
+  g.finalize();
+  // Equal demands: priority comparison reduces to value comparison, so the
+  // critical value of the winner equals the loser's value.
+  UfpInstance inst(std::move(g), {{0, 1, 0.8, 7.0}, {0, 1, 0.8, 3.0}});
+  const UfpRule rule = make_bounded_ufp_rule();
+  const UfpMechanismResult res = run_ufp_mechanism(inst, rule);
+  ASSERT_TRUE(res.allocation.is_selected(0));
+  ASSERT_FALSE(res.allocation.is_selected(1));
+  EXPECT_NEAR(res.payments[0], 3.0, 1e-4);
+  EXPECT_DOUBLE_EQ(res.payments[1], 0.0);
+  EXPECT_NEAR(res.utilities[0], 4.0, 1e-4);
+}
+
+TEST(CriticalPayment, UncontestedWinnerPaysNearZero) {
+  Graph g = Graph::directed(2);
+  g.add_edge(0, 1, 10.0);
+  g.finalize();
+  UfpInstance inst(std::move(g), {{0, 1, 1.0, 5.0}});
+  const UfpMechanismResult res =
+      run_ufp_mechanism(inst, make_bounded_ufp_rule());
+  ASSERT_TRUE(res.allocation.is_selected(0));
+  EXPECT_LT(res.payments[0], 1e-4 * 5.0 + 1e-6);
+}
+
+class PaymentPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PaymentPropertyTest, PaymentsBracketTheWinThreshold) {
+  const UfpInstance inst = competitive_instance(GetParam());
+  const UfpRule rule = saturating_rule();
+  ASSERT_GT(rule(inst).num_selected(), 0);
+  PaymentOptions options;
+  options.tolerance = 1e-6;
+  const UfpMechanismResult res = run_ufp_mechanism(inst, rule, options);
+
+  for (int r = 0; r < inst.num_requests(); ++r) {
+    if (!res.allocation.is_selected(r)) {
+      EXPECT_DOUBLE_EQ(res.payments[r], 0.0);
+      continue;
+    }
+    const double theta = res.payments[r];
+    const Request& req = inst.request(r);
+    // Individual rationality: never above the declared value.
+    EXPECT_LE(theta, req.value + 1e-9);
+    EXPECT_GE(res.utilities[r], -1e-9);
+    // Declaring just above theta wins; just below (when meaningful) loses.
+    Request above = req;
+    above.value = theta * (1.0 + 1e-3) + 1e-9;
+    EXPECT_TRUE(rule(inst.with_request(r, above)).is_selected(r))
+        << "request " << r;
+    if (theta > 1e-3) {
+      Request below = req;
+      below.value = theta * (1.0 - 1e-3);
+      EXPECT_FALSE(rule(inst.with_request(r, below)).is_selected(r))
+          << "request " << r;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PaymentPropertyTest,
+                         ::testing::Values(201, 202, 203, 204, 205, 206));
+
+TEST(CriticalPayment, ValueReportAboveThetaDoesNotChangePayment) {
+  // Winner's payment is independent of its declared value while winning —
+  // the hallmark of critical-value pricing.
+  const UfpInstance inst = competitive_instance(210);
+  const UfpRule rule = saturating_rule();
+  const UfpMechanismResult res = run_ufp_mechanism(inst, rule);
+  for (int r = 0; r < inst.num_requests(); ++r) {
+    if (!res.allocation.is_selected(r)) continue;
+    Request boosted = inst.request(r);
+    boosted.value *= 3.0;
+    const UfpInstance alt = inst.with_request(r, boosted);
+    ASSERT_TRUE(rule(alt).is_selected(r));
+    const double theta_alt = ufp_critical_value(alt, rule, r);
+    EXPECT_NEAR(theta_alt, res.payments[r],
+                1e-4 * std::max(1.0, res.payments[r]) + 1e-5);
+  }
+}
+
+TEST(CriticalPayment, MucaMechanismEndToEnd) {
+  // B = 2 is far outside the ln(m)/eps^2 regime for the default epsilon, so
+  // the faithful threshold would stop the auction before any selection;
+  // saturation mode exercises the full mechanism pipeline instead.
+  const MucaInstance inst = make_random_auction(8, 2, 12, 2, 4, 1.0, 9.0, 5);
+  BoundedMucaConfig cfg;
+  cfg.run_to_saturation = true;
+  const MucaRule rule = make_bounded_muca_rule(cfg);
+  const MucaMechanismResult res = run_muca_mechanism(inst, rule);
+  EXPECT_TRUE(res.allocation.check_feasibility(inst).feasible);
+  for (int r = 0; r < inst.num_requests(); ++r) {
+    if (res.allocation.is_selected(r)) {
+      EXPECT_LE(res.payments[r], inst.request(r).value + 1e-9);
+      EXPECT_GE(res.payments[r], 0.0);
+      EXPECT_NEAR(res.utilities[r], inst.request(r).value - res.payments[r],
+                  1e-12);
+    } else {
+      EXPECT_DOUBLE_EQ(res.payments[r], 0.0);
+      EXPECT_DOUBLE_EQ(res.utilities[r], 0.0);
+    }
+  }
+  EXPECT_GT(res.rule_evaluations, 0);
+}
+
+TEST(CriticalPayment, EvaluationCountIsBounded) {
+  const UfpInstance inst = competitive_instance(220, 8);
+  PaymentOptions options;
+  options.max_bisection_steps = 10;
+  const UfpMechanismResult res =
+      run_ufp_mechanism(inst, saturating_rule(), options);
+  EXPECT_LE(res.rule_evaluations,
+            static_cast<long>(res.allocation.num_selected()) * 10);
+}
+
+
+TEST(CriticalDemand, ThresholdBracketsWinLose) {
+  const UfpInstance inst = competitive_instance(230);
+  const UfpRule rule = saturating_rule();
+  const UfpSolution base = rule(inst);
+  for (int r = 0; r < inst.num_requests(); ++r) {
+    if (!base.is_selected(r)) continue;
+    PaymentOptions options;
+    options.tolerance = 1e-6;
+    const double d_star = ufp_critical_demand(inst, rule, r, options);
+    const Request& req = inst.request(r);
+    EXPECT_GE(d_star, req.demand - 1e-12);
+    EXPECT_LE(d_star, 1.0 + 1e-12);
+    // Winning at the returned threshold...
+    Request at = req;
+    at.demand = d_star;
+    EXPECT_TRUE(rule(inst.with_request(r, at)).is_selected(r)) << r;
+    // ...and losing just above it (when the threshold is interior).
+    if (d_star < 1.0 - 1e-3) {
+      Request above = req;
+      above.demand = std::min(1.0, d_star * (1.0 + 1e-3) + 1e-9);
+      EXPECT_FALSE(rule(inst.with_request(r, above)).is_selected(r)) << r;
+    }
+  }
+}
+
+TEST(CriticalDemand, RequiresWinningRequest) {
+  const UfpInstance inst = competitive_instance(231);
+  const UfpRule rule = saturating_rule();
+  const UfpSolution base = rule(inst);
+  for (int r = 0; r < inst.num_requests(); ++r) {
+    if (base.is_selected(r)) continue;
+    EXPECT_THROW(ufp_critical_demand(inst, rule, r), std::invalid_argument);
+    break;
+  }
+}
+
+TEST(CriticalDemand, UncontestedWinnerHasFullHeadroom) {
+  Graph g = Graph::directed(2);
+  g.add_edge(0, 1, 10.0);
+  g.finalize();
+  UfpInstance inst(std::move(g), {{0, 1, 0.3, 5.0}});
+  const double d_star =
+      ufp_critical_demand(inst, make_bounded_ufp_rule(), 0);
+  EXPECT_DOUBLE_EQ(d_star, 1.0);
+}
+
+}  // namespace
+}  // namespace tufp

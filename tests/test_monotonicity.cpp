@@ -1,0 +1,128 @@
+// Lemma 3.4 as executable assertions: Bounded-UFP is monotone w.r.t. the
+// demand and value of every request (Definition 2.1).
+#include <gtest/gtest.h>
+
+#include "tufp/graph/generators.hpp"
+#include "tufp/mechanism/allocation_rule.hpp"
+#include "tufp/mechanism/truthfulness_audit.hpp"
+#include "tufp/ufp/bounded_ufp.hpp"
+#include "tufp/util/rng.hpp"
+#include "tufp/workload/request_gen.hpp"
+#include "tufp/workload/scenarios.hpp"
+
+namespace tufp {
+namespace {
+
+UfpRule saturating_rule() {
+  BoundedUfpConfig cfg;
+  cfg.run_to_saturation = true;
+  return make_bounded_ufp_rule(cfg);
+}
+
+UfpInstance tight_instance(std::uint64_t seed, int requests = 14) {
+  Rng rng(seed);
+  Graph g = grid_graph(3, 3, 2.0, false);
+  RequestGenConfig cfg;
+  cfg.num_requests = requests;
+  std::vector<Request> reqs = generate_requests(g, cfg, rng);
+  return UfpInstance(std::move(g), std::move(reqs));
+}
+
+class MonotonicityAuditTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MonotonicityAuditTest, GuardedRuleIsMonotone) {
+  const UfpInstance inst = tight_instance(GetParam());
+  MonotonicityOptions options;
+  options.seed = GetParam() * 7 + 1;
+  const UfpRule rule = saturating_rule();
+  ASSERT_GT(rule(inst).num_selected(), 0);
+  const auto report = audit_ufp_monotonicity(inst, rule, options);
+  EXPECT_TRUE(report.monotone())
+      << report.violations.size() << " violations, first on agent "
+      << (report.violations.empty() ? -1 : report.violations[0].agent);
+}
+
+TEST_P(MonotonicityAuditTest, FaithfulRuleIsMonotoneInRegime) {
+  Rng rng(GetParam());
+  const double eps = 0.5;
+  Graph probe = grid_graph(3, 3, 1.0, false);
+  const double B = regime_capacity(probe.num_edges(), eps, 1.05);
+  Graph g = grid_graph(3, 3, B, false);
+  RequestGenConfig cfg;
+  cfg.num_requests = 40;
+  std::vector<Request> reqs = generate_requests(g, cfg, rng);
+  UfpInstance inst(std::move(g), std::move(reqs));
+  BoundedUfpConfig config;
+  config.epsilon = eps;
+  config.capacity_guard = false;
+  MonotonicityOptions options;
+  options.seed = GetParam() * 13 + 5;
+  const auto report =
+      audit_ufp_monotonicity(inst, make_bounded_ufp_rule(config), options);
+  EXPECT_TRUE(report.monotone());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MonotonicityAuditTest,
+                         ::testing::Values(11, 12, 13, 14, 15, 16, 17, 18, 19,
+                                           20));
+
+TEST(Monotonicity, HandCraftedValueRaise) {
+  // Two requests compete for one edge; the loser starts winning once its
+  // declared value crosses the winner's.
+  Graph g = Graph::directed(2);
+  g.add_edge(0, 1, 1.0);
+  g.finalize();
+  UfpInstance inst(std::move(g), {{0, 1, 0.9, 5.0}, {0, 1, 0.9, 1.0}});
+  const UfpRule rule = saturating_rule();
+  EXPECT_TRUE(rule(inst).is_selected(0));
+  EXPECT_FALSE(rule(inst).is_selected(1));
+
+  Request boosted = inst.request(1);
+  boosted.value = 50.0;
+  const UfpSolution after = rule(inst.with_request(1, boosted));
+  EXPECT_TRUE(after.is_selected(1));
+  EXPECT_FALSE(after.is_selected(0));
+}
+
+TEST(Monotonicity, HandCraftedDemandDrop) {
+  // Lowering a selected request's demand keeps it selected.
+  const UfpInstance inst = tight_instance(23);
+  const UfpRule rule = saturating_rule();
+  const UfpSolution base = rule(inst);
+  for (int r = 0; r < inst.num_requests(); ++r) {
+    if (!base.is_selected(r)) continue;
+    Request lighter = inst.request(r);
+    lighter.demand *= 0.5;
+    EXPECT_TRUE(rule(inst.with_request(r, lighter)).is_selected(r))
+        << "request " << r;
+  }
+}
+
+TEST(Monotonicity, HandCraftedJointImprovement) {
+  // Both deviations at once (d down, v up) must also preserve selection.
+  const UfpInstance inst = tight_instance(29);
+  const UfpRule rule = saturating_rule();
+  const UfpSolution base = rule(inst);
+  for (int r = 0; r < inst.num_requests(); ++r) {
+    if (!base.is_selected(r)) continue;
+    Request better = inst.request(r);
+    better.demand *= 0.7;
+    better.value *= 3.0;
+    EXPECT_TRUE(rule(inst.with_request(r, better)).is_selected(r));
+  }
+}
+
+TEST(Monotonicity, LosersStayOutUnderWorsening) {
+  const UfpInstance inst = tight_instance(31);
+  const UfpRule rule = saturating_rule();
+  const UfpSolution base = rule(inst);
+  for (int r = 0; r < inst.num_requests(); ++r) {
+    if (base.is_selected(r)) continue;
+    Request worse = inst.request(r);
+    worse.value *= 0.5;
+    EXPECT_FALSE(rule(inst.with_request(r, worse)).is_selected(r));
+  }
+}
+
+}  // namespace
+}  // namespace tufp

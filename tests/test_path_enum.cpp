@@ -1,0 +1,110 @@
+#include "tufp/graph/path_enum.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "tufp/graph/generators.hpp"
+#include "tufp/graph/path.hpp"
+#include "tufp/util/rng.hpp"
+
+namespace tufp {
+namespace {
+
+TEST(PathEnum, SingleEdge) {
+  Graph g = Graph::directed(2);
+  g.add_edge(0, 1, 1.0);
+  g.finalize();
+  const auto result = enumerate_simple_paths(g, 0, 1);
+  EXPECT_FALSE(result.truncated);
+  ASSERT_EQ(result.paths.size(), 1u);
+  EXPECT_EQ(result.paths[0], (Path{0}));
+}
+
+TEST(PathEnum, DiamondHasTwoPaths) {
+  Graph g = Graph::directed(4);
+  g.add_edge(0, 1, 1.0);
+  g.add_edge(1, 3, 1.0);
+  g.add_edge(0, 2, 1.0);
+  g.add_edge(2, 3, 1.0);
+  g.finalize();
+  const auto result = enumerate_simple_paths(g, 0, 3);
+  EXPECT_EQ(result.paths.size(), 2u);
+}
+
+TEST(PathEnum, CountsOnCompleteDag) {
+  // Complete DAG on k vertices: paths from 0 to k-1 = 2^(k-2).
+  const int k = 8;
+  Graph g = Graph::directed(k);
+  for (int i = 0; i < k; ++i) {
+    for (int j = i + 1; j < k; ++j) {
+      g.add_edge(static_cast<VertexId>(i), static_cast<VertexId>(j), 1.0);
+    }
+  }
+  g.finalize();
+  const auto result = enumerate_simple_paths(g, 0, k - 1);
+  EXPECT_FALSE(result.truncated);
+  EXPECT_EQ(result.paths.size(), 1u << (k - 2));
+}
+
+TEST(PathEnum, UndirectedCycleTwoWays) {
+  Graph g = ring_graph(5, 1.0, /*directed=*/false);
+  const auto result = enumerate_simple_paths(g, 0, 2);
+  EXPECT_EQ(result.paths.size(), 2u);  // clockwise and counter-clockwise
+}
+
+TEST(PathEnum, AllPathsAreSimpleAndDistinct) {
+  Rng rng(4242);
+  Graph g = random_graph(8, 18, 1.0, 1.0, /*directed=*/true, rng);
+  const auto result = enumerate_simple_paths(g, 0, 7);
+  std::set<Path> unique(result.paths.begin(), result.paths.end());
+  EXPECT_EQ(unique.size(), result.paths.size());
+  for (const Path& p : result.paths) {
+    EXPECT_TRUE(is_simple_path(g, p, 0, 7));
+  }
+}
+
+TEST(PathEnum, MaxHopsFilters) {
+  Graph g = ring_graph(6, 1.0, /*directed=*/false);
+  PathEnumOptions opts;
+  opts.max_hops = 2;
+  const auto result = enumerate_simple_paths(g, 0, 2, opts);
+  ASSERT_EQ(result.paths.size(), 1u);
+  EXPECT_EQ(result.paths[0].size(), 2u);
+}
+
+TEST(PathEnum, TruncationFlagFires) {
+  const int k = 10;
+  Graph g = Graph::directed(k);
+  for (int i = 0; i < k; ++i) {
+    for (int j = i + 1; j < k; ++j) {
+      g.add_edge(static_cast<VertexId>(i), static_cast<VertexId>(j), 1.0);
+    }
+  }
+  g.finalize();
+  PathEnumOptions opts;
+  opts.max_paths = 5;
+  const auto result = enumerate_simple_paths(g, 0, k - 1, opts);
+  EXPECT_TRUE(result.truncated);
+  EXPECT_EQ(result.paths.size(), 5u);
+}
+
+TEST(PathEnum, NoPathYieldsEmpty) {
+  Graph g = Graph::directed(3);
+  g.add_edge(0, 1, 1.0);
+  g.finalize();
+  const auto result = enumerate_simple_paths(g, 0, 2);
+  EXPECT_FALSE(result.truncated);
+  EXPECT_TRUE(result.paths.empty());
+}
+
+TEST(PathEnum, RejectsBadArguments) {
+  Graph g = Graph::directed(2);
+  g.add_edge(0, 1, 1.0);
+  g.finalize();
+  EXPECT_THROW(enumerate_simple_paths(g, 0, 0), std::invalid_argument);
+  EXPECT_THROW(enumerate_simple_paths(g, 0, 5), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace tufp

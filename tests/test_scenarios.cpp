@@ -1,0 +1,128 @@
+#include "tufp/workload/scenarios.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tufp/graph/generators.hpp"
+#include "tufp/workload/request_gen.hpp"
+
+namespace tufp {
+namespace {
+
+TEST(RegimeCapacity, MatchesFormula) {
+  EXPECT_NEAR(regime_capacity(100, 0.5), std::log(100.0) / 0.25, 1e-12);
+  EXPECT_NEAR(regime_capacity(100, 0.5, 2.0), 2.0 * std::log(100.0) / 0.25,
+              1e-12);
+  // Floors at 1 for tiny graphs.
+  EXPECT_DOUBLE_EQ(regime_capacity(1, 1.0), 1.0);
+  EXPECT_THROW(regime_capacity(0, 0.5), std::invalid_argument);
+  EXPECT_THROW(regime_capacity(10, 0.0), std::invalid_argument);
+}
+
+TEST(RequestGen, RespectsRanges) {
+  Rng rng(3);
+  Graph g = grid_graph(3, 3, 2.0, false);
+  RequestGenConfig cfg;
+  cfg.num_requests = 40;
+  cfg.demand_min = 0.3;
+  cfg.demand_max = 0.9;
+  cfg.value_min = 2.0;
+  cfg.value_max = 4.0;
+  const auto reqs = generate_requests(g, cfg, rng);
+  ASSERT_EQ(reqs.size(), 40u);
+  for (const Request& r : reqs) {
+    EXPECT_NE(r.source, r.target);
+    EXPECT_GE(r.demand, 0.3);
+    EXPECT_LE(r.demand, 0.9);
+    EXPECT_GE(r.value, 2.0);
+    EXPECT_LT(r.value, 4.0);
+  }
+}
+
+TEST(RequestGen, PairsAlwaysConnected) {
+  Rng rng(5);
+  // Directed path graph: only forward pairs are connected.
+  Graph g = Graph::directed(5);
+  for (int i = 0; i + 1 < 5; ++i) {
+    g.add_edge(static_cast<VertexId>(i), static_cast<VertexId>(i + 1), 2.0);
+  }
+  g.finalize();
+  RequestGenConfig cfg;
+  cfg.num_requests = 30;
+  const auto reqs = generate_requests(g, cfg, rng);
+  for (const Request& r : reqs) EXPECT_LT(r.source, r.target);
+}
+
+TEST(RequestGen, ValueModelsProducePositiveValues) {
+  Rng rng(7);
+  Graph g = grid_graph(3, 3, 2.0, false);
+  for (ValueModel model : {ValueModel::kUniform, ValueModel::kZipf,
+                           ValueModel::kProportional}) {
+    RequestGenConfig cfg;
+    cfg.num_requests = 20;
+    cfg.value_model = model;
+    for (const Request& r : generate_requests(g, cfg, rng)) {
+      EXPECT_GT(r.value, 0.0);
+    }
+  }
+}
+
+TEST(RequestGen, ValidatesConfig) {
+  Rng rng(9);
+  Graph g = grid_graph(2, 2, 1.0, false);
+  RequestGenConfig cfg;
+  cfg.demand_min = 0.0;
+  EXPECT_THROW(generate_requests(g, cfg, rng), std::invalid_argument);
+}
+
+TEST(Scenarios, GridScenarioIsWellFormed) {
+  const UfpInstance inst =
+      make_grid_scenario(4, 4, 3.0, 25, ValueModel::kUniform, 42);
+  EXPECT_EQ(inst.graph().num_vertices(), 16);
+  EXPECT_EQ(inst.num_requests(), 25);
+  EXPECT_DOUBLE_EQ(inst.bound_B(), 3.0);
+  EXPECT_TRUE(inst.is_normalized());
+}
+
+TEST(Scenarios, RandomScenarioIsWellFormed) {
+  const UfpInstance inst = make_random_scenario(12, 30, 2.0, 15, 43);
+  EXPECT_EQ(inst.graph().num_vertices(), 12);
+  EXPECT_TRUE(inst.graph().is_directed());
+  EXPECT_EQ(inst.num_requests(), 15);
+}
+
+TEST(Scenarios, SameSeedReproduces) {
+  const UfpInstance a = make_random_scenario(10, 25, 2.0, 10, 77);
+  const UfpInstance b = make_random_scenario(10, 25, 2.0, 10, 77);
+  ASSERT_EQ(a.num_requests(), b.num_requests());
+  for (int r = 0; r < a.num_requests(); ++r) {
+    EXPECT_EQ(a.request(r).source, b.request(r).source);
+    EXPECT_DOUBLE_EQ(a.request(r).value, b.request(r).value);
+  }
+}
+
+TEST(Scenarios, RandomAuctionShape) {
+  const MucaInstance inst = make_random_auction(10, 4, 20, 2, 5, 1.0, 9.0, 11);
+  EXPECT_EQ(inst.num_items(), 10);
+  EXPECT_EQ(inst.num_requests(), 20);
+  EXPECT_EQ(inst.bound_B(), 4);
+  for (const MucaRequest& r : inst.requests()) {
+    EXPECT_GE(r.bundle.size(), 2u);
+    EXPECT_LE(r.bundle.size(), 5u);
+    // Sorted and distinct.
+    for (std::size_t i = 1; i < r.bundle.size(); ++i) {
+      EXPECT_LT(r.bundle[i - 1], r.bundle[i]);
+    }
+  }
+}
+
+TEST(Scenarios, RandomAuctionValidatesArgs) {
+  EXPECT_THROW(make_random_auction(5, 2, 10, 3, 6, 1, 2, 1),
+               std::invalid_argument);  // bundle_max > items
+  EXPECT_THROW(make_random_auction(5, 0, 10, 1, 3, 1, 2, 1),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace tufp

@@ -1,0 +1,164 @@
+#include "tufp/lp/simplex.hpp"
+
+#include <gtest/gtest.h>
+
+#include "tufp/util/rng.hpp"
+
+namespace tufp {
+namespace {
+
+TEST(Simplex, SingleVariableCap) {
+  // max 3x s.t. 2x <= 10 -> x = 5, obj 15, dual 1.5.
+  PackingLp lp;
+  const int x = lp.add_variable(3.0);
+  const int row = lp.add_row(10.0);
+  lp.add_coefficient(row, x, 2.0);
+  const LpSolution sol = solve_packing_lp(lp);
+  ASSERT_EQ(sol.status, LpSolution::Status::kOptimal);
+  EXPECT_NEAR(sol.objective, 15.0, 1e-9);
+  EXPECT_NEAR(sol.x[0], 5.0, 1e-9);
+  EXPECT_NEAR(sol.duals[0], 1.5, 1e-9);
+}
+
+TEST(Simplex, TwoVariableKnapsack) {
+  // max 4a + 3b s.t. a + b <= 4, a <= 3, b <= 3.
+  PackingLp lp;
+  const int a = lp.add_variable(4.0);
+  const int b = lp.add_variable(3.0);
+  const int sum = lp.add_row(4.0);
+  const int ca = lp.add_row(3.0);
+  const int cb = lp.add_row(3.0);
+  lp.add_coefficient(sum, a, 1.0);
+  lp.add_coefficient(sum, b, 1.0);
+  lp.add_coefficient(ca, a, 1.0);
+  lp.add_coefficient(cb, b, 1.0);
+  const LpSolution sol = solve_packing_lp(lp);
+  EXPECT_NEAR(sol.objective, 4.0 * 3.0 + 3.0 * 1.0, 1e-9);
+  EXPECT_NEAR(sol.x[0], 3.0, 1e-9);
+  EXPECT_NEAR(sol.x[1], 1.0, 1e-9);
+}
+
+TEST(Simplex, ZeroObjectiveVariableStaysZero) {
+  PackingLp lp;
+  const int a = lp.add_variable(0.0);
+  const int b = lp.add_variable(1.0);
+  const int row = lp.add_row(2.0);
+  lp.add_coefficient(row, a, 1.0);
+  lp.add_coefficient(row, b, 1.0);
+  const LpSolution sol = solve_packing_lp(lp);
+  EXPECT_NEAR(sol.objective, 2.0, 1e-9);
+  EXPECT_NEAR(sol.x[0], 0.0, 1e-9);
+}
+
+TEST(Simplex, UnconstrainedVariableDetectedAsUnbounded) {
+  PackingLp lp;
+  lp.add_variable(1.0);  // appears in no row
+  lp.add_row(1.0);
+  EXPECT_THROW(solve_packing_lp(lp), std::logic_error);
+}
+
+TEST(Simplex, DegenerateTiesTerminates) {
+  // Multiple identical rows force degenerate pivots; Bland must terminate.
+  PackingLp lp;
+  const int x = lp.add_variable(1.0);
+  const int y = lp.add_variable(1.0);
+  for (int i = 0; i < 4; ++i) {
+    const int row = lp.add_row(1.0);
+    lp.add_coefficient(row, x, 1.0);
+    lp.add_coefficient(row, y, 1.0);
+  }
+  const LpSolution sol = solve_packing_lp(lp);
+  ASSERT_EQ(sol.status, LpSolution::Status::kOptimal);
+  EXPECT_NEAR(sol.objective, 1.0, 1e-9);
+}
+
+TEST(Simplex, RhsZeroForcesZero) {
+  PackingLp lp;
+  const int x = lp.add_variable(5.0);
+  const int row = lp.add_row(0.0);
+  lp.add_coefficient(row, x, 1.0);
+  const LpSolution sol = solve_packing_lp(lp);
+  EXPECT_NEAR(sol.objective, 0.0, 1e-9);
+}
+
+TEST(Simplex, WeakDualityHoldsOnRandomLps) {
+  // For every random packing LP: c.x* == b.y* (strong duality at optimum)
+  // and y >= 0, and y'A >= c column-wise (dual feasibility).
+  for (std::uint64_t seed : {1u, 2u, 3u, 4u, 5u, 6u, 7u, 8u}) {
+    Rng rng(seed);
+    const int nvars = 2 + static_cast<int>(rng.next_below(6));
+    const int nrows = 2 + static_cast<int>(rng.next_below(6));
+    PackingLp lp;
+    for (int j = 0; j < nvars; ++j) lp.add_variable(rng.next_double(0.1, 5.0));
+    std::vector<std::vector<double>> dense(
+        static_cast<std::size_t>(nrows),
+        std::vector<double>(static_cast<std::size_t>(nvars), 0.0));
+    for (int i = 0; i < nrows; ++i) {
+      lp.add_row(rng.next_double(1.0, 10.0));
+      for (int j = 0; j < nvars; ++j) {
+        if (rng.next_bool(0.7)) {
+          const double a = rng.next_double(0.1, 3.0);
+          lp.add_coefficient(i, j, a);
+          dense[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)] = a;
+        }
+      }
+    }
+    // Ensure every variable appears somewhere (boundedness).
+    for (int j = 0; j < nvars; ++j) {
+      bool present = false;
+      for (int i = 0; i < nrows; ++i) {
+        present |= dense[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)] > 0;
+      }
+      if (!present) {
+        lp.add_coefficient(0, j, 1.0);
+        dense[0][static_cast<std::size_t>(j)] = 1.0;
+      }
+    }
+    const LpSolution sol = solve_packing_lp(lp);
+    ASSERT_EQ(sol.status, LpSolution::Status::kOptimal) << "seed " << seed;
+
+    // Primal feasibility.
+    for (int i = 0; i < nrows; ++i) {
+      double lhs = 0.0;
+      for (int j = 0; j < nvars; ++j) {
+        lhs += dense[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)] *
+               sol.x[static_cast<std::size_t>(j)];
+      }
+      EXPECT_LE(lhs, lp.rhs(i) + 1e-7) << "seed " << seed;
+    }
+    // Dual feasibility: for each variable, sum_i y_i a_ij >= c_j.
+    for (int j = 0; j < nvars; ++j) {
+      double lhs = 0.0;
+      for (int i = 0; i < nrows; ++i) {
+        lhs += sol.duals[static_cast<std::size_t>(i)] *
+               dense[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)];
+      }
+      EXPECT_GE(lhs, lp.objective(j) - 1e-7) << "seed " << seed << " var " << j;
+    }
+    // Strong duality: b.y == c.x at optimum.
+    double dual_obj = 0.0;
+    for (int i = 0; i < nrows; ++i) {
+      dual_obj += lp.rhs(i) * sol.duals[static_cast<std::size_t>(i)];
+    }
+    EXPECT_NEAR(dual_obj, sol.objective, 1e-6) << "seed " << seed;
+  }
+}
+
+TEST(PackingLp, ValidatesInput) {
+  PackingLp lp;
+  EXPECT_THROW(lp.add_variable(-1.0), std::invalid_argument);
+  EXPECT_THROW(lp.add_row(-1.0), std::invalid_argument);
+  lp.add_variable(1.0);
+  lp.add_row(1.0);
+  EXPECT_THROW(lp.add_coefficient(0, 0, 0.0), std::invalid_argument);
+  EXPECT_THROW(lp.add_coefficient(1, 0, 1.0), std::invalid_argument);
+  EXPECT_THROW(lp.add_coefficient(0, 1, 1.0), std::invalid_argument);
+}
+
+TEST(Simplex, RejectsEmptyLp) {
+  PackingLp lp;
+  EXPECT_THROW(solve_packing_lp(lp), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace tufp

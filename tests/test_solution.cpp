@@ -1,0 +1,129 @@
+#include "tufp/ufp/solution.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tufp {
+namespace {
+
+UfpInstance two_path_instance() {
+  // 0 ->(e0) 1 ->(e1) 2, plus direct 0 ->(e2) 2; capacities 1.
+  Graph g = Graph::directed(3);
+  g.add_edge(0, 1, 1.0);
+  g.add_edge(1, 2, 1.0);
+  g.add_edge(0, 2, 1.0);
+  g.finalize();
+  return UfpInstance(std::move(g),
+                     {{0, 2, 0.6, 2.0}, {0, 2, 0.6, 3.0}, {0, 1, 0.3, 1.0}});
+}
+
+TEST(UfpSolution, AssignAndQuery) {
+  const UfpInstance inst = two_path_instance();
+  UfpSolution sol(3);
+  EXPECT_EQ(sol.num_selected(), 0);
+  sol.assign(0, {0, 1});
+  sol.assign(1, {2});
+  EXPECT_TRUE(sol.is_selected(0));
+  EXPECT_TRUE(sol.is_selected(1));
+  EXPECT_FALSE(sol.is_selected(2));
+  EXPECT_EQ(sol.num_selected(), 2);
+  EXPECT_EQ(*sol.path_of(0), (Path{0, 1}));
+  EXPECT_EQ(sol.path_of(2), nullptr);
+  EXPECT_EQ(sol.selected_requests(), (std::vector<int>{0, 1}));
+  EXPECT_DOUBLE_EQ(sol.total_value(inst), 5.0);
+}
+
+TEST(UfpSolution, ExactnessRejectsDoubleAssign) {
+  UfpSolution sol(2);
+  sol.assign(0, {0});
+  EXPECT_THROW(sol.assign(0, {2}), std::invalid_argument);
+  EXPECT_THROW(sol.assign(1, {}), std::invalid_argument);
+  EXPECT_THROW(sol.assign(5, {0}), std::invalid_argument);
+}
+
+TEST(UfpSolution, EdgeLoads) {
+  const UfpInstance inst = two_path_instance();
+  UfpSolution sol(3);
+  sol.assign(0, {0, 1});
+  sol.assign(2, {0});
+  const auto loads = sol.edge_loads(inst);
+  EXPECT_DOUBLE_EQ(loads[0], 0.9);
+  EXPECT_DOUBLE_EQ(loads[1], 0.6);
+  EXPECT_DOUBLE_EQ(loads[2], 0.0);
+}
+
+TEST(UfpSolution, FeasibilityAccepts) {
+  const UfpInstance inst = two_path_instance();
+  UfpSolution sol(3);
+  sol.assign(0, {0, 1});
+  sol.assign(1, {2});
+  const auto report = sol.check_feasibility(inst);
+  EXPECT_TRUE(report.feasible) << report.message;
+}
+
+TEST(UfpSolution, FeasibilityCatchesOverload) {
+  const UfpInstance inst = two_path_instance();
+  UfpSolution sol(3);
+  sol.assign(0, {0, 1});
+  sol.assign(1, {0, 1});  // 1.2 > 1.0 on e0, e1
+  const auto report = sol.check_feasibility(inst);
+  EXPECT_FALSE(report.feasible);
+  EXPECT_NE(report.message.find("overloaded"), std::string::npos);
+}
+
+TEST(UfpSolution, FeasibilityCatchesWrongTerminals) {
+  const UfpInstance inst = two_path_instance();
+  UfpSolution sol(3);
+  sol.assign(2, {0, 1});  // request 2 targets vertex 1, path goes to 2
+  const auto report = sol.check_feasibility(inst);
+  EXPECT_FALSE(report.feasible);
+}
+
+TEST(UfpSolution, FeasibilityCatchesDisconnectedWalk) {
+  const UfpInstance inst = two_path_instance();
+  UfpSolution sol(3);
+  sol.assign(0, {1, 0});  // edges out of order: not a walk from 0
+  EXPECT_FALSE(sol.check_feasibility(inst).feasible);
+}
+
+TEST(UfpSolution, InstanceArityMismatchThrows) {
+  const UfpInstance inst = two_path_instance();
+  UfpSolution sol(2);
+  EXPECT_THROW(sol.total_value(inst), std::invalid_argument);
+}
+
+TEST(UfpMultiSolution, RepetitionsAccumulate) {
+  const UfpInstance inst = two_path_instance();
+  UfpMultiSolution sol(3);
+  sol.add(0, {0, 1});
+  sol.add(0, {2});
+  sol.add(1, {2});
+  EXPECT_EQ(sol.repetitions_of(0), 2);
+  EXPECT_EQ(sol.repetitions_of(1), 1);
+  EXPECT_EQ(sol.repetitions_of(2), 0);
+  EXPECT_DOUBLE_EQ(sol.total_value(inst), 2.0 + 2.0 + 3.0);
+  const auto loads = sol.edge_loads(inst);
+  EXPECT_DOUBLE_EQ(loads[2], 1.2);
+}
+
+TEST(UfpMultiSolution, FeasibilityChecksAggregateLoad) {
+  const UfpInstance inst = two_path_instance();
+  UfpMultiSolution sol(3);
+  sol.add(0, {2});
+  EXPECT_TRUE(sol.check_feasibility(inst).feasible);
+  sol.add(1, {2});  // 1.2 > 1.0 on e2
+  EXPECT_FALSE(sol.check_feasibility(inst).feasible);
+}
+
+TEST(UfpMultiSolution, UndirectedPathsValidated) {
+  Graph g = Graph::undirected(3);
+  g.add_edge(0, 1, 2.0);
+  g.add_edge(1, 2, 2.0);
+  g.finalize();
+  UfpInstance inst(std::move(g), {{2, 0, 1.0, 1.0}});
+  UfpMultiSolution sol(1);
+  sol.add(0, {1, 0});  // traversed backwards: valid in undirected graphs
+  EXPECT_TRUE(sol.check_feasibility(inst).feasible);
+}
+
+}  // namespace
+}  // namespace tufp

@@ -1,0 +1,144 @@
+// Direct tests of the lazy shortest-path cache behind Bounded-UFP and
+// Bounded-UFP-Repeat (detail/sp_cache.hpp): stale detection, permanent
+// unreachability caching, and deterministic parallel refresh.
+#include "tufp/ufp/detail/sp_cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include "tufp/ufp/bounded_ufp.hpp"
+
+#include "tufp/graph/generators.hpp"
+#include "tufp/util/math.hpp"
+#include "tufp/util/rng.hpp"
+#include "tufp/workload/request_gen.hpp"
+
+namespace tufp {
+namespace {
+
+UfpInstance diamond_instance() {
+  // Two 0->3 routes (edges {0,1} and {2,3}).
+  Graph g = Graph::directed(4);
+  g.add_edge(0, 1, 5.0);  // e0
+  g.add_edge(1, 3, 5.0);  // e1
+  g.add_edge(0, 2, 5.0);  // e2
+  g.add_edge(2, 3, 5.0);  // e3
+  g.finalize();
+  return UfpInstance(std::move(g),
+                     {{0, 3, 1.0, 1.0}, {0, 3, 1.0, 2.0}, {1, 0, 1.0, 1.0}});
+}
+
+TEST(SpCache, ComputesShortestPathsOnFirstRefresh) {
+  const UfpInstance inst = diamond_instance();
+  detail::SpCache cache(inst, /*parallel=*/false, 0);
+  std::vector<double> y{1.0, 1.0, 2.0, 2.0};
+  const std::vector<std::int64_t> stamps(4, 0);
+  const std::vector<int> active{0, 1, 2};
+  cache.refresh(y, stamps, 1, active, /*lazy=*/true);
+  EXPECT_DOUBLE_EQ(cache.entry(0).length, 2.0);
+  EXPECT_EQ(cache.entry(0).path, (Path{0, 1}));
+  EXPECT_FALSE(cache.entry(2).reachable);  // 1 -> 0 has no arc
+  EXPECT_EQ(cache.recomputed_last_refresh(), 3u);
+}
+
+TEST(SpCache, UntouchedPathsAreNotRecomputed) {
+  const UfpInstance inst = diamond_instance();
+  detail::SpCache cache(inst, false, 0);
+  std::vector<double> y{1.0, 1.0, 2.0, 2.0};
+  std::vector<std::int64_t> stamps(4, 0);
+  const std::vector<int> active{0, 1};
+  cache.refresh(y, stamps, 1, active, true);
+  ASSERT_EQ(cache.recomputed_last_refresh(), 2u);
+
+  // Update an edge OFF the cached paths: nothing becomes stale.
+  y[2] = 3.0;
+  stamps[2] = 2;
+  cache.refresh(y, stamps, 2, active, true);
+  EXPECT_EQ(cache.recomputed_last_refresh(), 0u);
+
+  // Update an edge ON the cached path: both requests go stale and the
+  // recomputed paths switch to the alternative route (y = 3.0 + 2.0).
+  y[0] = 10.0;
+  stamps[0] = 3;
+  cache.refresh(y, stamps, 3, active, true);
+  EXPECT_EQ(cache.recomputed_last_refresh(), 2u);
+  EXPECT_EQ(cache.entry(0).path, (Path{2, 3}));
+  EXPECT_DOUBLE_EQ(cache.entry(0).length, 5.0);
+}
+
+TEST(SpCache, UnreachableIsCachedForever) {
+  const UfpInstance inst = diamond_instance();
+  detail::SpCache cache(inst, false, 0);
+  std::vector<double> y{1.0, 1.0, 1.0, 1.0};
+  std::vector<std::int64_t> stamps(4, 0);
+  const std::vector<int> active{2};
+  cache.refresh(y, stamps, 1, active, true);
+  EXPECT_EQ(cache.recomputed_last_refresh(), 1u);
+  // Even with every edge stamped dirty, the unreachable entry stays put.
+  for (auto& s : stamps) s = 2;
+  cache.refresh(y, stamps, 2, active, true);
+  EXPECT_EQ(cache.recomputed_last_refresh(), 0u);
+  EXPECT_FALSE(cache.entry(2).reachable);
+}
+
+TEST(SpCache, EagerModeAlwaysRecomputes) {
+  const UfpInstance inst = diamond_instance();
+  detail::SpCache cache(inst, false, 0);
+  const std::vector<double> y{1.0, 1.0, 2.0, 2.0};
+  const std::vector<std::int64_t> stamps(4, 0);
+  const std::vector<int> active{0, 1};
+  cache.refresh(y, stamps, 1, active, /*lazy=*/false);
+  cache.refresh(y, stamps, 2, active, /*lazy=*/false);
+  EXPECT_EQ(cache.recomputed_last_refresh(), 2u);
+}
+
+TEST(SpCache, ParallelAndSerialProduceIdenticalEntries) {
+  Rng rng(321);
+  Graph g = grid_graph(4, 4, 3.0, false);
+  RequestGenConfig cfg;
+  cfg.num_requests = 40;
+  std::vector<Request> reqs = generate_requests(g, cfg, rng);
+  const UfpInstance inst(std::move(g), std::move(reqs));
+
+  std::vector<double> y(static_cast<std::size_t>(inst.graph().num_edges()));
+  for (auto& w : y) w = rng.next_double(0.1, 2.0);
+  const std::vector<std::int64_t> stamps(y.size(), 0);
+  std::vector<int> active(static_cast<std::size_t>(inst.num_requests()));
+  for (int r = 0; r < inst.num_requests(); ++r) active[static_cast<std::size_t>(r)] = r;
+
+  detail::SpCache serial(inst, false, 0);
+  detail::SpCache parallel(inst, true, 0);
+  serial.refresh(y, stamps, 1, active, true);
+  parallel.refresh(y, stamps, 1, active, true);
+  for (int r = 0; r < inst.num_requests(); ++r) {
+    EXPECT_DOUBLE_EQ(serial.entry(r).length, parallel.entry(r).length);
+    EXPECT_EQ(serial.entry(r).path, parallel.entry(r).path);
+  }
+}
+
+TEST(SpCache, SolverCountersShowLazySavings) {
+  // Jittered capacities keep shortest paths unique (lazy and eager runs
+  // are provably identical only up to shortest-path ties).
+  Rng rng(654);
+  Graph g = random_graph(12, 30, 5.0, 8.0, /*directed=*/true, rng);
+  RequestGenConfig cfg;
+  cfg.num_requests = 60;
+  std::vector<Request> reqs = generate_requests(g, cfg, rng);
+  const UfpInstance inst(std::move(g), std::move(reqs));
+
+  BoundedUfpConfig lazy;
+  lazy.epsilon = 0.6;
+  lazy.run_to_saturation = true;
+  BoundedUfpConfig eager = lazy;
+  eager.lazy_shortest_paths = false;
+  const auto a = bounded_ufp(inst, lazy);
+  const auto b = bounded_ufp(inst, eager);
+  ASSERT_GT(a.iterations, 0);
+  // Identical outcomes, strictly fewer Dijkstra runs.
+  EXPECT_EQ(a.solution.selected_requests(), b.solution.selected_requests());
+  EXPECT_GT(b.sp_computations, a.sp_computations);
+  // Eager does |remaining| recomputes per iteration.
+  EXPECT_GE(b.sp_computations, static_cast<std::int64_t>(b.iterations));
+}
+
+}  // namespace
+}  // namespace tufp

@@ -1,0 +1,115 @@
+#include "tufp/util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tufp/util/rng.hpp"
+
+namespace tufp {
+namespace {
+
+TEST(RunningStats, EmptyDefaults) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_THROW(s.min(), std::invalid_argument);
+  EXPECT_THROW(s.max(), std::invalid_argument);
+}
+
+TEST(RunningStats, SingleValue) {
+  RunningStats s;
+  s.add(3.5);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.5);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 3.5);
+  EXPECT_DOUBLE_EQ(s.max(), 3.5);
+}
+
+TEST(RunningStats, KnownSample) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  // Sample variance with n-1 denominator: sum sq dev = 32, n-1 = 7.
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStats, MergeMatchesSequential) {
+  Rng rng(99);
+  RunningStats whole, left, right;
+  for (int i = 0; i < 500; ++i) {
+    const double x = rng.next_double(-5, 5);
+    whole.add(x);
+    (i < 200 ? left : right).add(x);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), whole.count());
+  EXPECT_NEAR(left.mean(), whole.mean(), 1e-12);
+  EXPECT_NEAR(left.variance(), whole.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(left.min(), whole.min());
+  EXPECT_DOUBLE_EQ(left.max(), whole.max());
+}
+
+TEST(RunningStats, MergeWithEmpty) {
+  RunningStats a, b;
+  a.add(1.0);
+  a.add(2.0);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 2u);
+  b.merge(a);
+  EXPECT_EQ(b.count(), 2u);
+  EXPECT_DOUBLE_EQ(b.mean(), 1.5);
+}
+
+TEST(RunningStats, StableForLargeOffsets) {
+  RunningStats s;
+  for (int i = 0; i < 1000; ++i) s.add(1e9 + (i % 2));
+  EXPECT_NEAR(s.mean(), 1e9 + 0.5, 1e-3);
+  EXPECT_NEAR(s.variance(), 0.25 * 1000 / 999, 1e-6);
+}
+
+TEST(Percentile, MedianOfOddSample) {
+  EXPECT_DOUBLE_EQ(percentile({3.0, 1.0, 2.0}, 0.5), 2.0);
+}
+
+TEST(Percentile, Interpolates) {
+  EXPECT_DOUBLE_EQ(percentile({1.0, 2.0}, 0.5), 1.5);
+  EXPECT_DOUBLE_EQ(percentile({0.0, 10.0}, 0.25), 2.5);
+}
+
+TEST(Percentile, Extremes) {
+  const std::vector<double> xs{5.0, 1.0, 9.0, 3.0};
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 1.0), 9.0);
+}
+
+TEST(Percentile, RejectsBadInput) {
+  EXPECT_THROW(percentile({}, 0.5), std::invalid_argument);
+  EXPECT_THROW(percentile({1.0}, 1.5), std::invalid_argument);
+}
+
+TEST(GeometricMean, KnownValues) {
+  EXPECT_NEAR(geometric_mean({2.0, 8.0}), 4.0, 1e-12);
+  EXPECT_NEAR(geometric_mean({1.0, 1.0, 1.0}), 1.0, 1e-12);
+}
+
+TEST(GeometricMean, RejectsNonPositive) {
+  EXPECT_THROW(geometric_mean({1.0, 0.0}), std::invalid_argument);
+  EXPECT_THROW(geometric_mean({}), std::invalid_argument);
+}
+
+TEST(FormatMeanStd, Formats) {
+  RunningStats s;
+  s.add(1.0);
+  s.add(3.0);
+  const std::string out = format_mean_std(s, 2);
+  EXPECT_NE(out.find("2.00"), std::string::npos);
+  EXPECT_NE(out.find("±"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace tufp

@@ -1,0 +1,87 @@
+#include "tufp/util/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+namespace tufp {
+namespace {
+
+TEST(Table, RejectsEmptyHeader) {
+  EXPECT_THROW(Table({}), std::invalid_argument);
+}
+
+TEST(Table, RejectsWrongArityRow) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"1"}), std::invalid_argument);
+  EXPECT_THROW(t.add_row({"1", "2", "3"}), std::invalid_argument);
+}
+
+TEST(Table, RowBuilderCommitsOnDestruction) {
+  Table t({"name", "x"});
+  t.row().cell("alpha").cell(1.5);
+  EXPECT_EQ(t.num_rows(), 1u);
+  EXPECT_EQ(t.rows()[0][0], "alpha");
+  EXPECT_EQ(t.rows()[0][1], "1.5000");
+}
+
+TEST(Table, PrecisionControlsDoubleFormat) {
+  Table t({"x"});
+  t.set_precision(2);
+  t.row().cell(3.14159);
+  EXPECT_EQ(t.rows()[0][0], "3.14");
+}
+
+TEST(Table, FormatsSpecialDoubles) {
+  EXPECT_EQ(Table::format_double(std::numeric_limits<double>::infinity(), 3),
+            "inf");
+  EXPECT_EQ(Table::format_double(-std::numeric_limits<double>::infinity(), 3),
+            "-inf");
+  EXPECT_EQ(Table::format_double(std::nan(""), 3), "nan");
+}
+
+TEST(Table, PrintAlignsColumns) {
+  Table t({"id", "value"});
+  t.row().cell(1).cell("short");
+  t.row().cell(100).cell("a-much-longer-value");
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  // Header, rule, two rows.
+  int newlines = 0;
+  for (char c : out) newlines += c == '\n' ? 1 : 0;
+  EXPECT_EQ(newlines, 4);
+  EXPECT_NE(out.find("a-much-longer-value"), std::string::npos);
+}
+
+TEST(Table, CsvEscapesSpecialCharacters) {
+  Table t({"plain", "with,comma", "with\"quote"});
+  t.row().cell("x").cell("a,b").cell("say \"hi\"");
+  std::ostringstream os;
+  t.write_csv(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("\"with,comma\""), std::string::npos);
+  EXPECT_NE(out.find("\"a,b\""), std::string::npos);
+  EXPECT_NE(out.find("\"say \"\"hi\"\"\""), std::string::npos);
+}
+
+TEST(Table, CsvRoundTripRowCount) {
+  Table t({"a"});
+  for (int i = 0; i < 5; ++i) t.row().cell(i);
+  std::ostringstream os;
+  t.write_csv(os);
+  int newlines = 0;
+  for (char c : os.str()) newlines += c == '\n' ? 1 : 0;
+  EXPECT_EQ(newlines, 6);  // header + 5 rows
+}
+
+TEST(Table, IntegerCellTypes) {
+  Table t({"a", "b", "c", "d"});
+  t.row().cell(1).cell(2L).cell(3LL).cell(std::size_t{4});
+  EXPECT_EQ(t.rows()[0], (std::vector<std::string>{"1", "2", "3", "4"}));
+}
+
+}  // namespace
+}  // namespace tufp

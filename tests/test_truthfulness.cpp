@@ -1,0 +1,107 @@
+// Corollaries 3.2 / 4.2 (empirically): under the paper's mechanisms no
+// sampled misreport beats truth-telling — and the non-monotone randomized-
+// rounding baseline fails the same audits (the paper's motivation).
+#include "tufp/mechanism/truthfulness_audit.hpp"
+
+#include <gtest/gtest.h>
+
+#include "tufp/baselines/randomized_rounding.hpp"
+#include "tufp/graph/generators.hpp"
+#include "tufp/util/rng.hpp"
+#include "tufp/workload/request_gen.hpp"
+#include "tufp/workload/scenarios.hpp"
+
+namespace tufp {
+namespace {
+
+UfpInstance competitive_instance(std::uint64_t seed, int requests = 8) {
+  Rng rng(seed);
+  Graph g = grid_graph(2, 3, 1.4, false);
+  RequestGenConfig cfg;
+  cfg.num_requests = requests;
+  std::vector<Request> reqs = generate_requests(g, cfg, rng);
+  return UfpInstance(std::move(g), std::move(reqs));
+}
+
+// Saturating mode keeps the mechanism non-trivial on these tight,
+// out-of-regime fixtures (still monotone + exact, hence truthful).
+UfpRule saturating_rule() {
+  BoundedUfpConfig cfg;
+  cfg.run_to_saturation = true;
+  return make_bounded_ufp_rule(cfg);
+}
+
+class UfpTruthfulnessTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(UfpTruthfulnessTest, NoProfitableMisreportUnderBoundedUfp) {
+  const UfpInstance inst = competitive_instance(GetParam());
+  AuditOptions options;
+  options.seed = GetParam() * 3 + 11;
+  options.value_misreports_per_agent = 6;
+  options.demand_misreports_per_agent = 3;
+  const UfpRule rule = saturating_rule();
+  ASSERT_GT(rule(inst).num_selected(), 0);
+  const AuditReport report = audit_ufp_truthfulness(inst, rule, options);
+  EXPECT_TRUE(report.truthful())
+      << report.violations.size() << " violations; first: "
+      << (report.violations.empty() ? "" : report.violations[0].description);
+  EXPECT_GT(report.misreports_tried, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, UfpTruthfulnessTest,
+                         ::testing::Values(301, 302, 303, 304));
+
+TEST(MucaTruthfulness, NoProfitableMisreportUnderBoundedMuca) {
+  for (std::uint64_t seed = 310; seed < 313; ++seed) {
+    const MucaInstance inst =
+        make_random_auction(8, 2, 10, 2, 4, 1.0, 9.0, seed);
+    AuditOptions options;
+    options.seed = seed * 3 + 1;
+    options.value_misreports_per_agent = 6;
+    options.bundle_misreports_per_agent = 4;
+    BoundedMucaConfig muca_cfg;
+    muca_cfg.run_to_saturation = true;
+    const MucaRule rule = make_bounded_muca_rule(muca_cfg);
+    ASSERT_GT(rule(inst).num_selected(), 0) << "seed " << seed;
+    const AuditReport report = audit_muca_truthfulness(inst, rule, options);
+    EXPECT_TRUE(report.truthful())
+        << "seed " << seed << ": "
+        << (report.violations.empty() ? "" : report.violations[0].description);
+  }
+}
+
+TEST(RandomizedRounding, ViolatesMonotonicitySomewhere) {
+  // The classical technique is not monotone: across a few tight instances
+  // and fixed coins, some improvement flips a winner to a loser.
+  const UfpRule rr_rule = [](const UfpInstance& inst) {
+    RoundingConfig cfg;
+    cfg.seed = 1234;
+    return randomized_rounding_ufp(inst, cfg).solution;
+  };
+  long violations = 0;
+  for (std::uint64_t seed = 320; seed < 328; ++seed) {
+    const UfpInstance inst = competitive_instance(seed, 8);
+    MonotonicityOptions options;
+    options.seed = seed;
+    options.probes_per_agent = 8;
+    violations += static_cast<long>(
+        audit_ufp_monotonicity(inst, rr_rule, options).violations.size());
+  }
+  EXPECT_GT(violations, 0)
+      << "expected the rounding baseline to break Definition 2.1 somewhere";
+}
+
+TEST(Audit, ReportsCountsConsistently) {
+  const UfpInstance inst = competitive_instance(330, 5);
+  AuditOptions options;
+  options.value_misreports_per_agent = 4;
+  options.demand_misreports_per_agent = 2;
+  const AuditReport report =
+      audit_ufp_truthfulness(inst, saturating_rule(), options);
+  EXPECT_EQ(report.agents_audited, 5);
+  EXPECT_LE(report.misreports_tried, 5L * (4 + 2));
+  EXPECT_GE(report.misreports_tried, 5L * 4);
+}
+
+}  // namespace
+}  // namespace tufp

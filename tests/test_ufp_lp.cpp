@@ -1,0 +1,108 @@
+#include "tufp/lp/ufp_lp.hpp"
+
+#include <gtest/gtest.h>
+
+#include "tufp/graph/generators.hpp"
+#include "tufp/util/rng.hpp"
+#include "tufp/workload/request_gen.hpp"
+
+namespace tufp {
+namespace {
+
+UfpInstance bottleneck_instance() {
+  // Single edge of capacity 1; two requests of demand 0.75 each. Fractional
+  // optimum can mix; integral can take only one.
+  Graph g = Graph::directed(2);
+  g.add_edge(0, 1, 1.0);
+  g.finalize();
+  return UfpInstance(std::move(g), {{0, 1, 0.75, 3.0}, {0, 1, 0.75, 2.0}});
+}
+
+TEST(UfpLp, FractionalBeatsIntegralOnBottleneck) {
+  const UfpFractionalSolution lp = solve_ufp_lp(bottleneck_instance());
+  // x0 = 1 (demand .75), x1 = (1-.75)/.75 = 1/3 -> 3 + 2/3.
+  EXPECT_NEAR(lp.objective, 3.0 + 2.0 / 3.0, 1e-9);
+  ASSERT_EQ(lp.x.size(), 2u);
+  EXPECT_NEAR(lp.x[0][0], 1.0, 1e-9);
+  EXPECT_NEAR(lp.x[1][0], 1.0 / 3.0, 1e-9);
+}
+
+TEST(UfpLp, SaturatedWhenCapacityAmple) {
+  Graph g = Graph::directed(2);
+  g.add_edge(0, 1, 10.0);
+  g.finalize();
+  UfpInstance inst(std::move(g), {{0, 1, 1.0, 1.0}, {0, 1, 1.0, 2.0}});
+  const UfpFractionalSolution lp = solve_ufp_lp(inst);
+  EXPECT_NEAR(lp.objective, 3.0, 1e-9);  // request constraint x <= 1 binds
+}
+
+TEST(UfpLp, UnreachableRequestContributesNothing) {
+  Graph g = Graph::directed(3);
+  g.add_edge(0, 1, 5.0);
+  g.finalize();
+  UfpInstance inst(std::move(g), {{0, 1, 1.0, 2.0}, {0, 2, 1.0, 100.0}});
+  const UfpFractionalSolution lp = solve_ufp_lp(inst);
+  EXPECT_NEAR(lp.objective, 2.0, 1e-9);
+  EXPECT_TRUE(lp.paths[1].empty());
+}
+
+TEST(UfpLp, AllUnreachableGivesZero) {
+  Graph g = Graph::directed(3);
+  g.add_edge(0, 1, 5.0);
+  g.finalize();
+  UfpInstance inst(std::move(g), {{1, 2, 1.0, 2.0}});
+  const UfpFractionalSolution lp = solve_ufp_lp(inst);
+  EXPECT_DOUBLE_EQ(lp.objective, 0.0);
+}
+
+TEST(UfpLp, DualFeasibilityOverAllPaths) {
+  // For the optimal duals: z_r + d_r * sum_{e in s} y_e >= v_r for every
+  // enumerated path s in S_r (Figure 1's dual constraints).
+  Rng rng(777);
+  Graph g = grid_graph(3, 3, 2.0, /*directed=*/false);
+  RequestGenConfig cfg;
+  cfg.num_requests = 6;
+  std::vector<Request> reqs = generate_requests(g, cfg, rng);
+  UfpInstance inst(std::move(g), std::move(reqs));
+  const UfpFractionalSolution lp = solve_ufp_lp(inst);
+  for (int r = 0; r < inst.num_requests(); ++r) {
+    const Request& req = inst.request(r);
+    for (const Path& s : lp.paths[static_cast<std::size_t>(r)]) {
+      double y_sum = 0.0;
+      for (EdgeId e : s) y_sum += lp.edge_duals[static_cast<std::size_t>(e)];
+      EXPECT_GE(lp.request_duals[static_cast<std::size_t>(r)] +
+                    req.demand * y_sum,
+                req.value - 1e-6);
+    }
+  }
+}
+
+TEST(UfpLp, PrimalRespectsCapacities) {
+  Rng rng(778);
+  Graph g = grid_graph(3, 3, 1.5, false);
+  RequestGenConfig cfg;
+  cfg.num_requests = 8;
+  std::vector<Request> reqs = generate_requests(g, cfg, rng);
+  UfpInstance inst(std::move(g), std::move(reqs));
+  const UfpFractionalSolution lp = solve_ufp_lp(inst);
+  std::vector<double> load(static_cast<std::size_t>(inst.graph().num_edges()), 0.0);
+  for (int r = 0; r < inst.num_requests(); ++r) {
+    double total = 0.0;
+    for (std::size_t k = 0; k < lp.x[static_cast<std::size_t>(r)].size(); ++k) {
+      const double xv = lp.x[static_cast<std::size_t>(r)][k];
+      EXPECT_GE(xv, -1e-9);
+      total += xv;
+      for (EdgeId e : lp.paths[static_cast<std::size_t>(r)][k]) {
+        load[static_cast<std::size_t>(e)] += inst.request(r).demand * xv;
+      }
+    }
+    EXPECT_LE(total, 1.0 + 1e-7);
+  }
+  for (EdgeId e = 0; e < inst.graph().num_edges(); ++e) {
+    EXPECT_LE(load[static_cast<std::size_t>(e)],
+              inst.graph().capacity(e) + 1e-7);
+  }
+}
+
+}  // namespace
+}  // namespace tufp
