@@ -1,0 +1,167 @@
+// E10: streaming admission engine throughput.
+//
+// Drives the epoch-batched engine over grid scenarios at several batch
+// sizes and payment policies, reporting end-to-end request throughput,
+// per-epoch solve latency and the admission/revenue profile. The load side
+// (admitted fraction, revenue) is deterministic; the wall-clock side is
+// machine-dependent and what CI tracks over time.
+//
+// Usage: bench_engine_throughput [--csv] [--json PATH] [--full]
+//   --csv   CSV instead of aligned table (first arg, bench_util convention)
+//   --json  also write the series as a JSON array (CI artifact)
+//   --full  bigger grids / more requests (off by default so the bench
+//           stays ctest-speed friendly)
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "tufp/engine/epoch_engine.hpp"
+#include "tufp/engine/request_stream.hpp"
+#include "tufp/util/stats.hpp"
+#include "tufp/util/table.hpp"
+#include "tufp/workload/scenarios.hpp"
+
+namespace {
+
+using namespace tufp;
+
+struct BenchCase {
+  std::string name;
+  int rows;
+  int cols;
+  double capacity;
+  std::int64_t requests;
+  int max_batch;
+  PaymentPolicy payments;
+};
+
+struct BenchRow {
+  BenchCase config;
+  std::int64_t admitted = 0;
+  double admitted_fraction = 0.0;
+  double revenue = 0.0;
+  double requests_per_second = 0.0;
+  double solve_p50 = 0.0;
+  double solve_p99 = 0.0;
+  double wall_seconds = 0.0;
+};
+
+const char* payment_name(PaymentPolicy p) {
+  switch (p) {
+    case PaymentPolicy::kNone: return "none";
+    case PaymentPolicy::kDualPrice: return "dual";
+    case PaymentPolicy::kCritical: return "critical";
+  }
+  return "?";
+}
+
+BenchRow run_case(const BenchCase& c) {
+  const StreamingScenario scenario = make_streaming_grid_scenario(
+      c.rows, c.cols, c.capacity, ValueModel::kUniform);
+  EpochEngineConfig config;
+  config.max_batch = c.max_batch;
+  config.payments = c.payments;
+  EpochEngine engine(scenario.graph, config);
+
+  PoissonStream stream(scenario.graph, scenario.request_config,
+                       /*rate=*/10000.0, c.requests, /*seed=*/1);
+  const EngineSummary summary = engine.run(stream);
+
+  BenchRow row;
+  row.config = c;
+  row.admitted = summary.counters.admitted;
+  row.admitted_fraction = summary.admitted_fraction;
+  row.revenue = summary.counters.revenue;
+  row.requests_per_second = summary.requests_per_second;
+  row.solve_p50 = engine.metrics().solve_seconds().percentile(0.5);
+  row.solve_p99 = engine.metrics().solve_seconds().percentile(0.99);
+  row.wall_seconds = summary.wall_seconds;
+  return row;
+}
+
+void write_json(const std::vector<BenchRow>& rows, const std::string& path) {
+  std::ofstream os(path);
+  os << "[\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const BenchRow& r = rows[i];
+    os << "  {\"case\": \"" << r.config.name << "\""
+       << ", \"rows\": " << r.config.rows << ", \"cols\": " << r.config.cols
+       << ", \"capacity\": " << r.config.capacity
+       << ", \"requests\": " << r.config.requests
+       << ", \"max_batch\": " << r.config.max_batch << ", \"payments\": \""
+       << payment_name(r.config.payments) << "\""
+       << ", \"admitted\": " << r.admitted
+       << ", \"admitted_fraction\": " << r.admitted_fraction
+       << ", \"revenue\": " << r.revenue
+       << ", \"requests_per_second\": " << r.requests_per_second
+       << ", \"solve_p50_seconds\": " << r.solve_p50
+       << ", \"solve_p99_seconds\": " << r.solve_p99
+       << ", \"wall_seconds\": " << r.wall_seconds << "}"
+       << (i + 1 < rows.size() ? "," : "") << "\n";
+  }
+  os << "]\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool csv = tufp::bench::csv_mode(argc, argv);
+  std::string json_path;
+  bool full = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--json" && i + 1 < argc) json_path = argv[++i];
+    if (a == "--full") full = true;
+  }
+
+  std::vector<BenchCase> cases = {
+      {"grid8-none", 8, 8, 20.0, 4000, 500, PaymentPolicy::kNone},
+      {"grid8-dual", 8, 8, 20.0, 4000, 500, PaymentPolicy::kDualPrice},
+      {"grid12-dual", 12, 12, 30.0, 8000, 1000, PaymentPolicy::kDualPrice},
+      {"grid8-critical", 8, 8, 8.0, 400, 100, PaymentPolicy::kCritical},
+  };
+  if (full) {
+    cases.push_back({"grid16-dual", 16, 16, 50.0, 40000, 4000,
+                     PaymentPolicy::kDualPrice});
+    cases.push_back({"grid24-dual", 24, 24, 100.0, 100000, 10000,
+                     PaymentPolicy::kDualPrice});
+  }
+
+  if (!csv) {
+    tufp::bench::print_header(
+        "E10", "streaming admission engine throughput",
+        "serving-layer extension of Alg. 1 (no paper counterpart): "
+        "epoch-batched online auctions over residual snapshots");
+  }
+
+  Table table({"case", "requests", "batch", "payments", "admitted",
+               "admitted_frac", "revenue", "req_per_sec", "solve_p50_s",
+               "solve_p99_s", "wall_s"});
+  table.set_precision(4);
+  std::vector<BenchRow> rows;
+  for (const BenchCase& c : cases) {
+    const BenchRow r = run_case(c);
+    rows.push_back(r);
+    table.row()
+        .cell(r.config.name)
+        .cell(static_cast<long long>(r.config.requests))
+        .cell(r.config.max_batch)
+        .cell(payment_name(r.config.payments))
+        .cell(static_cast<long long>(r.admitted))
+        .cell(r.admitted_fraction)
+        .cell(r.revenue)
+        .cell(r.requests_per_second)
+        .cell(r.solve_p50)
+        .cell(r.solve_p99)
+        .cell(r.wall_seconds);
+  }
+  tufp::bench::emit(table, csv);
+
+  if (!json_path.empty()) {
+    write_json(rows, json_path);
+    std::cerr << "wrote " << json_path << "\n";
+  }
+  return 0;
+}

@@ -1,0 +1,246 @@
+#include "tufp/engine/epoch_engine.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "tufp/mechanism/allocation_rule.hpp"
+#include "tufp/util/assert.hpp"
+#include "tufp/util/math.hpp"
+#include "tufp/util/timer.hpp"
+
+namespace tufp {
+
+EpochEngine::EpochEngine(std::shared_ptr<const Graph> base_graph,
+                         EpochEngineConfig config)
+    : base_(std::move(base_graph)), config_(std::move(config)) {
+  TUFP_REQUIRE(base_ != nullptr && base_->finalized(),
+               "engine requires a finalized base graph");
+  TUFP_REQUIRE(base_->num_edges() >= 1, "engine requires a non-empty graph");
+  TUFP_REQUIRE(config_.max_batch >= 1, "max_batch must be positive");
+  TUFP_REQUIRE(config_.epoch_duration >= 0.0, "negative epoch duration");
+  TUFP_REQUIRE(config_.min_usable_capacity >= 1.0,
+               "min_usable_capacity must cover the maximum normalized demand "
+               "(>= 1), or epochs can violate bounded_ufp's B >= 1 precondition");
+  TUFP_REQUIRE(config_.solver.capacity_guard,
+               "the engine requires the capacity guard: residual carry-over "
+               "is unsound on infeasible epoch outputs");
+  residual_.assign(base_->capacities().begin(), base_->capacities().end());
+}
+
+void EpochEngine::reset() {
+  residual_.assign(base_->capacities().begin(), base_->capacities().end());
+  metrics_ = EngineMetrics();
+  epoch_ = 0;
+}
+
+EngineSummary EpochEngine::run(
+    RequestStream& stream,
+    const std::function<void(const AdmissionReport&)>& on_epoch) {
+  WallTimer timer;
+  const bool time_based = config_.epoch_duration > 0.0;
+  // Count-based epochs have no time pressure, so shedding load because the
+  // queue is smaller than one batch would be a silent config footgun; the
+  // queue is sized to hold at least a full batch. Time-based mode keeps
+  // the configured capacity — there, overflow drops are the (open-loop)
+  // semantics.
+  const std::size_t queue_capacity =
+      time_based ? config_.queue_capacity
+                 : std::max(config_.queue_capacity,
+                            static_cast<std::size_t>(config_.max_batch));
+  BoundedRequestQueue queue(queue_capacity);
+  const std::int64_t dropped_before = metrics_.counters().queue_dropped;
+  double epoch_end = time_based ? config_.epoch_duration : kInf;
+
+  TimedRequest pending;
+  bool has_pending = false;
+  bool stream_done = false;
+
+  while (true) {
+    // Ingest arrivals for this epoch window. Time-based epochs take every
+    // arrival before the window closes (open loop: the queue sheds what
+    // does not fit); count-based epochs fill at most one batch.
+    while (!stream_done &&
+           (time_based || queue.size() < static_cast<std::size_t>(
+                                             config_.max_batch))) {
+      if (!has_pending) {
+        if (!stream.next(&pending)) {
+          stream_done = true;
+          break;
+        }
+        has_pending = true;
+        ++metrics_.counters().requests_seen;
+      }
+      if (time_based && pending.arrival_time >= epoch_end) break;
+      queue.push(pending);
+      has_pending = false;
+    }
+    metrics_.counters().queue_dropped = dropped_before + queue.dropped();
+
+    if (queue.empty()) {
+      if (stream_done && !has_pending) break;
+      // Idle window: skip ahead to the window containing the next arrival
+      // instead of clearing empty auctions.
+      if (time_based && has_pending) {
+        const double t = config_.epoch_duration;
+        epoch_end = (std::floor(pending.arrival_time / t) + 1.0) * t;
+      }
+      continue;
+    }
+
+    std::vector<TimedRequest> batch;
+    batch.reserve(static_cast<std::size_t>(config_.max_batch));
+    TimedRequest item;
+    while (static_cast<int>(batch.size()) < config_.max_batch &&
+           queue.pop(&item)) {
+      batch.push_back(std::move(item));
+    }
+
+    const double close_time =
+        time_based ? epoch_end : batch.back().arrival_time;
+    const AdmissionReport report = clear_epoch(batch, close_time);
+    if (on_epoch) on_epoch(report);
+    if (time_based) epoch_end += config_.epoch_duration;
+  }
+
+  EngineSummary summary;
+  summary.counters = metrics_.counters();
+  summary.admitted_fraction = metrics_.admitted_fraction();
+  summary.wall_seconds = timer.elapsed_seconds();
+  summary.requests_per_second =
+      summary.wall_seconds > 0.0
+          ? static_cast<double>(summary.counters.requests_seen) /
+                summary.wall_seconds
+          : 0.0;
+  return summary;
+}
+
+AdmissionReport EpochEngine::run_epoch(const std::vector<TimedRequest>& batch) {
+  const double close_time = batch.empty() ? 0.0 : batch.back().arrival_time;
+  return clear_epoch(batch, close_time);
+}
+
+AdmissionReport EpochEngine::clear_epoch(const std::vector<TimedRequest>& batch,
+                                         double close_time) {
+  WallTimer timer;
+  AdmissionReport report;
+  report.epoch = epoch_++;
+  report.batch_size = static_cast<int>(batch.size());
+  report.close_time = close_time;
+  ++metrics_.counters().epochs;
+  metrics_.batch_sizes().add(static_cast<double>(batch.size()));
+
+  std::vector<Request> requests;
+  requests.reserve(batch.size());
+  for (const TimedRequest& t : batch) {
+    TUFP_REQUIRE(t.request.demand <= 1.0,
+                 "engine requests must be normalized (demand <= 1)");
+    report.offered_value += t.request.value;
+    requests.push_back(t.request);
+    const double delay = std::max(0.0, close_time - t.arrival_time);
+    metrics_.admission_delay().record(delay);
+    report.max_admission_delay = std::max(report.max_admission_delay, delay);
+  }
+  metrics_.counters().offered_value += report.offered_value;
+
+  const GraphSnapshot snapshot =
+      GraphSnapshot::compile(base_, residual_, config_.min_usable_capacity);
+  report.active_edges = snapshot.num_active_edges();
+  report.saturated_edges = snapshot.num_saturated_edges();
+  report.min_residual =
+      snapshot.num_active_edges() > 0 ? snapshot.min_residual() : 0.0;
+
+  if (batch.empty() || snapshot.num_active_edges() == 0) {
+    // Fully saturated network (or nothing to clear): every bid is rejected
+    // without an auction.
+    metrics_.counters().rejected += static_cast<std::int64_t>(batch.size());
+    report.solve_seconds = timer.elapsed_seconds();
+    metrics_.solve_seconds().record(report.solve_seconds);
+    return report;
+  }
+
+  const UfpInstance instance(snapshot.graph(), std::move(requests));
+
+  // Keep the weight exponent in double range whatever the epoch bound B
+  // is; epsilon only trades approximation quality, not feasibility.
+  BoundedUfpConfig solver_cfg = config_.solver;
+  const double B = snapshot.min_residual();
+  solver_cfg.epsilon = std::min(solver_cfg.epsilon, kMaxSafeExponent / B);
+  if (config_.payments == PaymentPolicy::kDualPrice) {
+    solver_cfg.record_trace = true;  // admission-time alpha per winner
+  }
+
+  const BoundedUfpResult run = bounded_ufp(instance, solver_cfg);
+  report.solver_iterations = run.iterations;
+  report.sp_computations = run.sp_computations;
+  report.dual_upper_bound = run.dual_upper_bound;
+  metrics_.counters().solver_iterations += run.iterations;
+  metrics_.counters().sp_computations += run.sp_computations;
+
+  std::vector<double> payments(batch.size(), 0.0);
+  apply_payments(instance, run, solver_cfg, &payments);
+
+  for (int r = 0; r < instance.num_requests(); ++r) {
+    if (!run.solution.is_selected(r)) {
+      ++metrics_.counters().rejected;
+      continue;
+    }
+    const Path& path = *run.solution.path_of(r);
+    const double demand = instance.request(r).demand;
+    for (EdgeId e : path) {
+      const auto base_e = static_cast<std::size_t>(snapshot.base_edge(e));
+      residual_[base_e] = std::max(0.0, residual_[base_e] - demand);
+    }
+    const double bid = instance.request(r).value;
+    ++metrics_.counters().admitted;
+    ++report.admitted;
+    report.admitted_value += bid;
+    report.revenue += payments[static_cast<std::size_t>(r)];
+    if (config_.record_allocations) {
+      report.allocations.push_back(
+          {batch[static_cast<std::size_t>(r)].sequence, r, bid,
+           payments[static_cast<std::size_t>(r)],
+           static_cast<int>(path.size())});
+    }
+  }
+  metrics_.counters().admitted_value += report.admitted_value;
+  metrics_.counters().revenue += report.revenue;
+
+  report.solve_seconds = timer.elapsed_seconds();
+  metrics_.solve_seconds().record(report.solve_seconds);
+  return report;
+}
+
+void EpochEngine::apply_payments(const UfpInstance& instance,
+                                 const BoundedUfpResult& run,
+                                 const BoundedUfpConfig& solver_cfg,
+                                 std::vector<double>* payments) {
+  switch (config_.payments) {
+    case PaymentPolicy::kNone:
+      return;
+    case PaymentPolicy::kDualPrice: {
+      // alpha_r = (d_r/v_r)*|p_r|_y at selection time, recorded in the
+      // trace. pay = v * min(1, alpha): the congestion price of the
+      // admitted path, capped at the bid for individual rationality.
+      for (const IterationRecord& it : run.trace) {
+        const double bid = instance.request(it.request).value;
+        (*payments)[static_cast<std::size_t>(it.request)] =
+            bid * std::min(1.0, it.alpha);
+      }
+      return;
+    }
+    case PaymentPolicy::kCritical: {
+      const UfpRule rule = make_bounded_ufp_rule(solver_cfg);
+      for (int r = 0; r < instance.num_requests(); ++r) {
+        if (!run.solution.is_selected(r)) continue;
+        const double critical =
+            ufp_critical_value(instance, rule, r, config_.payment_options);
+        (*payments)[static_cast<std::size_t>(r)] =
+            std::min(critical, instance.request(r).value);
+      }
+      return;
+    }
+  }
+}
+
+}  // namespace tufp

@@ -1,0 +1,163 @@
+// EpochEngine — epoch-batched online UFP auctions over graph snapshots.
+//
+// The serving layer on top of the paper's one-shot mechanism. Bids arrive
+// continuously (engine/request_stream.hpp); the engine batches them into
+// epochs and clears each epoch as a Bounded-UFP auction on the *residual*
+// network: a GraphSnapshot compiled from the base topology minus the
+// capacity consumed by every previously admitted request. Admitted
+// requests hold their capacity forever (leases are out of scope here);
+// the residual therefore only shrinks, which is exactly the repeated
+// single-auction view of the paper's §5 with the network playing the role
+// of the recurring good.
+//
+// Each epoch is deterministic: Bounded-UFP with the capacity guard is
+// deterministic for any OpenMP thread count (detail/sp_cache.hpp), the
+// stream adapters are seed-deterministic, and the engine adds no other
+// randomness — so the full admission history is byte-identical across
+// thread counts and runs (the determinism tests pin this).
+//
+// Payments per epoch (DESIGN.md §7):
+//   * kCritical — the paper's critical-value payment computed by bisection
+//     against the epoch instance. Truthful (Thm 2.3) but each winner costs
+//     O(log(1/tol)) full re-solves; intended for moderate epoch sizes.
+//   * kDualPrice — posted congestion price frozen at admission time:
+//     pay_r = v_r * min(1, alpha_r) where alpha_r = (d_r/v_r)*|p_r|_y is
+//     the normalized dual length of the winning path at selection. Cheap
+//     (read off the solver trace), individually rational by the cap, but
+//     only an approximation of the critical value — the throughput
+//     setting's trade-off.
+//   * kNone — allocation only, all payments zero.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "tufp/engine/metrics.hpp"
+#include "tufp/engine/request_stream.hpp"
+#include "tufp/engine/snapshot.hpp"
+#include "tufp/mechanism/critical_payment.hpp"
+#include "tufp/ufp/bounded_ufp.hpp"
+
+namespace tufp {
+
+enum class PaymentPolicy { kNone, kDualPrice, kCritical };
+
+struct EpochEngineConfig {
+  // Admissions per epoch are capped at max_batch requests. With
+  // epoch_duration > 0 epochs close on the virtual clock (multiples of
+  // epoch_duration seconds) and the bounded queue carries overflow between
+  // windows; with epoch_duration == 0 epochs close by count alone.
+  int max_batch = 4096;
+  double epoch_duration = 0.0;
+  // In count-based mode the effective capacity is at least max_batch
+  // (nothing is shed when there is no time pressure).
+  std::size_t queue_capacity = 1 << 16;
+
+  // Residual floor below which an edge leaves the snapshot. Must be >= 1
+  // (the maximum normalized demand) so every epoch keeps B >= 1; the
+  // constructor rejects smaller values.
+  double min_usable_capacity = 1.0;
+
+  PaymentPolicy payments = PaymentPolicy::kDualPrice;
+  PaymentOptions payment_options;  // kCritical bisection control
+
+  // Per-epoch solver settings. The engine forces capacity_guard on
+  // (residual carry-over is meaningless without feasible epochs) and
+  // lowers epsilon to kMaxSafeExponent / B when an epoch's residual bound
+  // B would overflow the weight exponent. run_to_saturation defaults on:
+  // epochs run far outside the Omega(ln m) regime once the network fills,
+  // and the faithful threshold would stop admitting long before capacity
+  // is actually exhausted.
+  BoundedUfpConfig solver = [] {
+    BoundedUfpConfig cfg;
+    cfg.capacity_guard = true;
+    cfg.run_to_saturation = true;
+    return cfg;
+  }();
+
+  // Keep per-request AdmissionRecords in each report (tests, small runs).
+  bool record_allocations = false;
+};
+
+// One admitted request, reported with its clearing price.
+struct AdmissionRecord {
+  std::int64_t sequence = -1;  // stream sequence number
+  int request = -1;            // index within the epoch batch
+  double bid = 0.0;
+  double payment = 0.0;
+  int path_edges = 0;
+};
+
+// Outcome of one epoch's auction. Every field except solve_seconds is a
+// deterministic function of stream seed + engine config.
+struct AdmissionReport {
+  int epoch = -1;
+  int batch_size = 0;
+  int admitted = 0;
+  double close_time = 0.0;       // virtual clock at which the epoch cleared
+  double offered_value = 0.0;
+  double admitted_value = 0.0;
+  double revenue = 0.0;
+  double dual_upper_bound = 0.0;  // Claim 3.6 bound for the epoch instance
+  int active_edges = 0;           // snapshot size
+  int saturated_edges = 0;
+  double min_residual = 0.0;      // epoch bound B (over active edges)
+  int solver_iterations = 0;
+  std::int64_t sp_computations = 0;
+  double max_admission_delay = 0.0;  // virtual seconds, deterministic
+  double solve_seconds = 0.0;        // wall clock — NOT deterministic
+  std::vector<AdmissionRecord> allocations;  // when record_allocations
+};
+
+// Lifetime aggregate returned by run().
+struct EngineSummary {
+  EngineCounters counters;
+  double admitted_fraction = 0.0;
+  double wall_seconds = 0.0;          // NOT deterministic
+  double requests_per_second = 0.0;   // NOT deterministic
+};
+
+class EpochEngine {
+ public:
+  EpochEngine(std::shared_ptr<const Graph> base_graph,
+              EpochEngineConfig config);
+
+  // Drains `stream` to exhaustion, clearing epochs as configured.
+  // `on_epoch` (optional) observes every report as it is produced.
+  EngineSummary run(
+      RequestStream& stream,
+      const std::function<void(const AdmissionReport&)>& on_epoch = {});
+
+  // Clears one epoch over an explicit batch against the current residual
+  // state. Building block of run(); exposed for tests and custom drivers.
+  AdmissionReport run_epoch(const std::vector<TimedRequest>& batch);
+
+  // Current residual capacity per base EdgeId.
+  std::span<const double> residual() const { return residual_; }
+  const Graph& base_graph() const { return *base_; }
+  const EngineMetrics& metrics() const { return metrics_; }
+  const EpochEngineConfig& config() const { return config_; }
+  int epochs_run() const { return epoch_; }
+
+  // Forgets all admissions: residual back to base capacities, metrics and
+  // epoch counter to zero.
+  void reset();
+
+ private:
+  AdmissionReport clear_epoch(const std::vector<TimedRequest>& batch,
+                              double close_time);
+  void apply_payments(const UfpInstance& instance, const BoundedUfpResult& run,
+                      const BoundedUfpConfig& solver_cfg,
+                      std::vector<double>* payments);
+
+  std::shared_ptr<const Graph> base_;
+  EpochEngineConfig config_;
+  std::vector<double> residual_;
+  EngineMetrics metrics_;
+  int epoch_ = 0;
+};
+
+}  // namespace tufp

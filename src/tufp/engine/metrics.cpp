@@ -1,0 +1,95 @@
+#include "tufp/engine/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "tufp/util/assert.hpp"
+#include "tufp/util/table.hpp"
+
+namespace tufp {
+
+GeometricHistogram::GeometricHistogram(double min_value, double growth,
+                                       int num_buckets)
+    : min_value_(min_value),
+      log_growth_(std::log(growth)),
+      buckets_(static_cast<std::size_t>(num_buckets), 0) {
+  TUFP_REQUIRE(min_value > 0.0, "histogram min_value must be positive");
+  TUFP_REQUIRE(growth > 1.0, "histogram growth must exceed 1");
+  TUFP_REQUIRE(num_buckets >= 1, "histogram needs at least one bucket");
+}
+
+void GeometricHistogram::record(double value) {
+  TUFP_REQUIRE(value >= 0.0, "histogram values must be non-negative");
+  std::size_t index = 0;
+  if (value > min_value_) {
+    const double raw = std::log(value / min_value_) / log_growth_;
+    index = std::min(buckets_.size() - 1,
+                     static_cast<std::size_t>(std::max(0.0, raw)));
+  }
+  ++buckets_[index];
+  ++total_;
+  stats_.add(value);
+}
+
+void GeometricHistogram::merge(const GeometricHistogram& other) {
+  TUFP_REQUIRE(buckets_.size() == other.buckets_.size() &&
+                   min_value_ == other.min_value_ &&
+                   log_growth_ == other.log_growth_,
+               "histogram merge requires identical bucket layouts");
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    buckets_[i] += other.buckets_[i];
+  }
+  total_ += other.total_;
+  stats_.merge(other.stats_);
+}
+
+double GeometricHistogram::percentile(double q) const {
+  TUFP_REQUIRE(q >= 0.0 && q <= 1.0, "percentile q outside [0,1]");
+  if (total_ == 0) return 0.0;
+  const auto rank = static_cast<std::int64_t>(
+      std::ceil(q * static_cast<double>(total_)));
+  std::int64_t seen = 0;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    seen += buckets_[i];
+    if (seen >= rank) {
+      return min_value_ * std::exp(log_growth_ * static_cast<double>(i + 1));
+    }
+  }
+  return min_value_ *
+         std::exp(log_growth_ * static_cast<double>(buckets_.size()));
+}
+
+double EngineMetrics::admitted_fraction() const {
+  const std::int64_t offered = counters_.admitted + counters_.rejected;
+  return offered > 0
+             ? static_cast<double>(counters_.admitted) / static_cast<double>(offered)
+             : 0.0;
+}
+
+std::string EngineMetrics::summary(bool include_wall_clock) const {
+  std::ostringstream os;
+  const EngineCounters& c = counters_;
+  os << "epochs=" << c.epochs << " requests=" << c.requests_seen
+     << " queue_dropped=" << c.queue_dropped << " admitted=" << c.admitted
+     << " rejected=" << c.rejected << "\n"
+     << "admitted_fraction=" << Table::format_double(admitted_fraction(), 4)
+     << " offered_value=" << Table::format_double(c.offered_value, 2)
+     << " admitted_value=" << Table::format_double(c.admitted_value, 2)
+     << " revenue=" << Table::format_double(c.revenue, 2) << "\n"
+     << "solver_iterations=" << c.solver_iterations
+     << " sp_computations=" << c.sp_computations << " admission_delay_p50="
+     << Table::format_double(admission_delay_.percentile(0.5), 4)
+     << " p99=" << Table::format_double(admission_delay_.percentile(0.99), 4)
+     << "\n";
+  if (include_wall_clock && solve_seconds_.count() > 0) {
+    os << "solve_seconds_mean="
+       << Table::format_double(solve_seconds_.stats().mean(), 6)
+       << " p99=" << Table::format_double(solve_seconds_.percentile(0.99), 6)
+       << " max=" << Table::format_double(solve_seconds_.stats().max(), 6)
+       << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace tufp

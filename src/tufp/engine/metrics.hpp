@@ -1,0 +1,96 @@
+// Engine observability: counters plus latency/throughput distributions.
+//
+// Two kinds of numbers come out of the engine and they must not be mixed:
+//   * deterministic load metrics (request/admission counters, revenue,
+//     virtual-clock queueing delay) — identical across runs and thread
+//     counts, safe to assert on in tests and to diff across machines;
+//   * wall-clock performance metrics (epoch solve time, throughput) —
+//     machine-dependent, reported separately.
+// EngineMetrics keeps both but the report printers only put the first kind
+// on the deterministic channel (see tools/tufp_engine.cpp).
+//
+// The histogram is fixed-bucket geometric: cheap O(1) record, mergeable,
+// and percentile queries that never allocate on the hot path — the shape
+// hdrhistogram-style serving systems use, sized down to what the bench
+// actually reads out.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "tufp/util/stats.hpp"
+
+namespace tufp {
+
+// Geometric-bucket histogram over positive values. Bucket i covers
+// [min_value * growth^i, min_value * growth^(i+1)); underflow clamps to
+// bucket 0, overflow to the last bucket.
+class GeometricHistogram {
+ public:
+  GeometricHistogram(double min_value = 1e-6, double growth = 2.0,
+                     int num_buckets = 40);
+
+  void record(double value);
+  void merge(const GeometricHistogram& other);
+
+  std::int64_t count() const { return total_; }
+  // Percentile estimate (upper edge of the bucket holding rank q*count).
+  // q in [0,1]; 0 on an empty histogram.
+  double percentile(double q) const;
+  const RunningStats& stats() const { return stats_; }
+
+ private:
+  double min_value_;
+  double log_growth_;
+  std::vector<std::int64_t> buckets_;
+  std::int64_t total_ = 0;
+  RunningStats stats_;
+};
+
+// Monotone counters aggregated over the engine's lifetime. All values are
+// deterministic functions of the request stream and engine config.
+struct EngineCounters {
+  std::int64_t epochs = 0;
+  std::int64_t requests_seen = 0;    // pulled from the stream
+  std::int64_t queue_dropped = 0;    // shed by the bounded queue
+  std::int64_t admitted = 0;
+  std::int64_t rejected = 0;         // offered to an auction, not allocated
+  double offered_value = 0.0;        // sum of bids offered to auctions
+  double admitted_value = 0.0;       // sum of winning bids
+  double revenue = 0.0;              // sum of payments charged
+  std::int64_t solver_iterations = 0;
+  std::int64_t sp_computations = 0;
+};
+
+class EngineMetrics {
+ public:
+  EngineCounters& counters() { return counters_; }
+  const EngineCounters& counters() const { return counters_; }
+
+  // Virtual-clock time from a request's arrival to the close of the epoch
+  // that decided it (deterministic).
+  GeometricHistogram& admission_delay() { return admission_delay_; }
+  const GeometricHistogram& admission_delay() const { return admission_delay_; }
+
+  // Wall-clock seconds per epoch solve (machine-dependent).
+  GeometricHistogram& solve_seconds() { return solve_seconds_; }
+  const GeometricHistogram& solve_seconds() const { return solve_seconds_; }
+
+  RunningStats& batch_sizes() { return batch_sizes_; }
+  const RunningStats& batch_sizes() const { return batch_sizes_; }
+
+  double admitted_fraction() const;
+
+  // Multi-line human-readable dump. Deterministic block only unless
+  // `include_wall_clock`.
+  std::string summary(bool include_wall_clock) const;
+
+ private:
+  EngineCounters counters_;
+  GeometricHistogram admission_delay_;
+  GeometricHistogram solve_seconds_;
+  RunningStats batch_sizes_;
+};
+
+}  // namespace tufp

@@ -2,60 +2,67 @@
 
 #include <algorithm>
 
-#include "tufp/graph/dijkstra.hpp"
 #include "tufp/util/assert.hpp"
 #include "tufp/util/math.hpp"
 
 namespace tufp {
 
-std::vector<Request> generate_requests(const Graph& graph,
-                                       const RequestGenConfig& config, Rng& rng) {
+RequestSampler::RequestSampler(const Graph& graph,
+                               const RequestGenConfig& config)
+    : graph_(&graph),
+      config_(config),
+      engine_(graph),
+      unit_weights_(static_cast<std::size_t>(graph.num_edges()), 1.0),
+      zipf_(100, config.zipf_exponent) {
   TUFP_REQUIRE(graph.finalized(), "graph must be finalized");
   TUFP_REQUIRE(graph.num_vertices() >= 2, "graph too small for requests");
-  TUFP_REQUIRE(config.num_requests >= 0, "negative request count");
   TUFP_REQUIRE(config.demand_min > 0.0 && config.demand_min <= config.demand_max,
                "bad demand range");
   TUFP_REQUIRE(config.value_min > 0.0 && config.value_min <= config.value_max,
                "bad value range");
+}
 
-  ShortestPathEngine engine(graph);
-  std::vector<double> unit(static_cast<std::size_t>(graph.num_edges()), 1.0);
-  const ZipfSampler zipf(100, config.zipf_exponent);
+Request RequestSampler::sample(Rng& rng) {
+  const auto n = static_cast<std::uint64_t>(graph_->num_vertices());
+  Request req;
+  double hops = kInf;
+  int retries = 0;
+  do {
+    TUFP_REQUIRE(retries++ < config_.max_pair_retries,
+                 "could not sample a connected terminal pair");
+    req.source = static_cast<VertexId>(rng.next_below(n));
+    req.target = static_cast<VertexId>(rng.next_below(n));
+    if (req.source == req.target) continue;
+    hops = engine_.shortest_path(unit_weights_, req.source, req.target);
+  } while (hops >= kInf);
 
+  req.demand = rng.next_double(config_.demand_min, config_.demand_max);
+  switch (config_.value_model) {
+    case ValueModel::kUniform:
+      req.value = rng.next_double(config_.value_min, config_.value_max);
+      break;
+    case ValueModel::kZipf: {
+      const int rank = zipf_.sample(rng);
+      req.value = std::max(config_.value_min,
+                           config_.value_max / static_cast<double>(rank));
+      break;
+    }
+    case ValueModel::kProportional:
+      req.value = std::max(config_.value_min,
+                           req.demand * hops * rng.next_double(0.8, 1.2));
+      break;
+  }
+  return req;
+}
+
+std::vector<Request> generate_requests(const Graph& graph,
+                                       const RequestGenConfig& config, Rng& rng) {
+  TUFP_REQUIRE(config.num_requests >= 0, "negative request count");
+  RequestSampler sampler(graph, config);
   std::vector<Request> requests;
   requests.reserve(static_cast<std::size_t>(config.num_requests));
-  const auto n = static_cast<std::uint64_t>(graph.num_vertices());
-
   for (int i = 0; i < config.num_requests; ++i) {
-    Request req;
-    double hops = kInf;
-    int retries = 0;
-    do {
-      TUFP_REQUIRE(retries++ < config.max_pair_retries,
-                   "could not sample a connected terminal pair");
-      req.source = static_cast<VertexId>(rng.next_below(n));
-      req.target = static_cast<VertexId>(rng.next_below(n));
-      if (req.source == req.target) continue;
-      hops = engine.shortest_path(unit, req.source, req.target);
-    } while (hops >= kInf);
-
-    req.demand = rng.next_double(config.demand_min, config.demand_max);
-    switch (config.value_model) {
-      case ValueModel::kUniform:
-        req.value = rng.next_double(config.value_min, config.value_max);
-        break;
-      case ValueModel::kZipf: {
-        const int rank = zipf.sample(rng);
-        req.value = std::max(config.value_min,
-                             config.value_max / static_cast<double>(rank));
-        break;
-      }
-      case ValueModel::kProportional:
-        req.value = std::max(config.value_min,
-                             req.demand * hops * rng.next_double(0.8, 1.2));
-        break;
-    }
-    requests.push_back(req);
+    requests.push_back(sampler.sample(rng));
   }
   return requests;
 }

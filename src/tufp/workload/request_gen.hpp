@@ -3,6 +3,7 @@
 
 #include <vector>
 
+#include "tufp/graph/dijkstra.hpp"
 #include "tufp/graph/graph.hpp"
 #include "tufp/ufp/instance.hpp"
 #include "tufp/util/rng.hpp"
@@ -26,6 +27,28 @@ struct RequestGenConfig {
   // Resample terminal pairs until the target is reachable from the source
   // (bounded retries; throws if the graph is too disconnected).
   int max_pair_retries = 200;
+};
+
+// Incremental form of generate_requests(): owns the reachability engine
+// and Zipf table so the streaming adapters (engine/request_stream.hpp) can
+// draw one request at a time without per-call setup. Sampling k requests
+// through sample() consumes the RNG exactly like one
+// generate_requests() call with num_requests = k, so batch and streaming
+// workloads with the same seed are identical.
+class RequestSampler {
+ public:
+  RequestSampler(const Graph& graph, const RequestGenConfig& config);
+
+  Request sample(Rng& rng);
+
+  const RequestGenConfig& config() const { return config_; }
+
+ private:
+  const Graph* graph_;
+  RequestGenConfig config_;
+  ShortestPathEngine engine_;
+  std::vector<double> unit_weights_;
+  ZipfSampler zipf_;
 };
 
 std::vector<Request> generate_requests(const Graph& graph,

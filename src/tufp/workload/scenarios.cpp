@@ -41,6 +41,30 @@ UfpInstance make_random_scenario(int num_vertices, int num_edges,
   return UfpInstance(std::move(g), std::move(requests));
 }
 
+StreamingScenario make_streaming_grid_scenario(int rows, int cols,
+                                               double capacity,
+                                               ValueModel value_model) {
+  Graph g = grid_graph(rows, cols, capacity, /*directed=*/false);
+  StreamingScenario scenario;
+  scenario.graph = std::make_shared<const Graph>(std::move(g));
+  scenario.request_config.value_model = value_model;
+  return scenario;
+}
+
+StreamingScenario make_streaming_random_scenario(int num_vertices,
+                                                 int num_edges,
+                                                 double capacity,
+                                                 ValueModel value_model,
+                                                 std::uint64_t seed) {
+  Rng rng(seed);
+  Graph g = random_graph(num_vertices, num_edges, capacity, capacity,
+                         /*directed=*/true, rng);
+  StreamingScenario scenario;
+  scenario.graph = std::make_shared<const Graph>(std::move(g));
+  scenario.request_config.value_model = value_model;
+  return scenario;
+}
+
 MucaInstance make_random_auction(int num_items, int multiplicity,
                                  int num_requests, int bundle_min,
                                  int bundle_max, double value_min,

@@ -2,6 +2,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 
 #include "tufp/auction/muca_instance.hpp"
 #include "tufp/ufp/instance.hpp"
@@ -22,6 +23,29 @@ UfpInstance make_grid_scenario(int rows, int cols, double capacity,
 UfpInstance make_random_scenario(int num_vertices, int num_edges,
                                  double capacity, int num_requests,
                                  std::uint64_t seed);
+
+// Topology + request distribution for the streaming admission engine: the
+// graph outlives every epoch, and the request config parameterizes the
+// stream adapters (engine/request_stream.hpp) instead of a fixed batch.
+struct StreamingScenario {
+  std::shared_ptr<const Graph> graph;
+  RequestGenConfig request_config;
+};
+
+// ISP-style undirected mesh with uniform capacity; the streaming
+// counterpart of make_grid_scenario (request count/seed live with the
+// stream, not the scenario).
+StreamingScenario make_streaming_grid_scenario(int rows, int cols,
+                                               double capacity,
+                                               ValueModel value_model);
+
+// Random connected directed topology for streaming workloads. The seed
+// governs the topology only; stream adapters take their own seed.
+StreamingScenario make_streaming_random_scenario(int num_vertices,
+                                                 int num_edges,
+                                                 double capacity,
+                                                 ValueModel value_model,
+                                                 std::uint64_t seed);
 
 // Random single-minded auction: bundle sizes uniform in
 // [bundle_min, bundle_max], values uniform in [value_min, value_max].

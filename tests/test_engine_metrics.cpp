@@ -1,0 +1,99 @@
+#include "tufp/engine/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+
+namespace tufp {
+namespace {
+
+TEST(GeometricHistogram, EmptyDefaults) {
+  GeometricHistogram h;
+  EXPECT_EQ(h.count(), 0);
+  EXPECT_EQ(h.percentile(0.5), 0.0);
+  EXPECT_EQ(h.stats().count(), 0u);
+}
+
+TEST(GeometricHistogram, PercentileBracketsTheSample) {
+  GeometricHistogram h(/*min_value=*/1e-6, /*growth=*/2.0, /*num_buckets=*/40);
+  for (int i = 0; i < 1000; ++i) h.record(0.010);  // 10ms
+  EXPECT_EQ(h.count(), 1000);
+  // Bucket upper edges are powers of two times min_value; the estimate
+  // must bracket the true value within one growth factor.
+  const double p50 = h.percentile(0.5);
+  EXPECT_GE(p50, 0.010);
+  EXPECT_LE(p50, 0.020 * 2.0);
+  EXPECT_DOUBLE_EQ(h.stats().mean(), 0.010);
+}
+
+TEST(GeometricHistogram, OrdersMixedValues) {
+  GeometricHistogram h;
+  for (int i = 0; i < 90; ++i) h.record(1e-4);
+  for (int i = 0; i < 10; ++i) h.record(1.0);
+  EXPECT_LT(h.percentile(0.5), h.percentile(0.95));
+  EXPECT_GE(h.percentile(0.95), 1.0);
+}
+
+TEST(GeometricHistogram, ClampsUnderAndOverflow) {
+  GeometricHistogram h(1.0, 2.0, 4);  // covers [1, 16)
+  h.record(0.0);     // below min: bucket 0
+  h.record(1e9);     // above max: last bucket
+  EXPECT_EQ(h.count(), 2);
+  EXPECT_LE(h.percentile(0.25), 2.0);
+  EXPECT_DOUBLE_EQ(h.percentile(1.0), 16.0);
+}
+
+TEST(GeometricHistogram, MergeAddsCounts) {
+  GeometricHistogram a, b;
+  for (int i = 0; i < 50; ++i) a.record(0.001);
+  for (int i = 0; i < 50; ++i) b.record(0.1);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 100);
+  EXPECT_EQ(a.stats().count(), 100u);
+  EXPECT_LT(a.percentile(0.25), a.percentile(0.9));
+}
+
+TEST(GeometricHistogram, MergeRejectsMismatchedLayouts) {
+  GeometricHistogram a(1e-6, 2.0, 40);
+  GeometricHistogram b(1e-6, 2.0, 32);
+  EXPECT_THROW(a.merge(b), std::invalid_argument);
+}
+
+TEST(GeometricHistogram, RejectsBadInputs) {
+  EXPECT_THROW(GeometricHistogram(0.0, 2.0, 8), std::invalid_argument);
+  EXPECT_THROW(GeometricHistogram(1.0, 1.0, 8), std::invalid_argument);
+  EXPECT_THROW(GeometricHistogram(1.0, 2.0, 0), std::invalid_argument);
+  GeometricHistogram h;
+  EXPECT_THROW(h.record(-1.0), std::invalid_argument);
+  EXPECT_THROW(h.percentile(1.5), std::invalid_argument);
+}
+
+TEST(EngineMetrics, AdmittedFraction) {
+  EngineMetrics m;
+  EXPECT_EQ(m.admitted_fraction(), 0.0);
+  m.counters().admitted = 30;
+  m.counters().rejected = 70;
+  EXPECT_DOUBLE_EQ(m.admitted_fraction(), 0.3);
+}
+
+TEST(EngineMetrics, SummaryKeepsWallClockOffTheDeterministicBlock) {
+  EngineMetrics m;
+  m.counters().epochs = 2;
+  m.counters().requests_seen = 100;
+  m.counters().admitted = 40;
+  m.counters().rejected = 60;
+  m.counters().revenue = 123.0;
+  m.solve_seconds().record(0.5);
+
+  const std::string det = m.summary(/*include_wall_clock=*/false);
+  EXPECT_NE(det.find("admitted=40"), std::string::npos);
+  EXPECT_NE(det.find("revenue=123.00"), std::string::npos);
+  EXPECT_EQ(det.find("solve_seconds"), std::string::npos);
+
+  const std::string full = m.summary(/*include_wall_clock=*/true);
+  EXPECT_NE(full.find("solve_seconds_mean"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace tufp
