@@ -19,6 +19,7 @@
 #include "bench_util.hpp"
 #include "tufp/engine/epoch_engine.hpp"
 #include "tufp/engine/request_stream.hpp"
+#include "tufp/util/parallel.hpp"
 #include "tufp/util/stats.hpp"
 #include "tufp/util/table.hpp"
 #include "tufp/workload/scenarios.hpp"
@@ -35,6 +36,7 @@ struct BenchCase {
   std::int64_t requests;
   int max_batch;
   PaymentPolicy payments;
+  int threads = 0;  // solver OpenMP threads (0 = runtime default)
 };
 
 struct BenchRow {
@@ -46,6 +48,11 @@ struct BenchRow {
   double solve_p50 = 0.0;
   double solve_p99 = 0.0;
   double wall_seconds = 0.0;
+  // Epoch-clear throughput: offered requests over wall time spent inside
+  // clear_epoch (snapshot + auction + payments), stream generation
+  // excluded. The metric the thread-scaling cases compare.
+  double solve_seconds_total = 0.0;
+  double clear_requests_per_second = 0.0;
 };
 
 const char* payment_name(PaymentPolicy p) {
@@ -63,6 +70,7 @@ BenchRow run_case(const BenchCase& c) {
   EpochEngineConfig config;
   config.max_batch = c.max_batch;
   config.payments = c.payments;
+  config.solver.num_threads = c.threads;
   EpochEngine engine(scenario.graph, config);
 
   PoissonStream stream(scenario.graph, scenario.request_config,
@@ -78,6 +86,13 @@ BenchRow run_case(const BenchCase& c) {
   row.solve_p50 = engine.metrics().solve_seconds().percentile(0.5);
   row.solve_p99 = engine.metrics().solve_seconds().percentile(0.99);
   row.wall_seconds = summary.wall_seconds;
+  const auto& solve = engine.metrics().solve_seconds().stats();
+  row.solve_seconds_total = solve.mean() * static_cast<double>(solve.count());
+  row.clear_requests_per_second =
+      row.solve_seconds_total > 0.0
+          ? static_cast<double>(summary.counters.requests_seen) /
+                row.solve_seconds_total
+          : 0.0;
   return row;
 }
 
@@ -92,12 +107,16 @@ void write_json(const std::vector<BenchRow>& rows, const std::string& path) {
        << ", \"requests\": " << r.config.requests
        << ", \"max_batch\": " << r.config.max_batch << ", \"payments\": \""
        << payment_name(r.config.payments) << "\""
+       << ", \"threads\": " << r.config.threads
+       << ", \"openmp\": " << (openmp_available() ? "true" : "false")
        << ", \"admitted\": " << r.admitted
        << ", \"admitted_fraction\": " << r.admitted_fraction
        << ", \"revenue\": " << r.revenue
        << ", \"requests_per_second\": " << r.requests_per_second
        << ", \"solve_p50_seconds\": " << r.solve_p50
        << ", \"solve_p99_seconds\": " << r.solve_p99
+       << ", \"solve_seconds_total\": " << r.solve_seconds_total
+       << ", \"clear_requests_per_second\": " << r.clear_requests_per_second
        << ", \"wall_seconds\": " << r.wall_seconds << "}"
        << (i + 1 < rows.size() ? "," : "") << "\n";
   }
@@ -121,6 +140,13 @@ int main(int argc, char** argv) {
       {"grid8-dual", 8, 8, 20.0, 4000, 500, PaymentPolicy::kDualPrice},
       {"grid12-dual", 12, 12, 30.0, 8000, 1000, PaymentPolicy::kDualPrice},
       {"grid8-critical", 8, 8, 8.0, 400, 100, PaymentPolicy::kCritical},
+      // Thread-scaling pair on the default grid scenario: identical load
+      // (the engine is thread-count deterministic), only epoch-clear wall
+      // time may differ. CI records clear_requests_per_second for both.
+      {"grid12-dual-t1", 12, 12, 30.0, 8000, 1000, PaymentPolicy::kDualPrice,
+       1},
+      {"grid12-dual-t4", 12, 12, 30.0, 8000, 1000, PaymentPolicy::kDualPrice,
+       4},
   };
   if (full) {
     cases.push_back({"grid16-dual", 16, 16, 50.0, 40000, 4000,
@@ -129,6 +155,12 @@ int main(int argc, char** argv) {
                      PaymentPolicy::kDualPrice});
   }
 
+  if (!openmp_available()) {
+    // The thread-scaling rows are meaningless when thread requests are
+    // silently serialized; say so loudly and record it in the JSON.
+    std::cerr << "warning: built without OpenMP — threads>0 cases run "
+                 "serial, thread-scaling rows measure nothing\n";
+  }
   if (!csv) {
     tufp::bench::print_header(
         "E10", "streaming admission engine throughput",
@@ -136,9 +168,9 @@ int main(int argc, char** argv) {
         "epoch-batched online auctions over residual snapshots");
   }
 
-  Table table({"case", "requests", "batch", "payments", "admitted",
-               "admitted_frac", "revenue", "req_per_sec", "solve_p50_s",
-               "solve_p99_s", "wall_s"});
+  Table table({"case", "requests", "batch", "payments", "threads", "admitted",
+               "admitted_frac", "revenue", "req_per_sec", "clear_rps",
+               "solve_p50_s", "solve_p99_s", "wall_s"});
   table.set_precision(4);
   std::vector<BenchRow> rows;
   for (const BenchCase& c : cases) {
@@ -149,10 +181,12 @@ int main(int argc, char** argv) {
         .cell(static_cast<long long>(r.config.requests))
         .cell(r.config.max_batch)
         .cell(payment_name(r.config.payments))
+        .cell(r.config.threads)
         .cell(static_cast<long long>(r.admitted))
         .cell(r.admitted_fraction)
         .cell(r.revenue)
         .cell(r.requests_per_second)
+        .cell(r.clear_requests_per_second)
         .cell(r.solve_p50)
         .cell(r.solve_p99)
         .cell(r.wall_seconds);

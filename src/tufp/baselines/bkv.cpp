@@ -2,26 +2,13 @@
 
 #include <algorithm>
 #include <cmath>
+#include <span>
 
 #include "tufp/ufp/detail/sp_cache.hpp"
 #include "tufp/util/assert.hpp"
 #include "tufp/util/math.hpp"
 
 namespace tufp {
-
-namespace {
-
-constexpr double kFitSlack = 1e-9;
-
-bool path_fits(const Path& path, const std::vector<double>& residual,
-               double demand) {
-  for (EdgeId e : path) {
-    if (residual[static_cast<std::size_t>(e)] + kFitSlack < demand) return false;
-  }
-  return true;
-}
-
-}  // namespace
 
 BkvResult bkv_ufp(const UfpInstance& instance, const BoundedUfpConfig& config) {
   TUFP_REQUIRE(config.epsilon > 0.0 && config.epsilon <= 1.0,
@@ -57,7 +44,12 @@ BkvResult bkv_ufp(const UfpInstance& instance, const BoundedUfpConfig& config) {
   for (int r = 0; r < R; ++r) all[static_cast<std::size_t>(r)] = r;
   std::vector<bool> selected(static_cast<std::size_t>(R), false);
 
-  detail::SpCache cache(instance, config.parallel, config.num_threads);
+  detail::SpCache cache(instance, config.parallel, config.num_threads,
+                        config.sp_kernel);
+  WeightProfile profile = WeightProfile::scan(y);
+  const std::span<const double> guard_residual =
+      config.capacity_guard ? std::span<const double>(residual)
+                            : std::span<const double>();
 
   double primal_value = 0.0;
   int num_remaining = R;
@@ -68,7 +60,8 @@ BkvResult bkv_ufp(const UfpInstance& instance, const BoundedUfpConfig& config) {
       break;
     }
     ++now;
-    cache.refresh(y, edge_stamp, now, all, config.lazy_shortest_paths);
+    cache.refresh(y, edge_stamp, now, all, config.lazy_shortest_paths,
+                  guard_residual, &profile);
 
     int best = -1;
     double best_priority = kInf;
@@ -82,9 +75,7 @@ BkvResult bkv_ufp(const UfpInstance& instance, const BoundedUfpConfig& config) {
       alpha_all = std::min(alpha_all, priority);
       if (selected[static_cast<std::size_t>(r)]) continue;
       alpha_remaining = std::min(alpha_remaining, priority);
-      if (config.capacity_guard && !path_fits(entry.path, residual, req.demand)) {
-        continue;
-      }
+      if (config.capacity_guard && !entry.fits) continue;
       if (priority < best_priority) {
         best_priority = priority;
         best = r;
@@ -112,6 +103,7 @@ BkvResult bkv_ufp(const UfpInstance& instance, const BoundedUfpConfig& config) {
       dual_sum += cap * (y[ei] - old_y);
       edge_stamp[ei] = now;
       residual[ei] -= req.demand;
+      profile.include(y[ei]);
     }
     result.solution.assign(best, entry.path);
     selected[static_cast<std::size_t>(best)] = true;

@@ -7,6 +7,7 @@
 #include "tufp/mechanism/allocation_rule.hpp"
 #include "tufp/util/assert.hpp"
 #include "tufp/util/math.hpp"
+#include "tufp/util/parallel.hpp"
 #include "tufp/util/timer.hpp"
 
 namespace tufp {
@@ -173,9 +174,11 @@ AdmissionReport EpochEngine::clear_epoch(const std::vector<TimedRequest>& batch,
   const BoundedUfpResult run = bounded_ufp(instance, solver_cfg);
   report.solver_iterations = run.iterations;
   report.sp_computations = run.sp_computations;
+  report.sp_tree_runs = run.sp_tree_runs;
   report.dual_upper_bound = run.dual_upper_bound;
   metrics_.counters().solver_iterations += run.iterations;
   metrics_.counters().sp_computations += run.sp_computations;
+  metrics_.counters().sp_tree_runs += run.sp_tree_runs;
 
   std::vector<double> payments(batch.size(), 0.0);
   apply_payments(instance, run, solver_cfg, &payments);
@@ -230,14 +233,39 @@ void EpochEngine::apply_payments(const UfpInstance& instance,
       return;
     }
     case PaymentPolicy::kCritical: {
-      const UfpRule rule = make_bounded_ufp_rule(solver_cfg);
+      // Winner shard of the epoch clear: each winner's critical-value
+      // bisection is an independent re-solve against the same immutable
+      // epoch instance, so winners fan out across OpenMP threads and the
+      // results land in per-winner slots — byte-identical for any thread
+      // count, read back in arrival order by the allocation loop. The
+      // probe solves run serial (identical output): parallelism lives at
+      // the winner level here, and a parallel inner config would only
+      // allocate engine pools a nested region cannot use — or
+      // oversubscribe when nested OpenMP is enabled.
+      BoundedUfpConfig probe_cfg = solver_cfg;
+      probe_cfg.parallel = false;
+      const UfpRule rule = make_bounded_ufp_rule(probe_cfg);
+      std::vector<int> winners;
       for (int r = 0; r < instance.num_requests(); ++r) {
-        if (!run.solution.is_selected(r)) continue;
+        if (run.solution.is_selected(r)) winners.push_back(r);
+      }
+      const auto price_winner = [&](int r) {
         const double critical =
             ufp_critical_value(instance, rule, r, config_.payment_options);
         (*payments)[static_cast<std::size_t>(r)] =
             std::min(critical, instance.request(r).value);
+      };
+#if defined(TUFP_HAVE_OPENMP)
+      if (config_.solver.parallel && winners.size() > 1) {
+        const int pool = effective_num_threads(config_.solver.num_threads);
+#pragma omp parallel for schedule(dynamic, 1) num_threads(pool)
+        for (std::size_t i = 0; i < winners.size(); ++i) {
+          price_winner(winners[i]);
+        }
+        return;
       }
+#endif
+      for (const int r : winners) price_winner(r);
       return;
     }
   }

@@ -107,6 +107,7 @@ struct AdmissionReport {
   double min_residual = 0.0;      // epoch bound B (over active edges)
   int solver_iterations = 0;
   std::int64_t sp_computations = 0;
+  std::int64_t sp_tree_runs = 0;  // Dijkstra tree searches (source shards)
   double max_admission_delay = 0.0;  // virtual seconds, deterministic
   double solve_seconds = 0.0;        // wall clock — NOT deterministic
   std::vector<AdmissionRecord> allocations;  // when record_allocations

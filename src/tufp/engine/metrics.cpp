@@ -78,7 +78,8 @@ std::string EngineMetrics::summary(bool include_wall_clock) const {
      << " admitted_value=" << Table::format_double(c.admitted_value, 2)
      << " revenue=" << Table::format_double(c.revenue, 2) << "\n"
      << "solver_iterations=" << c.solver_iterations
-     << " sp_computations=" << c.sp_computations << " admission_delay_p50="
+     << " sp_computations=" << c.sp_computations
+     << " sp_tree_runs=" << c.sp_tree_runs << " admission_delay_p50="
      << Table::format_double(admission_delay_.percentile(0.5), 4)
      << " p99=" << Table::format_double(admission_delay_.percentile(0.99), 4)
      << "\n";

@@ -61,6 +61,7 @@ struct EngineCounters {
   double revenue = 0.0;              // sum of payments charged
   std::int64_t solver_iterations = 0;
   std::int64_t sp_computations = 0;
+  std::int64_t sp_tree_runs = 0;  // Dijkstra trees behind sp_computations
 };
 
 class EngineMetrics {

@@ -2,28 +2,13 @@
 
 #include <algorithm>
 #include <cmath>
+#include <span>
 
 #include "tufp/ufp/detail/sp_cache.hpp"
 #include "tufp/util/assert.hpp"
 #include "tufp/util/math.hpp"
 
 namespace tufp {
-
-namespace {
-
-// Margin for "path fits residual capacity" checks under the guard; keeps
-// accumulated floating point from rejecting exactly-full edges.
-constexpr double kFitSlack = 1e-9;
-
-bool path_fits(const Path& path, const std::vector<double>& residual,
-               double demand) {
-  for (EdgeId e : path) {
-    if (residual[static_cast<std::size_t>(e)] + kFitSlack < demand) return false;
-  }
-  return true;
-}
-
-}  // namespace
 
 BoundedUfpResult bounded_ufp(const UfpInstance& instance,
                              const BoundedUfpConfig& config) {
@@ -61,7 +46,14 @@ BoundedUfpResult bounded_ufp(const UfpInstance& instance,
   std::vector<int> remaining(static_cast<std::size_t>(R));
   for (int r = 0; r < R; ++r) remaining[static_cast<std::size_t>(r)] = r;
 
-  detail::SpCache cache(instance, config.parallel, config.num_threads);
+  detail::SpCache cache(instance, config.parallel, config.num_threads,
+                        config.sp_kernel);
+  // Kept current incrementally as y inflates: enables the bucket-queue
+  // kernel while the key range stays bounded (DESIGN.md §6).
+  WeightProfile profile = WeightProfile::scan(y);
+  const std::span<const double> guard_residual =
+      config.capacity_guard ? std::span<const double>(residual)
+                            : std::span<const double>();
 
   double primal_value = 0.0;
 
@@ -72,9 +64,11 @@ BoundedUfpResult bounded_ufp(const UfpInstance& instance,
       break;
     }
     ++now;
-    cache.refresh(y, edge_stamp, now, remaining, config.lazy_shortest_paths);
+    cache.refresh(y, edge_stamp, now, remaining, config.lazy_shortest_paths,
+                  guard_residual, &profile);
     result.sp_computations +=
         static_cast<std::int64_t>(cache.recomputed_last_refresh());
+    result.sp_tree_runs += cache.tree_runs_last_refresh();
 
     // Line 9: request minimizing (d_r/v_r)|p_r|; deterministic tie-break on
     // request id. alpha_cert tracks the minimum over *all* remaining
@@ -89,9 +83,10 @@ BoundedUfpResult bounded_ufp(const UfpInstance& instance,
       const Request& req = instance.request(r);
       const double priority = req.demand / req.value * entry.length;
       alpha_cert = std::min(alpha_cert, priority);
-      if (config.capacity_guard && !path_fits(entry.path, residual, req.demand)) {
-        continue;
-      }
+      // Guard status is cached in the entry (sp_cache.hpp): it can only
+      // change when the entry itself goes stale, so no per-iteration
+      // path rescan.
+      if (config.capacity_guard && !entry.fits) continue;
       if (priority < best_priority) {
         best_priority = priority;
         best = r;
@@ -119,6 +114,7 @@ BoundedUfpResult bounded_ufp(const UfpInstance& instance,
       dual_sum += cap * (y[ei] - old_y);
       edge_stamp[ei] = now;
       residual[ei] -= req.demand;
+      profile.include(y[ei]);
     }
     result.solution.assign(best, entry.path);
     primal_value += req.value;

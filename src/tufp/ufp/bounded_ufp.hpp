@@ -16,6 +16,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "tufp/graph/dijkstra.hpp"
 #include "tufp/ufp/instance.hpp"
 #include "tufp/ufp/solution.hpp"
 
@@ -48,10 +49,16 @@ struct BoundedUfpConfig {
   // Theorem 3.1 applies only to the faithful setting.
   bool run_to_saturation = false;
 
-  // OpenMP-parallel per-request shortest paths. Deterministic for any
-  // thread count.
+  // OpenMP-parallel per-source shortest-path trees. Deterministic for
+  // any thread count.
   bool parallel = true;
   int num_threads = 0;  // 0: runtime default
+
+  // Shortest-path queue discipline. kAuto runs the monotone bucket queue
+  // while the dual weights' key range allows it and falls back to the
+  // heap as saturation spreads them (DESIGN.md §6); kHeap/kBucket force
+  // a kernel (tests, ablation benches).
+  SpKernel sp_kernel = SpKernel::kAuto;
 
   // Record one IterationRecord per selection (tests/benches).
   bool record_trace = false;
@@ -84,10 +91,16 @@ struct BoundedUfpResult {
   // capacity guard, when no remaining request fit.
   bool stopped_by_threshold = false;
 
-  // Total Dijkstra computations performed. The naive loop costs
-  // iterations * |remaining| of them; lazy invalidation only recomputes
-  // requests whose cached path touched updated edges (DESIGN.md §6).
+  // Total shortest-path recomputations (cache entries refilled). The
+  // naive loop costs iterations * |remaining| of them; lazy invalidation
+  // only recomputes requests whose cached path touched updated edges
+  // (DESIGN.md §6).
   std::int64_t sp_computations = 0;
+
+  // Dijkstra tree searches actually run: one per source shard with a
+  // stale entry, so sp_tree_runs <= sp_computations with equality only
+  // when no two stale requests ever share a source.
+  std::int64_t sp_tree_runs = 0;
 
   std::vector<IterationRecord> trace;
 };

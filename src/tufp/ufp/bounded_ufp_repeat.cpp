@@ -2,26 +2,13 @@
 
 #include <algorithm>
 #include <cmath>
+#include <span>
 
 #include "tufp/ufp/detail/sp_cache.hpp"
 #include "tufp/util/assert.hpp"
 #include "tufp/util/math.hpp"
 
 namespace tufp {
-
-namespace {
-
-constexpr double kFitSlack = 1e-9;
-
-bool path_fits(const Path& path, const std::vector<double>& residual,
-               double demand) {
-  for (EdgeId e : path) {
-    if (residual[static_cast<std::size_t>(e)] + kFitSlack < demand) return false;
-  }
-  return true;
-}
-
-}  // namespace
 
 BoundedUfpRepeatResult bounded_ufp_repeat(const UfpInstance& instance,
                                           const BoundedUfpRepeatConfig& config) {
@@ -54,7 +41,12 @@ BoundedUfpRepeatResult bounded_ufp_repeat(const UfpInstance& instance,
   std::vector<int> live(static_cast<std::size_t>(R));
   for (int r = 0; r < R; ++r) live[static_cast<std::size_t>(r)] = r;
 
-  detail::SpCache cache(instance, config.parallel, config.num_threads);
+  detail::SpCache cache(instance, config.parallel, config.num_threads,
+                        config.sp_kernel);
+  WeightProfile profile = WeightProfile::scan(y);
+  const std::span<const double> guard_residual =
+      config.capacity_guard ? std::span<const double>(residual)
+                            : std::span<const double>();
 
   double primal_value = 0.0;
 
@@ -65,7 +57,8 @@ BoundedUfpRepeatResult bounded_ufp_repeat(const UfpInstance& instance,
       break;
     }
     ++now;
-    cache.refresh(y, edge_stamp, now, live, config.lazy_shortest_paths);
+    cache.refresh(y, edge_stamp, now, live, config.lazy_shortest_paths,
+                  guard_residual, &profile);
     result.sp_computations +=
         static_cast<std::int64_t>(cache.recomputed_last_refresh());
 
@@ -78,9 +71,7 @@ BoundedUfpRepeatResult bounded_ufp_repeat(const UfpInstance& instance,
       const Request& req = instance.request(r);
       const double priority = req.demand / req.value * entry.length;
       alpha_cert = std::min(alpha_cert, priority);
-      if (config.capacity_guard && !path_fits(entry.path, residual, req.demand)) {
-        continue;
-      }
+      if (config.capacity_guard && !entry.fits) continue;
       if (priority < best_priority) {
         best_priority = priority;
         best = r;
@@ -106,6 +97,7 @@ BoundedUfpRepeatResult bounded_ufp_repeat(const UfpInstance& instance,
       dual_sum += cap * (y[ei] - old_y);
       edge_stamp[ei] = now;
       residual[ei] -= req.demand;
+      profile.include(y[ei]);
     }
     result.solution.add(best, entry.path);
     primal_value += req.value;

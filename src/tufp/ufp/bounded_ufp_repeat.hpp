@@ -24,6 +24,7 @@ struct BoundedUfpRepeatConfig {
   bool lazy_shortest_paths = true;
   bool parallel = true;
   int num_threads = 0;
+  SpKernel sp_kernel = SpKernel::kAuto;  // same semantics as BoundedUfpConfig
   bool record_trace = false;
   // Hard stop on iteration count (defense against tiny d_min blowing up
   // the m*c_max/d_min bound); 0 disables.

@@ -1,9 +1,9 @@
-// Per-request shortest-path cache shared by Bounded-UFP and
-// Bounded-UFP-Repeat (internal header).
+// Incremental shortest-path cache shared by Bounded-UFP, Bounded-UFP-
+// Repeat and BKV (internal header).
 //
-// Both algorithms need, every iteration, the shortest s_r -> t_r path under
-// the current dual weights y for every live request (Alg. 1 lines 6-8,
-// Alg. 3 lines 4-6). Two facts make caching sound:
+// All three algorithms need, every iteration, the shortest s_r -> t_r
+// path under the current dual weights y for every live request (Alg. 1
+// lines 6-8, Alg. 3 lines 4-6). Two facts make caching sound:
 //   1. y only ever increases, so path lengths only grow;
 //   2. an update touches exactly the edges of one selected path.
 // Hence a cached shortest path whose edges were not updated since it was
@@ -12,9 +12,23 @@
 // stamp and recompute only requests whose cached path intersects edges
 // stamped after the cache entry.
 //
-// Recomputation is embarrassingly parallel across requests; with OpenMP
-// each thread drives its own ShortestPathEngine. Results are bitwise
-// deterministic regardless of thread count (entries are independent).
+// Capacity-guard invalidation rides the same stamps (DESIGN.md §6): the
+// solvers decrement residual capacity on exactly the edges they stamp,
+// so an entry's fit status ("does the path still clear the residual
+// capacities at this request's demand?") can only change when the entry
+// itself goes stale. refresh() therefore evaluates the guard once per
+// recomputation and caches it in Entry::fits; the selection loops read a
+// bool instead of rescanning the path every iteration. Callers that pass
+// `residual` must uphold the invariant that residual changes are
+// accompanied by an edge stamp at the same iteration.
+//
+// Recomputation is sharded by source vertex: requests sharing a source
+// are answered from one Dijkstra tree (ShortestPathEngine::shortest_tree)
+// instead of one search per request. Shards are embarrassingly parallel
+// across OpenMP threads — each thread drives its own engine and writes
+// only the entries of its own sources — and every tree is canonical
+// (dijkstra.hpp), so entries are bitwise identical for any thread count
+// and any shard schedule; consumers then read them in arrival order.
 #pragma once
 
 #include <cstdint>
@@ -34,6 +48,20 @@
 
 namespace tufp::detail {
 
+// Margin for "path fits residual capacity" checks under the guard; keeps
+// accumulated floating point from rejecting exactly-full edges.
+inline constexpr double kFitSlack = 1e-9;
+
+inline bool path_fits(const Path& path, std::span<const double> residual,
+                      double demand) {
+  for (const EdgeId e : path) {
+    if (residual[static_cast<std::size_t>(e)] + kFitSlack < demand) {
+      return false;
+    }
+  }
+  return true;
+}
+
 class SpCache {
  public:
   struct Entry {
@@ -41,9 +69,14 @@ class SpCache {
     double length = kInf;
     std::int64_t computed_at = -1;  // stamp epoch of the computation
     bool reachable = true;
+    // Capacity-guard status as of the last recomputation; stays valid
+    // until the entry goes stale (see header comment). Always true when
+    // refresh() runs without a residual vector.
+    bool fits = true;
   };
 
-  SpCache(const UfpInstance& instance, bool parallel, int num_threads)
+  SpCache(const UfpInstance& instance, bool parallel, int num_threads,
+          SpKernel kernel = SpKernel::kAuto)
       : instance_(&instance),
         entries_(static_cast<std::size_t>(instance.num_requests())),
         parallel_(parallel),
@@ -54,57 +87,125 @@ class SpCache {
 #endif
     engines_.reserve(static_cast<std::size_t>(pool));
     for (int i = 0; i < pool; ++i) {
-      engines_.push_back(std::make_unique<ShortestPathEngine>(instance.graph()));
+      engines_.push_back(
+          std::make_unique<ShortestPathEngine>(instance.graph(), kernel));
+    }
+    scratch_targets_.resize(static_cast<std::size_t>(pool));
+
+    // Source-vertex shards: one Dijkstra tree per shard per refresh.
+    std::vector<int> group_of_source(
+        static_cast<std::size_t>(instance.graph().num_vertices()), -1);
+    group_of_request_.resize(static_cast<std::size_t>(instance.num_requests()));
+    for (int r = 0; r < instance.num_requests(); ++r) {
+      const auto s = static_cast<std::size_t>(instance.request(r).source);
+      if (group_of_source[s] < 0) {
+        group_of_source[s] = static_cast<int>(groups_.size());
+        groups_.push_back({instance.request(r).source, {}});
+      }
+      group_of_request_[static_cast<std::size_t>(r)] = group_of_source[s];
     }
   }
 
   // Ensures entries for `active` are shortest paths under `y`, where
   // edge_stamp[e] is the iteration at which e's weight last changed and
   // `now` the current iteration. With lazy=false everything recomputes.
-  void refresh(std::span<const double> y, std::span<const std::int64_t> edge_stamp,
-               std::int64_t now, std::span<const int> active, bool lazy) {
-    stale_.clear();
-    for (int r : active) {
+  // A non-empty `residual` additionally refreshes Entry::fits against the
+  // per-request demand. `profile`, when given, lets per-shard engines use
+  // the bucket kernel (kAuto); it must be current for `y`.
+  void refresh(std::span<const double> y,
+               std::span<const std::int64_t> edge_stamp, std::int64_t now,
+               std::span<const int> active, bool lazy,
+               std::span<const double> residual = {},
+               const WeightProfile* profile = nullptr) {
+    stale_count_ = 0;
+    tree_runs_last_refresh_ = 0;
+    for (Group& g : groups_) g.stale.clear();
+    touched_groups_.clear();
+    for (const int r : active) {
       Entry& entry = entries_[static_cast<std::size_t>(r)];
       if (!entry.reachable) continue;  // graph is static: stays unreachable
-      if (lazy && entry.computed_at >= 0 && is_current(entry, edge_stamp)) continue;
-      stale_.push_back(r);
+      if (lazy && entry.computed_at >= 0 && is_current(entry, edge_stamp)) {
+        continue;
+      }
+      Group& g = groups_[static_cast<std::size_t>(
+          group_of_request_[static_cast<std::size_t>(r)])];
+      if (g.stale.empty()) {
+        touched_groups_.push_back(
+            group_of_request_[static_cast<std::size_t>(r)]);
+      }
+      g.stale.push_back(r);
+      ++stale_count_;
     }
+    if (touched_groups_.empty()) return;
+    tree_runs_last_refresh_ =
+        static_cast<std::int64_t>(touched_groups_.size());
 
     const auto work = [&](std::size_t idx, int engine_id) {
-      const int r = stale_[idx];
-      Entry& entry = entries_[static_cast<std::size_t>(r)];
-      const Request& req = instance_->request(r);
-      entry.length = engines_[static_cast<std::size_t>(engine_id)]->shortest_path(
-          y, req.source, req.target, &entry.path);
-      entry.computed_at = now;
-      if (entry.length >= kInf) {
-        entry.reachable = false;
-        entry.path.clear();
-        entry.computed_at = std::numeric_limits<std::int64_t>::max();
+      const Group& g = groups_[static_cast<std::size_t>(touched_groups_[idx])];
+      // Per-engine (= per-thread) scratch keeps the steady-state refresh
+      // loop allocation-free.
+      std::vector<ShortestPathEngine::TreeTarget>& targets =
+          scratch_targets_[static_cast<std::size_t>(engine_id)];
+      targets.clear();
+      targets.resize(g.stale.size());
+      for (std::size_t i = 0; i < g.stale.size(); ++i) {
+        const int r = g.stale[i];
+        targets[i].vertex = instance_->request(r).target;
+        targets[i].path = &entries_[static_cast<std::size_t>(r)].path;
+      }
+      engines_[static_cast<std::size_t>(engine_id)]->shortest_tree(
+          y, g.source, targets, /*blocked=*/{}, profile);
+      for (std::size_t i = 0; i < g.stale.size(); ++i) {
+        const int r = g.stale[i];
+        Entry& entry = entries_[static_cast<std::size_t>(r)];
+        entry.length = targets[i].length;
+        entry.computed_at = now;
+        if (entry.length >= kInf) {
+          entry.reachable = false;
+          entry.fits = false;
+          entry.path.clear();
+          entry.computed_at = std::numeric_limits<std::int64_t>::max();
+          continue;
+        }
+        entry.fits = residual.empty() ||
+                     path_fits(entry.path, residual,
+                               instance_->request(r).demand);
       }
     };
 
 #if defined(TUFP_HAVE_OPENMP)
-    if (parallel_ && stale_.size() > 1) {
+    if (parallel_ && touched_groups_.size() > 1) {
       const int pool = static_cast<int>(engines_.size());
-#pragma omp parallel for schedule(dynamic, 4) num_threads(pool)
-      for (std::size_t i = 0; i < stale_.size(); ++i) {
+#pragma omp parallel for schedule(dynamic, 1) num_threads(pool)
+      for (std::size_t i = 0; i < touched_groups_.size(); ++i) {
         work(i, omp_get_thread_num());
       }
       return;
     }
 #endif
-    for (std::size_t i = 0; i < stale_.size(); ++i) work(i, 0);
+    for (std::size_t i = 0; i < touched_groups_.size(); ++i) work(i, 0);
   }
 
   const Entry& entry(int r) const {
     return entries_[static_cast<std::size_t>(r)];
   }
 
-  std::size_t recomputed_last_refresh() const { return stale_.size(); }
+  // Entries recomputed by the last refresh (the algorithmic
+  // shortest-path count the solvers report).
+  std::size_t recomputed_last_refresh() const { return stale_count_; }
+
+  // Dijkstra tree searches the last refresh actually ran — one per
+  // source shard with at least one stale entry.
+  std::int64_t tree_runs_last_refresh() const {
+    return tree_runs_last_refresh_;
+  }
 
  private:
+  struct Group {
+    VertexId source;
+    std::vector<int> stale;  // stale requests this refresh, arrival order
+  };
+
   static bool is_current(const Entry& entry,
                          std::span<const std::int64_t> edge_stamp) {
     for (EdgeId e : entry.path) {
@@ -122,7 +223,12 @@ class SpCache {
   const UfpInstance* instance_;
   std::vector<Entry> entries_;
   std::vector<std::unique_ptr<ShortestPathEngine>> engines_;
-  std::vector<int> stale_;
+  std::vector<std::vector<ShortestPathEngine::TreeTarget>> scratch_targets_;
+  std::vector<Group> groups_;
+  std::vector<int> group_of_request_;
+  std::vector<int> touched_groups_;
+  std::size_t stale_count_ = 0;
+  std::int64_t tree_runs_last_refresh_ = 0;
   bool parallel_;
   int num_threads_;
 };

@@ -1,0 +1,33 @@
+// OpenMP capability queries, usable from builds with and without it.
+//
+// The library degrades to (identical-output) serial loops when OpenMP is
+// absent, but tools must be able to *report* that honestly: silently
+// serializing a --threads request would misrepresent a benchmark run.
+#pragma once
+
+#if defined(TUFP_HAVE_OPENMP)
+#include <omp.h>
+#endif
+
+namespace tufp {
+
+inline bool openmp_available() {
+#if defined(TUFP_HAVE_OPENMP)
+  return true;
+#else
+  return false;
+#endif
+}
+
+// Threads a parallel region would use for the given request (0 = runtime
+// default). Always 1 without OpenMP.
+inline int effective_num_threads(int requested) {
+#if defined(TUFP_HAVE_OPENMP)
+  return requested > 0 ? requested : omp_get_max_threads();
+#else
+  (void)requested;
+  return 1;
+#endif
+}
+
+}  // namespace tufp

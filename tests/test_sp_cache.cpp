@@ -115,6 +115,73 @@ TEST(SpCache, ParallelAndSerialProduceIdenticalEntries) {
   }
 }
 
+TEST(SpCache, FitStatusTracksCapacityGuardCrossings) {
+  const UfpInstance inst = diamond_instance();
+  detail::SpCache cache(inst, false, 0);
+  std::vector<double> y{1.0, 1.0, 2.0, 2.0};
+  std::vector<std::int64_t> stamps(4, 0);
+  std::vector<double> residual{5.0, 5.0, 5.0, 5.0};
+  const std::vector<int> active{0, 1};
+  cache.refresh(y, stamps, 1, active, true, residual);
+  EXPECT_TRUE(cache.entry(0).fits);
+  EXPECT_TRUE(cache.entry(1).fits);
+
+  // An admission drives edge 0 below the demand (1.0) and stamps it —
+  // the invariant the solvers uphold: residual changes only on stamped
+  // edges. Both cached paths cross edge 0, so both entries go stale and
+  // their guard status flips on the recomputation.
+  residual[0] = 0.5;
+  stamps[0] = 1;
+  cache.refresh(y, stamps, 2, active, true, residual);
+  EXPECT_EQ(cache.recomputed_last_refresh(), 2u);
+  EXPECT_EQ(cache.entry(0).path, (Path{0, 1}));  // still shortest under y
+  EXPECT_FALSE(cache.entry(0).fits);
+  EXPECT_FALSE(cache.entry(1).fits);
+
+  // No further stamps: the guard verdict stays cached, nothing recomputes.
+  cache.refresh(y, stamps, 3, active, true, residual);
+  EXPECT_EQ(cache.recomputed_last_refresh(), 0u);
+  EXPECT_FALSE(cache.entry(0).fits);
+}
+
+TEST(SpCache, FitStatusIsPerRequestDemand) {
+  // Same path, different demands: the crossing threshold is the demand.
+  Graph g = Graph::directed(2);
+  g.add_edge(0, 1, 5.0);
+  g.finalize();
+  const UfpInstance inst(std::move(g), {{0, 1, 1.0, 1.0}, {0, 1, 0.25, 1.0}});
+  detail::SpCache cache(inst, false, 0);
+  const std::vector<double> y{1.0};
+  std::vector<std::int64_t> stamps{0};
+  std::vector<double> residual{0.5};
+  const std::vector<int> active{0, 1};
+  cache.refresh(y, stamps, 1, active, true, residual);
+  EXPECT_FALSE(cache.entry(0).fits);  // demand 1.0 > residual 0.5
+  EXPECT_TRUE(cache.entry(1).fits);   // demand 0.25 fits
+}
+
+TEST(SpCache, WithoutResidualEveryEntryFits) {
+  const UfpInstance inst = diamond_instance();
+  detail::SpCache cache(inst, false, 0);
+  const std::vector<double> y{1.0, 1.0, 2.0, 2.0};
+  const std::vector<std::int64_t> stamps(4, 0);
+  cache.refresh(y, stamps, 1, std::vector<int>{0, 1}, true);
+  EXPECT_TRUE(cache.entry(0).fits);
+  EXPECT_TRUE(cache.entry(1).fits);
+}
+
+TEST(SpCache, SharedSourcesRefreshFromOneTree) {
+  // Requests 0 and 1 share source 0: one Dijkstra tree serves both, so
+  // two recomputed entries cost one tree run.
+  const UfpInstance inst = diamond_instance();
+  detail::SpCache cache(inst, false, 0);
+  const std::vector<double> y{1.0, 1.0, 2.0, 2.0};
+  const std::vector<std::int64_t> stamps(4, 0);
+  cache.refresh(y, stamps, 1, std::vector<int>{0, 1, 2}, true);
+  EXPECT_EQ(cache.recomputed_last_refresh(), 3u);
+  EXPECT_EQ(cache.tree_runs_last_refresh(), 2);  // sources {0, 1}
+}
+
 TEST(SpCache, SolverCountersShowLazySavings) {
   // Jittered capacities keep shortest paths unique (lazy and eager runs
   // are provably identical only up to shortest-path ties).

@@ -1,0 +1,106 @@
+#!/usr/bin/env python3
+"""CI bench-regression gate for bench_perf_runtime --json output.
+
+Compares a current google-benchmark JSON run against the committed
+baseline (bench/baseline.json) and fails when median throughput of any
+benchmark present in both files regresses by more than --threshold
+(default 20%).
+
+Throughput per benchmark is items_per_second when the benchmark reports
+it, otherwise 1/real_time. When a run contains repetition aggregates
+(--benchmark_repetitions=N), only the *_median rows are compared — single
+runs compare raw rows directly.
+
+Usage:
+  check_bench_regression.py BASELINE CURRENT [--threshold 0.20]
+  check_bench_regression.py --update BASELINE CURRENT   # refresh baseline
+
+Caveat (documented in README.md): absolute numbers are machine-class
+specific. The committed baseline is meaningful on runners comparable to
+the one that produced it; refresh it with --update (or by copying the CI
+artifact) whenever the runner class or the benchmark set changes.
+"""
+
+import argparse
+import json
+import shutil
+import sys
+
+MEDIAN_SUFFIX = "_median"
+
+
+def load_rows(path):
+    with open(path) as f:
+        data = json.load(f)
+    rows = data.get("benchmarks", [])
+    medians = [r for r in rows if r.get("name", "").endswith(MEDIAN_SUFFIX)]
+    if medians:
+        rows = medians
+    out = {}
+    for row in rows:
+        name = row["name"]
+        if name.endswith(MEDIAN_SUFFIX):
+            name = name[: -len(MEDIAN_SUFFIX)]
+        throughput = row.get("items_per_second")
+        if throughput is None:
+            real_time = row.get("real_time")
+            if not real_time:
+                continue
+            throughput = 1.0 / real_time
+        out[name] = float(throughput)
+    return out
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline")
+    parser.add_argument("current")
+    parser.add_argument("--threshold", type=float, default=0.20,
+                        help="max tolerated fractional throughput drop")
+    parser.add_argument("--update", action="store_true",
+                        help="overwrite BASELINE with CURRENT and exit")
+    args = parser.parse_args()
+
+    if args.update:
+        shutil.copyfile(args.current, args.baseline)
+        print(f"baseline updated: {args.baseline} <- {args.current}")
+        return 0
+
+    baseline = load_rows(args.baseline)
+    current = load_rows(args.current)
+    shared = sorted(set(baseline) & set(current))
+    if not shared:
+        print("error: no benchmarks in common between baseline and current",
+              file=sys.stderr)
+        return 2
+
+    regressions = []
+    width = max(len(n) for n in shared)
+    print(f"{'benchmark':<{width}}  {'baseline':>12}  {'current':>12}  ratio")
+    for name in shared:
+        ratio = current[name] / baseline[name] if baseline[name] > 0 else 0.0
+        flag = ""
+        if ratio < 1.0 - args.threshold:
+            flag = "  << REGRESSION"
+            regressions.append((name, ratio))
+        print(f"{name:<{width}}  {baseline[name]:>12.4g}  "
+              f"{current[name]:>12.4g}  {ratio:5.2f}{flag}")
+
+    missing = sorted(set(baseline) - set(current))
+    if missing:
+        print(f"note: {len(missing)} baseline benchmark(s) absent from the "
+              f"current run: {', '.join(missing)}")
+
+    if regressions:
+        worst = min(regressions, key=lambda r: r[1])
+        print(f"\nFAIL: {len(regressions)} benchmark(s) regressed more than "
+              f"{args.threshold:.0%} (worst: {worst[0]} at {worst[1]:.2f}x)",
+              file=sys.stderr)
+        return 1
+    print(f"\nOK: no benchmark regressed more than {args.threshold:.0%} "
+          f"across {len(shared)} compared")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

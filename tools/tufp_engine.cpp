@@ -24,7 +24,11 @@
 //   --queue N                bounded queue capacity    (default 65536)
 //   --payments none|dual|critical                      (default dual)
 //   --threads N              solver OpenMP threads     (default runtime)
+//                            N > 0 is an error in builds without OpenMP:
+//                            the engine will not silently serialize an
+//                            explicit thread request
 //   --eps X                  solver accuracy parameter (default 1/6)
+//   --sp-kernel auto|heap|bucket  shortest-path queue  (default auto)
 // Output:
 //   --csv                    per-epoch CSV instead of aligned table
 //   --quiet                  suppress the per-epoch series
@@ -42,6 +46,7 @@
 
 #include "tufp/engine/epoch_engine.hpp"
 #include "tufp/engine/request_stream.hpp"
+#include "tufp/util/parallel.hpp"
 #include "tufp/util/rng.hpp"
 #include "tufp/util/table.hpp"
 #include "tufp/workload/scenarios.hpp"
@@ -72,6 +77,7 @@ struct Options {
   std::string payments = "dual";
   int threads = 0;
   double eps = 1.0 / 6.0;
+  std::string sp_kernel = "auto";
 
   bool csv = false;
   bool quiet = false;
@@ -86,7 +92,7 @@ struct Options {
                "  [--burst-size N] [--burst-period X] [--seed S]\n"
                "  [--epochs N] [--epoch-duration X] [--queue N]\n"
                "  [--payments none|dual|critical] [--threads N] [--eps X]\n"
-               "  [--csv] [--quiet]\n";
+               "  [--sp-kernel auto|heap|bucket] [--csv] [--quiet]\n";
   std::exit(2);
 }
 
@@ -118,6 +124,7 @@ Options parse(int argc, char** argv) {
     else if (a == "--payments") opt.payments = value(i);
     else if (a == "--threads") opt.threads = std::stoi(value(i));
     else if (a == "--eps") opt.eps = std::stod(value(i));
+    else if (a == "--sp-kernel") opt.sp_kernel = value(i);
     else if (a == "--csv") opt.csv = true;
     else if (a == "--quiet") opt.quiet = true;
     else usage();
@@ -140,10 +147,26 @@ PaymentPolicy parse_payments(const std::string& name) {
   usage();
 }
 
+SpKernel parse_sp_kernel(const std::string& name) {
+  if (name == "auto") return SpKernel::kAuto;
+  if (name == "heap") return SpKernel::kHeap;
+  if (name == "bucket") return SpKernel::kBucket;
+  usage();
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const Options opt = parse(argc, argv);
+  if (opt.threads > 0 && !openmp_available()) {
+    // Deterministic output would be identical either way, but wall-clock
+    // numbers would not mean what the caller asked for: refuse instead of
+    // silently serializing.
+    std::cerr << "tufp_engine: --threads " << opt.threads
+              << " requested but this build has no OpenMP (configure with "
+                 "an OpenMP-capable toolchain, or drop --threads)\n";
+    return 2;
+  }
   try {
     if (opt.scenario != "grid" && opt.scenario != "random") usage();
     const ValueModel value_model = parse_value_model(opt.value_model);
@@ -181,6 +204,7 @@ int main(int argc, char** argv) {
     config.payments = parse_payments(opt.payments);
     config.solver.epsilon = opt.eps;
     config.solver.num_threads = opt.threads;
+    config.solver.sp_kernel = parse_sp_kernel(opt.sp_kernel);
 
     EpochEngine engine(scenario.graph, config);
 
