@@ -1,0 +1,35 @@
+# Golden-trace comparison, run as a ctest via `cmake -P`.
+#
+# Inputs: ENGINE (binary path), ARGS (one shell-style argument string),
+# GOLDEN (committed expected stdout), OUT (scratch path for actual stdout).
+# The tool's stdout is its deterministic channel (wall-clock goes to
+# stderr), so the comparison is byte-for-byte.
+foreach(var ENGINE ARGS GOLDEN OUT)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "golden_test.cmake requires -D${var}=...")
+  endif()
+endforeach()
+
+separate_arguments(arg_list UNIX_COMMAND "${ARGS}")
+execute_process(
+  COMMAND ${ENGINE} ${arg_list}
+  OUTPUT_FILE ${OUT}
+  ERROR_VARIABLE stderr_text
+  RESULT_VARIABLE run_rc)
+if(NOT run_rc EQUAL 0)
+  message(FATAL_ERROR "${ENGINE} ${ARGS} exited ${run_rc}\n${stderr_text}")
+endif()
+
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E compare_files ${OUT} ${GOLDEN}
+  RESULT_VARIABLE diff_rc)
+if(NOT diff_rc EQUAL 0)
+  file(READ ${OUT} actual)
+  file(READ ${GOLDEN} expected)
+  message(FATAL_ERROR
+          "deterministic stdout drifted from the committed golden trace\n"
+          "--- expected (${GOLDEN})\n${expected}\n"
+          "--- actual (${OUT})\n${actual}\n"
+          "If the change is intentional, regenerate the golden file:\n"
+          "  ${ENGINE} ${ARGS} > ${GOLDEN} 2>/dev/null")
+endif()

@@ -131,16 +131,35 @@ AdmissionReport EpochEngine::clear_epoch(const std::vector<TimedRequest>& batch,
   ++metrics_.counters().epochs;
   metrics_.batch_sizes().add(static_cast<double>(batch.size()));
 
+  // Malformed bids (a zero-value bid, an out-of-range endpoint, an
+  // un-normalized demand) must not poison the epoch: they are shed here,
+  // counted as invalid, and the auction runs over the valid remainder.
+  // batch_index maps instance request ids back to batch positions.
   std::vector<Request> requests;
+  std::vector<int> batch_index;
   requests.reserve(batch.size());
-  for (const TimedRequest& t : batch) {
-    TUFP_REQUIRE(t.request.demand <= 1.0,
-                 "engine requests must be normalized (demand <= 1)");
-    report.offered_value += t.request.value;
-    requests.push_back(t.request);
+  batch_index.reserve(batch.size());
+  const int n = base_->num_vertices();
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    const TimedRequest& t = batch[i];
     const double delay = std::max(0.0, close_time - t.arrival_time);
     metrics_.admission_delay().record(delay);
     report.max_admission_delay = std::max(report.max_admission_delay, delay);
+
+    const Request& req = t.request;
+    const bool valid = std::isfinite(req.demand) && std::isfinite(req.value) &&
+                       req.demand > 0.0 && req.demand <= 1.0 &&
+                       req.value > 0.0 && req.source >= 0 && req.source < n &&
+                       req.target >= 0 && req.target < n &&
+                       req.source != req.target;
+    if (!valid) {
+      ++report.invalid_rejected;
+      ++metrics_.counters().invalid_rejected;
+      continue;
+    }
+    report.offered_value += req.value;
+    requests.push_back(req);
+    batch_index.push_back(static_cast<int>(i));
   }
   metrics_.counters().offered_value += report.offered_value;
 
@@ -151,10 +170,10 @@ AdmissionReport EpochEngine::clear_epoch(const std::vector<TimedRequest>& batch,
   report.min_residual =
       snapshot.num_active_edges() > 0 ? snapshot.min_residual() : 0.0;
 
-  if (batch.empty() || snapshot.num_active_edges() == 0) {
-    // Fully saturated network (or nothing to clear): every bid is rejected
-    // without an auction.
-    metrics_.counters().rejected += static_cast<std::int64_t>(batch.size());
+  if (requests.empty() || snapshot.num_active_edges() == 0) {
+    // Fully saturated network (or nothing valid to clear): every valid bid
+    // is rejected without an auction.
+    metrics_.counters().rejected += static_cast<std::int64_t>(requests.size());
     report.solve_seconds = timer.elapsed_seconds();
     metrics_.solve_seconds().record(report.solve_seconds);
     return report;
@@ -180,7 +199,8 @@ AdmissionReport EpochEngine::clear_epoch(const std::vector<TimedRequest>& batch,
   metrics_.counters().sp_computations += run.sp_computations;
   metrics_.counters().sp_tree_runs += run.sp_tree_runs;
 
-  std::vector<double> payments(batch.size(), 0.0);
+  std::vector<double> payments(
+      static_cast<std::size_t>(instance.num_requests()), 0.0);
   apply_payments(instance, run, solver_cfg, &payments);
 
   for (int r = 0; r < instance.num_requests(); ++r) {
@@ -200,8 +220,9 @@ AdmissionReport EpochEngine::clear_epoch(const std::vector<TimedRequest>& batch,
     report.admitted_value += bid;
     report.revenue += payments[static_cast<std::size_t>(r)];
     if (config_.record_allocations) {
+      const int bi = batch_index[static_cast<std::size_t>(r)];
       report.allocations.push_back(
-          {batch[static_cast<std::size_t>(r)].sequence, r, bid,
+          {batch[static_cast<std::size_t>(bi)].sequence, bi, bid,
            payments[static_cast<std::size_t>(r)],
            static_cast<int>(path.size())});
     }

@@ -97,6 +97,9 @@ struct AdmissionReport {
   int epoch = -1;
   int batch_size = 0;
   int admitted = 0;
+  // Malformed bids in this batch (non-positive value/demand, demand > 1,
+  // bad endpoints): shed before the auction instead of poisoning it.
+  int invalid_rejected = 0;
   double close_time = 0.0;       // virtual clock at which the epoch cleared
   double offered_value = 0.0;
   double admitted_value = 0.0;

@@ -72,7 +72,8 @@ std::string EngineMetrics::summary(bool include_wall_clock) const {
   const EngineCounters& c = counters_;
   os << "epochs=" << c.epochs << " requests=" << c.requests_seen
      << " queue_dropped=" << c.queue_dropped << " admitted=" << c.admitted
-     << " rejected=" << c.rejected << "\n"
+     << " rejected=" << c.rejected << " invalid=" << c.invalid_rejected
+     << "\n"
      << "admitted_fraction=" << Table::format_double(admitted_fraction(), 4)
      << " offered_value=" << Table::format_double(c.offered_value, 2)
      << " admitted_value=" << Table::format_double(c.admitted_value, 2)

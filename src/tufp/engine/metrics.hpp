@@ -56,6 +56,7 @@ struct EngineCounters {
   std::int64_t queue_dropped = 0;    // shed by the bounded queue
   std::int64_t admitted = 0;
   std::int64_t rejected = 0;         // offered to an auction, not allocated
+  std::int64_t invalid_rejected = 0; // malformed bids shed before any auction
   double offered_value = 0.0;        // sum of bids offered to auctions
   double admitted_value = 0.0;       // sum of winning bids
   double revenue = 0.0;              // sum of payments charged

@@ -1,0 +1,87 @@
+// The fuzz driver: seed-driven world sweep + oracle suite + shrink +
+// repro emission.
+//
+// Worlds are drawn round-robin over the configured family matrix with
+// per-world seeds expanded from the run seed by SplitMix64, so the world
+// sequence is a pure function of the run seed: `--seed S --budget N` and
+// `--seed S --budget M` agree on their common prefix, and every verdict is
+// reproducible from the log line alone. A wall-clock budget (nightly CI)
+// truncates the same deterministic sequence at a machine-dependent point;
+// everything up to the truncation is still seed-reproducible.
+//
+// On a violation the driver shrinks the world against the failing oracle
+// (sim/shrink.hpp) and emits a repro: a workload/io `ufp` file with a
+// comment header naming run seed, world, oracle and witness — loadable by
+// load_ufp, replayable by `tufp_fuzz --replay`, and small enough to commit
+// as a regression test.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "tufp/sim/oracles.hpp"
+#include "tufp/sim/shrink.hpp"
+#include "tufp/sim/world.hpp"
+
+namespace tufp::sim {
+
+struct FuzzConfig {
+  std::uint64_t seed = 1;
+  // World-count budget; the determinism unit. Same seed + same max_worlds
+  // => same worlds, same verdicts, same log.
+  int max_worlds = 100;
+  // Optional wall-clock cap checked between worlds (0 = none). Truncates
+  // the deterministic sequence; does not perturb it.
+  double budget_seconds = 0.0;
+
+  std::vector<WorldFamily> families;  // empty = full matrix
+  std::vector<std::string> oracles;   // empty = whole catalogue
+  OracleOptions oracle_options;
+
+  bool shrink = true;
+  ShrinkOptions shrink_options;
+  // Directory for repro files (created if missing); empty keeps repros in
+  // the report only.
+  std::string repro_dir;
+  bool stop_on_first = false;
+};
+
+struct FuzzViolation {
+  int world_index = -1;
+  WorldSpec spec;
+  std::string oracle;
+  std::string detail;
+  int original_requests = 0;
+  int shrunk_requests = 0;
+  std::string repro_text;  // workload/io ufp format + comment header
+  std::string repro_path;  // empty unless repro_dir configured
+};
+
+struct FuzzReport {
+  int worlds_run = 0;
+  int worlds_failed = 0;
+  bool wall_clock_stop = false;
+  std::vector<FuzzViolation> violations;
+};
+
+// Runs the sweep. `log`, when given, receives one deterministic line per
+// world plus violation details — no timing, no pointers, byte-identical
+// for identical configs.
+FuzzReport run_fuzz(const FuzzConfig& config, std::ostream* log = nullptr);
+
+// The repro file body for a shrunk violation (exposed for tests). Besides
+// the instance it records the failing world's solver config and batching
+// as a `# solver ...` directive so replay runs the violation under the
+// exact configuration that produced it.
+std::string make_repro_text(const FuzzConfig& config,
+                            const FuzzViolation& violation,
+                            const SimWorld& shrunk);
+
+// Loads a repro (or any workload/io ufp stream) into a replayable world,
+// honouring the `# solver ...` directive when present and falling back to
+// wrap_instance defaults otherwise.
+SimWorld load_repro(std::istream& is);
+
+}  // namespace tufp::sim

@@ -1,0 +1,699 @@
+#include "tufp/sim/oracles.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <optional>
+#include <sstream>
+#include <utility>
+
+#include "tufp/engine/epoch_engine.hpp"
+#include "tufp/mechanism/allocation_rule.hpp"
+#include "tufp/mechanism/critical_payment.hpp"
+#include "tufp/util/assert.hpp"
+#include "tufp/util/math.hpp"
+
+namespace tufp::sim {
+
+namespace {
+
+std::string fmt(double v) {
+  std::ostringstream os;
+  os.precision(17);
+  os << v;
+  return os.str();
+}
+
+void add(std::vector<Violation>* out, const char* oracle, std::string detail) {
+  out->push_back({oracle, std::move(detail)});
+}
+
+// ---------------------------------------------------------------- solver
+
+BoundedUfpResult solve(const SimWorld& world, const BoundedUfpConfig& cfg) {
+  return bounded_ufp(world.instance, cfg);
+}
+
+bool same_paths(const Path* a, const Path* b) {
+  if ((a == nullptr) != (b == nullptr)) return false;
+  return a == nullptr || *a == *b;
+}
+
+// Exact allocation equality: same selected set, same path per winner.
+// Returns a witness string for the first difference, empty when equal.
+std::string selection_diff(const UfpSolution& a, const UfpSolution& b) {
+  if (a.num_requests() != b.num_requests()) {
+    return "request-count mismatch " + std::to_string(a.num_requests()) +
+           " vs " + std::to_string(b.num_requests());
+  }
+  for (int r = 0; r < a.num_requests(); ++r) {
+    if (a.is_selected(r) != b.is_selected(r)) {
+      return "request " + std::to_string(r) + " selected=" +
+             (a.is_selected(r) ? "yes" : "no") + " vs " +
+             (b.is_selected(r) ? "yes" : "no");
+    }
+    if (!same_paths(a.path_of(r), b.path_of(r))) {
+      return "request " + std::to_string(r) + " routed along different paths";
+    }
+  }
+  return {};
+}
+
+// ----------------------------------------------------------- engine runs
+
+struct EpochDigest {
+  int epoch = 0;
+  int batch_size = 0;
+  double revenue = 0.0;
+  double admitted_value = 0.0;
+  // (global request id, bid, payment, path_edges) per winner, epoch order.
+  std::vector<AdmissionRecord> allocations;
+};
+
+struct EngineRun {
+  std::vector<EpochDigest> epochs;
+  std::vector<double> residual;          // final
+  std::vector<Violation> residual_violations;  // bounds breached mid-run
+};
+
+// Replays the world's request list through the epoch engine in max_batch
+// chunks. AdmissionRecord::sequence carries the global request index so
+// digests are comparable across runs and against offline solves.
+EngineRun run_world_engine(const SimWorld& world, PaymentPolicy payments,
+                           int num_threads) {
+  EpochEngineConfig config;
+  config.max_batch = world.max_batch;
+  config.payments = payments;
+  config.record_allocations = true;
+  config.solver = world.solver;
+  config.solver.capacity_guard = true;  // engine precondition
+  config.solver.num_threads = num_threads;
+  EpochEngine engine(world.instance.shared_graph(), config);
+
+  EngineRun run;
+  const auto& requests = world.instance.requests();
+  std::vector<TimedRequest> batch;
+  const Graph& base = *world.instance.shared_graph();
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    TimedRequest t;
+    t.arrival_time = i < world.arrivals.size() ? world.arrivals[i] : 0.0;
+    t.sequence = static_cast<std::int64_t>(i);
+    t.request = requests[i];
+    batch.push_back(t);
+    if (static_cast<int>(batch.size()) < world.max_batch &&
+        i + 1 < requests.size()) {
+      continue;
+    }
+    const AdmissionReport report = engine.run_epoch(batch);
+    run.epochs.push_back({report.epoch, report.batch_size, report.revenue,
+                          report.admitted_value, report.allocations});
+    const auto residual = engine.residual();
+    for (EdgeId e = 0; e < base.num_edges(); ++e) {
+      const double res = residual[static_cast<std::size_t>(e)];
+      if (res < -1e-9 || res > base.capacity(e) + 1e-9) {
+        add(&run.residual_violations, "residual-feasible",
+            "epoch " + std::to_string(report.epoch) + " edge " +
+                std::to_string(e) + " residual " + fmt(res) +
+                " outside [0, " + fmt(base.capacity(e)) + "]");
+      }
+    }
+    batch.clear();
+  }
+  run.residual.assign(engine.residual().begin(), engine.residual().end());
+  return run;
+}
+
+std::string engine_run_diff(const EngineRun& a, const EngineRun& b) {
+  if (a.epochs.size() != b.epochs.size()) {
+    return "epoch-count mismatch " + std::to_string(a.epochs.size()) + " vs " +
+           std::to_string(b.epochs.size());
+  }
+  for (std::size_t i = 0; i < a.epochs.size(); ++i) {
+    const EpochDigest& x = a.epochs[i];
+    const EpochDigest& y = b.epochs[i];
+    if (x.batch_size != y.batch_size || x.revenue != y.revenue ||
+        x.admitted_value != y.admitted_value ||
+        x.allocations.size() != y.allocations.size()) {
+      return "epoch " + std::to_string(x.epoch) + " digest mismatch";
+    }
+    for (std::size_t j = 0; j < x.allocations.size(); ++j) {
+      if (x.allocations[j].sequence != y.allocations[j].sequence ||
+          x.allocations[j].payment != y.allocations[j].payment) {
+        return "epoch " + std::to_string(x.epoch) + " winner " +
+               std::to_string(j) + " mismatch";
+      }
+    }
+  }
+  if (a.residual != b.residual) return "final residual mismatch";
+  return {};
+}
+
+}  // namespace
+
+// Lazy shared computations. Several oracles diff against the unperturbed
+// base solve or the same engine replay; memoizing them here means a full
+// sweep pays for each at most once, and a restricted suite (the shrinker
+// probes a single oracle hundreds of times) pays only for what that
+// oracle reads.
+struct OracleContext {
+  const SimWorld& world;
+  const OracleOptions& options;
+
+  OracleContext(const SimWorld& w, const OracleOptions& o)
+      : world(w), options(o) {}
+
+  const BoundedUfpResult& base() {
+    if (!base_) base_.emplace(bounded_ufp(world.instance, world.solver));
+    return *base_;
+  }
+  const EngineRun& engine_none() {
+    if (!none_) none_.emplace(run_world_engine(world, PaymentPolicy::kNone, 1));
+    return *none_;
+  }
+  const EngineRun& engine_dual() {
+    if (!dual_) {
+      dual_.emplace(run_world_engine(world, PaymentPolicy::kDualPrice, 1));
+    }
+    return *dual_;
+  }
+
+ private:
+  std::optional<BoundedUfpResult> base_;
+  std::optional<EngineRun> none_;
+  std::optional<EngineRun> dual_;
+};
+
+namespace {
+
+// --------------------------------------------------------------- oracles
+
+std::vector<Violation> oracle_feasible(OracleContext& ctx) {
+  std::vector<Violation> out;
+  const FeasibilityReport report =
+      ctx.base().solution.check_feasibility(ctx.world.instance);
+  if (!report.feasible) add(&out, "feasible", report.message);
+  return out;
+}
+
+std::vector<Violation> oracle_dual_bound(OracleContext& ctx) {
+  std::vector<Violation> out;
+  const double value = ctx.base().solution.total_value(ctx.world.instance);
+  if (!approx_le(value, ctx.base().dual_upper_bound, 1e-9, 1e-9)) {
+    add(&out, "dual-bound",
+        "admitted value " + fmt(value) + " exceeds dual upper bound " +
+            fmt(ctx.base().dual_upper_bound));
+  }
+  return out;
+}
+
+std::vector<Violation> oracle_kernel_diff(OracleContext& ctx) {
+  const SimWorld& world = ctx.world;
+  std::vector<Violation> out;
+  BoundedUfpConfig heap = world.solver;
+  heap.sp_kernel = SpKernel::kHeap;
+  BoundedUfpConfig bucket = world.solver;
+  bucket.sp_kernel = SpKernel::kBucket;
+  const BoundedUfpResult a = solve(world, heap);
+  const BoundedUfpResult b = solve(world, bucket);
+  const std::string diff = selection_diff(a.solution, b.solution);
+  if (!diff.empty()) {
+    add(&out, "kernel-diff", "heap vs bucket: " + diff);
+  } else if (a.final_dual_sum != b.final_dual_sum ||
+             a.iterations != b.iterations) {
+    add(&out, "kernel-diff",
+        "heap vs bucket agree on allocation but not on dual state");
+  }
+  return out;
+}
+
+std::vector<Violation> oracle_thread_diff(OracleContext& ctx) {
+  const SimWorld& world = ctx.world;
+  std::vector<Violation> out;
+  BoundedUfpConfig one = world.solver;
+  one.parallel = true;
+  one.num_threads = 1;
+  BoundedUfpConfig four = world.solver;
+  four.parallel = true;
+  four.num_threads = 4;
+  const BoundedUfpResult a = solve(world, one);
+  const BoundedUfpResult b = solve(world, four);
+  const std::string diff = selection_diff(a.solution, b.solution);
+  if (!diff.empty()) {
+    add(&out, "thread-diff", "threads 1 vs 4: " + diff);
+  } else if (a.final_dual_sum != b.final_dual_sum ||
+             a.dual_upper_bound != b.dual_upper_bound) {
+    add(&out, "thread-diff",
+        "threads 1 vs 4 agree on allocation but not on dual state");
+  }
+  return out;
+}
+
+std::vector<Violation> oracle_bid_scaling(OracleContext& ctx) {
+  const SimWorld& world = ctx.world;
+  std::vector<Violation> out;
+  const BoundedUfpResult& base = ctx.base();
+  // Powers of two: the scaled priorities (d/λv)·|p| are exact binary
+  // rescalings, so even floating-point ties are preserved and the
+  // allocation must be byte-identical.
+  for (const double lambda : {0.5, 4.0}) {
+    std::vector<Request> scaled = world.instance.requests();
+    for (Request& r : scaled) r.value *= lambda;
+    const UfpInstance instance(world.instance.shared_graph(),
+                               std::move(scaled));
+    const BoundedUfpResult run = bounded_ufp(instance, world.solver);
+    const std::string diff = selection_diff(base.solution, run.solution);
+    if (!diff.empty()) {
+      add(&out, "bid-scaling",
+          "allocation changed under uniform bid scaling x" + fmt(lambda) +
+              ": " + diff);
+    }
+  }
+  return out;
+}
+
+std::vector<Violation> oracle_winner_monotone(OracleContext& ctx) {
+  const SimWorld& world = ctx.world;
+  std::vector<Violation> out;
+  const BoundedUfpResult& base = ctx.base();
+  int winner = -1, loser = -1;
+  for (int r = 0; r < world.instance.num_requests(); ++r) {
+    if (base.solution.is_selected(r) && winner < 0) winner = r;
+    if (!base.solution.is_selected(r) && loser < 0) loser = r;
+  }
+  if (winner >= 0) {
+    Request up = world.instance.request(winner);
+    up.value *= 2.0;
+    const BoundedUfpResult run =
+        bounded_ufp(world.instance.with_request(winner, up), world.solver);
+    if (!run.solution.is_selected(winner)) {
+      add(&out, "winner-monotone",
+          "winner " + std::to_string(winner) + " lost after raising its bid");
+    }
+    Request lighter = world.instance.request(winner);
+    lighter.demand *= 0.5;
+    const BoundedUfpResult run2 = bounded_ufp(
+        world.instance.with_request(winner, lighter), world.solver);
+    if (!run2.solution.is_selected(winner)) {
+      add(&out, "winner-monotone",
+          "winner " + std::to_string(winner) +
+              " lost after halving its demand");
+    }
+  }
+  if (loser >= 0) {
+    Request down = world.instance.request(loser);
+    down.value *= 0.5;
+    const BoundedUfpResult run =
+        bounded_ufp(world.instance.with_request(loser, down), world.solver);
+    if (run.solution.is_selected(loser)) {
+      add(&out, "winner-monotone",
+          "loser " + std::to_string(loser) + " won after lowering its bid");
+    }
+  }
+  return out;
+}
+
+std::vector<Violation> oracle_loser_removal(OracleContext& ctx) {
+  const SimWorld& world = ctx.world;
+  std::vector<Violation> out;
+  const BoundedUfpResult& base = ctx.base();
+  int loser = -1;
+  for (int r = 0; r < world.instance.num_requests(); ++r) {
+    if (!base.solution.is_selected(r)) {
+      loser = r;
+      break;
+    }
+  }
+  if (loser < 0 || world.instance.num_requests() < 2) return out;
+
+  std::vector<Request> reduced = world.instance.requests();
+  reduced.erase(reduced.begin() + loser);
+  const UfpInstance instance(world.instance.shared_graph(), std::move(reduced));
+  const BoundedUfpResult run = bounded_ufp(instance, world.solver);
+  // Identity map: request r of the reduced instance is request r (+1 past
+  // the removed slot) of the original.
+  for (int r = 0; r < instance.num_requests(); ++r) {
+    const int orig = r < loser ? r : r + 1;
+    if (run.solution.is_selected(r) != base.solution.is_selected(orig) ||
+        !same_paths(run.solution.path_of(r), base.solution.path_of(orig))) {
+      add(&out, "loser-removal",
+          "removing losing request " + std::to_string(loser) +
+              " changed the outcome of request " + std::to_string(orig));
+      break;
+    }
+  }
+  return out;
+}
+
+std::vector<Violation> oracle_capacity_monotone(OracleContext& ctx) {
+  const SimWorld& world = ctx.world;
+  std::vector<Violation> out;
+  const BoundedUfpResult& base = ctx.base();
+  const double value = base.solution.total_value(world.instance);
+
+  const Graph& g = world.instance.graph();
+  Graph scaled =
+      g.is_directed() ? Graph::directed(g.num_vertices())
+                      : Graph::undirected(g.num_vertices());
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    const auto [u, v] = g.endpoints(e);
+    scaled.add_edge(u, v, g.capacity(e) * 2.0);
+  }
+  scaled.finalize();
+  const UfpInstance bigger(std::move(scaled), world.instance.requests());
+
+  // The old allocation fits a fortiori in the wider network.
+  const FeasibilityReport feas = base.solution.check_feasibility(bigger);
+  if (!feas.feasible) {
+    add(&out, "capacity-monotone",
+        "solution infeasible after doubling capacities: " + feas.message);
+  }
+  // OPT is monotone in capacity, and Claim 3.6 upper-bounds the wider
+  // optimum: value(c) <= OPT(c) <= OPT(2c) <= dual_ub(2c).
+  const BoundedUfpResult wide = bounded_ufp(bigger, world.solver);
+  if (!approx_le(value, wide.dual_upper_bound, 1e-9, 1e-9)) {
+    add(&out, "capacity-monotone",
+        "value " + fmt(value) + " at base capacity exceeds the dual bound " +
+            fmt(wide.dual_upper_bound) + " of the doubled network");
+  }
+  return out;
+}
+
+std::vector<Violation> oracle_engine_offline(OracleContext& ctx) {
+  const SimWorld& world = ctx.world;
+  const OracleOptions& options = ctx.options;
+  std::vector<Violation> out;
+  const int R = world.instance.num_requests();
+  if (R > options.critical_cap) return out;  // bisection cost cap
+
+  // One epoch over the fresh network == the paper's one-shot auction.
+  SimWorld single = world;
+  single.max_batch = std::max(1, R);
+  const EngineRun engine =
+      run_world_engine(single, PaymentPolicy::kCritical, /*num_threads=*/1);
+
+  BoundedUfpConfig cfg = world.solver;
+  cfg.capacity_guard = true;
+  const UfpMechanismResult offline =
+      run_ufp_mechanism(world.instance, make_bounded_ufp_rule(cfg));
+
+  std::vector<double> engine_payment(static_cast<std::size_t>(R), 0.0);
+  std::vector<bool> engine_won(static_cast<std::size_t>(R), false);
+  for (const EpochDigest& epoch : engine.epochs) {
+    for (const AdmissionRecord& a : epoch.allocations) {
+      const auto i = static_cast<std::size_t>(a.sequence);
+      engine_won[i] = true;
+      engine_payment[i] = a.payment;
+    }
+  }
+  for (int r = 0; r < R; ++r) {
+    const auto i = static_cast<std::size_t>(r);
+    if (engine_won[i] != offline.allocation.is_selected(r)) {
+      add(&out, "engine-offline",
+          "request " + std::to_string(r) + " admitted by " +
+              (engine_won[i] ? "engine only" : "offline mechanism only"));
+      continue;
+    }
+    if (std::fabs(engine_payment[i] - offline.payments[i]) > 1e-9) {
+      add(&out, "engine-offline",
+          "request " + std::to_string(r) + " engine payment " +
+              fmt(engine_payment[i]) + " != offline critical payment " +
+              fmt(offline.payments[i]));
+    }
+  }
+  return out;
+}
+
+std::vector<Violation> oracle_payment_policy(OracleContext& ctx) {
+  const SimWorld& world = ctx.world;
+  const OracleOptions& options = ctx.options;
+  std::vector<Violation> out;
+  const EngineRun& none = ctx.engine_none();
+  const EngineRun& dual = ctx.engine_dual();
+
+  const auto admitted_sequences = [](const EngineRun& run) {
+    std::vector<std::int64_t> seq;
+    for (const EpochDigest& e : run.epochs) {
+      for (const AdmissionRecord& a : e.allocations) seq.push_back(a.sequence);
+    }
+    return seq;
+  };
+  // IR + no-positive-transfer on the engine's *actual* charged payments
+  // (the payments-ir oracle prices through the sim rule; this leg keeps
+  // EpochEngine::apply_payments itself under the same invariant).
+  const auto check_engine_ir = [&](const EngineRun& run, const char* policy) {
+    for (const EpochDigest& e : run.epochs) {
+      double revenue = 0.0;
+      for (const AdmissionRecord& a : e.allocations) {
+        revenue += a.payment;
+        if (a.payment < -1e-12 || a.payment > a.bid + 1e-9) {
+          add(&out, "payment-policy",
+              std::string(policy) + " epoch " + std::to_string(e.epoch) +
+                  " charged " + fmt(a.payment) + " against bid " +
+                  fmt(a.bid));
+        }
+      }
+      if (!approx_eq(revenue, e.revenue, 1e-9, 1e-12)) {
+        add(&out, "payment-policy",
+            std::string(policy) + " epoch " + std::to_string(e.epoch) +
+                " revenue " + fmt(e.revenue) +
+                " does not match the sum of its payments " + fmt(revenue));
+      }
+    }
+  };
+
+  const std::vector<std::int64_t> base_seq = admitted_sequences(none);
+  if (admitted_sequences(dual) != base_seq) {
+    add(&out, "payment-policy",
+        "dual-price pricing changed the admitted set vs kNone");
+  }
+  check_engine_ir(dual, "dual-price");
+  for (const EpochDigest& e : none.epochs) {
+    if (e.revenue != 0.0) {
+      add(&out, "payment-policy",
+          "kNone epoch " + std::to_string(e.epoch) + " charged revenue " +
+              fmt(e.revenue));
+    }
+  }
+  if (world.instance.num_requests() <= options.critical_cap) {
+    const EngineRun critical =
+        run_world_engine(world, PaymentPolicy::kCritical, 1);
+    if (admitted_sequences(critical) != base_seq) {
+      add(&out, "payment-policy",
+          "critical pricing changed the admitted set vs kNone");
+    }
+    check_engine_ir(critical, "critical");
+  }
+  return out;
+}
+
+std::vector<Violation> oracle_engine_thread(OracleContext& ctx) {
+  const SimWorld& world = ctx.world;
+  std::vector<Violation> out;
+  const EngineRun& one = ctx.engine_dual();
+  const EngineRun four = run_world_engine(world, PaymentPolicy::kDualPrice, 4);
+  const std::string diff = engine_run_diff(one, four);
+  if (!diff.empty()) add(&out, "engine-thread", "threads 1 vs 4: " + diff);
+  return out;
+}
+
+std::vector<Violation> oracle_residual_feasible(OracleContext& ctx) {
+  const SimWorld& world = ctx.world;
+  const EngineRun& run = ctx.engine_none();
+  std::vector<Violation> out = run.residual_violations;
+
+  // Global conservation: total capacity consumed across the base network
+  // equals the sum over winners of demand x path length.
+  const Graph& g = world.instance.graph();
+  double consumed = 0.0;
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    consumed += g.capacity(e) - run.residual[static_cast<std::size_t>(e)];
+  }
+  double expected = 0.0;
+  for (const EpochDigest& epoch : run.epochs) {
+    for (const AdmissionRecord& a : epoch.allocations) {
+      const Request& req =
+          world.instance.request(static_cast<int>(a.sequence));
+      expected += req.demand * a.path_edges;
+    }
+  }
+  if (!approx_eq(consumed, expected, 1e-6, 1e-6)) {
+    add(&out, "residual-feasible",
+        "consumed capacity " + fmt(consumed) +
+            " does not match admitted load " + fmt(expected));
+  }
+  return out;
+}
+
+std::vector<Violation> oracle_payments_ir(OracleContext& ctx) {
+  const SimWorld& world = ctx.world;
+  const OracleOptions& options = ctx.options;
+  std::vector<Violation> out;
+  const SimPricing pricing = sim_price(world.instance, world.solver, options);
+  for (int r = 0; r < world.instance.num_requests(); ++r) {
+    const auto i = static_cast<std::size_t>(r);
+    const double pay = pricing.payments[i];
+    const double bid = world.instance.request(r).value;
+    if (!pricing.allocation.is_selected(r)) {
+      if (pay != 0.0) {
+        add(&out, "payments-ir",
+            "loser " + std::to_string(r) + " charged " + fmt(pay));
+      }
+      continue;
+    }
+    if (pay < -1e-12) {
+      add(&out, "payments-ir",
+          "winner " + std::to_string(r) + " paid negative amount " + fmt(pay));
+    }
+    if (pay > bid + 1e-9) {
+      add(&out, "payments-ir",
+          "winner " + std::to_string(r) + " charged " + fmt(pay) +
+              " above its bid " + fmt(bid));
+    }
+  }
+  return out;
+}
+
+constexpr OracleEntry kCatalogue[] = {
+    {"feasible", "solver output exact and capacity-feasible", oracle_feasible},
+    {"dual-bound", "admitted value within the Claim 3.6 dual bound",
+     oracle_dual_bound},
+    {"kernel-diff", "bucket vs heap shortest-path kernels agree",
+     oracle_kernel_diff},
+    {"thread-diff", "solver identical across OpenMP thread counts",
+     oracle_thread_diff},
+    {"bid-scaling", "allocation invariant under uniform bid scaling",
+     oracle_bid_scaling},
+    {"winner-monotone", "better declarations keep winning (Lemma 3.4)",
+     oracle_winner_monotone},
+    {"loser-removal", "removing a loser changes nothing",
+     oracle_loser_removal},
+    {"capacity-monotone", "value bounded by the wider network's dual bound",
+     oracle_capacity_monotone},
+    {"payments-ir", "payments individually rational, no positive transfers",
+     oracle_payments_ir},
+    {"residual-feasible", "engine residual bounded, load conserved",
+     oracle_residual_feasible},
+    {"engine-thread", "engine history identical across thread counts",
+     oracle_engine_thread},
+    {"payment-policy", "pricing policy never steers allocation",
+     oracle_payment_policy},
+    {"engine-offline", "single engine epoch equals the one-shot mechanism",
+     oracle_engine_offline},
+};
+
+}  // namespace
+
+const char* fault_name(FaultInjection fault) {
+  switch (fault) {
+    case FaultInjection::kNone: return "none";
+    case FaultInjection::kOverchargeWinners: return "overcharge-winners";
+    case FaultInjection::kChargeLosers: return "charge-losers";
+  }
+  return "unknown";
+}
+
+FaultInjection fault_from_name(const std::string& name) {
+  for (FaultInjection f :
+       {FaultInjection::kNone, FaultInjection::kOverchargeWinners,
+        FaultInjection::kChargeLosers}) {
+    if (name == fault_name(f)) return f;
+  }
+  throw std::invalid_argument("unknown fault injection: " + name);
+}
+
+std::span<const OracleEntry> oracle_catalogue() { return kCatalogue; }
+
+std::vector<Violation> run_oracle_suite(const SimWorld& world,
+                                        const OracleOptions& options,
+                                        std::span<const std::string> only) {
+  for (const std::string& name : only) {
+    const auto known = std::any_of(
+        std::begin(kCatalogue), std::end(kCatalogue),
+        [&](const OracleEntry& e) { return name == e.name; });
+    if (!known) throw std::invalid_argument("unknown oracle: " + name);
+  }
+  OracleContext ctx(world, options);
+  std::vector<Violation> out;
+  for (const OracleEntry& entry : kCatalogue) {
+    if (!only.empty() &&
+        std::find(only.begin(), only.end(), entry.name) == only.end()) {
+      continue;
+    }
+    std::vector<Violation> found = entry.fn(ctx);
+    out.insert(out.end(), std::make_move_iterator(found.begin()),
+               std::make_move_iterator(found.end()));
+  }
+  return out;
+}
+
+SimWorld wrap_instance(UfpInstance instance) {
+  BoundedUfpConfig solver;
+  solver.capacity_guard = true;
+  solver.run_to_saturation = true;
+  const int R = instance.num_requests();
+  return wrap_instance(std::move(instance), solver, std::max(2, R / 3));
+}
+
+SimWorld wrap_instance(UfpInstance instance, const BoundedUfpConfig& solver,
+                       int max_batch) {
+  const int R = instance.num_requests();
+  SimWorld world{WorldSpec{WorldFamily::kGrid, 0}, std::move(instance),
+                 std::vector<double>(static_cast<std::size_t>(R), 0.0),
+                 std::max(1, max_batch), solver};
+  return world;
+}
+
+SimPricing sim_price(const UfpInstance& instance,
+                     const BoundedUfpConfig& solver,
+                     const OracleOptions& options) {
+  BoundedUfpConfig cfg = solver;
+  cfg.record_trace = true;
+  const BoundedUfpResult run = bounded_ufp(instance, cfg);
+
+  SimPricing pricing{run.solution,
+                     std::vector<double>(
+                         static_cast<std::size_t>(instance.num_requests()),
+                         0.0)};
+  if (instance.num_requests() <= options.critical_cap) {
+    BoundedUfpConfig probe = cfg;
+    probe.parallel = false;
+    probe.record_trace = false;
+    const UfpRule rule = make_bounded_ufp_rule(probe);
+    for (int r = 0; r < instance.num_requests(); ++r) {
+      if (!run.solution.is_selected(r)) continue;
+      const double critical = ufp_critical_value(instance, rule, r);
+      pricing.payments[static_cast<std::size_t>(r)] =
+          std::min(critical, instance.request(r).value);
+    }
+  } else {
+    for (const IterationRecord& it : run.trace) {
+      const double bid = instance.request(it.request).value;
+      pricing.payments[static_cast<std::size_t>(it.request)] =
+          bid * std::min(1.0, it.alpha);
+    }
+  }
+
+  // Deliberate breakage for harness-catches-bugs demonstrations. Never on
+  // by default; seeded explicitly from the fuzz config.
+  switch (options.fault) {
+    case FaultInjection::kNone:
+      break;
+    case FaultInjection::kOverchargeWinners:
+      for (int r = 0; r < instance.num_requests(); ++r) {
+        if (run.solution.is_selected(r)) {
+          pricing.payments[static_cast<std::size_t>(r)] =
+              instance.request(r).value * 1.05;
+        }
+      }
+      break;
+    case FaultInjection::kChargeLosers:
+      for (int r = 0; r < instance.num_requests(); ++r) {
+        if (!run.solution.is_selected(r)) {
+          pricing.payments[static_cast<std::size_t>(r)] = 0.01;
+        }
+      }
+      break;
+  }
+  return pricing;
+}
+
+}  // namespace tufp::sim

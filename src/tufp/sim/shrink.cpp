@@ -1,0 +1,192 @@
+#include "tufp/sim/shrink.hpp"
+
+#include <algorithm>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "tufp/util/assert.hpp"
+
+namespace tufp::sim {
+
+namespace {
+
+SimWorld rebuild(const SimWorld& base, UfpInstance instance) {
+  const int R = instance.num_requests();
+  SimWorld world{base.spec, std::move(instance),
+                 std::vector<double>(static_cast<std::size_t>(R), 0.0),
+                 std::max(1, std::min(base.max_batch, std::max(1, R))),
+                 base.solver};
+  return world;
+}
+
+std::optional<UfpInstance> keep_requests(const UfpInstance& instance,
+                                         const std::vector<char>& keep) {
+  std::vector<Request> reduced;
+  for (int r = 0; r < instance.num_requests(); ++r) {
+    if (keep[static_cast<std::size_t>(r)]) {
+      reduced.push_back(instance.request(r));
+    }
+  }
+  if (reduced.empty()) return std::nullopt;  // empty worlds fail no oracle
+  return UfpInstance(instance.shared_graph(), std::move(reduced));
+}
+
+std::optional<UfpInstance> drop_edge(const UfpInstance& instance,
+                                     EdgeId drop) {
+  const Graph& g = instance.graph();
+  if (g.num_edges() <= 1) return std::nullopt;
+  Graph reduced = g.is_directed() ? Graph::directed(g.num_vertices())
+                                  : Graph::undirected(g.num_vertices());
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    if (e == drop) continue;
+    const auto [u, v] = g.endpoints(e);
+    reduced.add_edge(u, v, g.capacity(e));
+  }
+  reduced.finalize();
+  return UfpInstance(std::move(reduced), instance.requests());
+}
+
+std::optional<UfpInstance> compact_vertices(const UfpInstance& instance) {
+  const Graph& g = instance.graph();
+  std::vector<VertexId> remap(static_cast<std::size_t>(g.num_vertices()),
+                              kInvalidVertex);
+  const auto mark = [&](VertexId v) {
+    remap[static_cast<std::size_t>(v)] = 0;
+  };
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    const auto [u, v] = g.endpoints(e);
+    mark(u);
+    mark(v);
+  }
+  for (const Request& r : instance.requests()) {
+    mark(r.source);
+    mark(r.target);
+  }
+  VertexId next = 0;
+  for (auto& slot : remap) {
+    if (slot == 0) slot = next++;
+  }
+  if (next == g.num_vertices()) return std::nullopt;  // nothing to strip
+
+  Graph reduced =
+      g.is_directed() ? Graph::directed(next) : Graph::undirected(next);
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    const auto [u, v] = g.endpoints(e);
+    reduced.add_edge(remap[static_cast<std::size_t>(u)],
+                     remap[static_cast<std::size_t>(v)], g.capacity(e));
+  }
+  reduced.finalize();
+  std::vector<Request> requests = instance.requests();
+  for (Request& r : requests) {
+    r.source = remap[static_cast<std::size_t>(r.source)];
+    r.target = remap[static_cast<std::size_t>(r.target)];
+  }
+  return UfpInstance(std::move(reduced), std::move(requests));
+}
+
+class Shrinker {
+ public:
+  Shrinker(const WorldPredicate& fails, const ShrinkOptions& options)
+      : fails_(fails), options_(options) {}
+
+  // True when the candidate still fails (and budget allows probing).
+  bool probe(const SimWorld& candidate) {
+    if (stats_.probes >= options_.max_probes) return false;
+    ++stats_.probes;
+    try {
+      return fails_(candidate);
+    } catch (const std::exception&) {
+      return false;  // invalid reduction, discard
+    }
+  }
+
+  // Classic ddmin over the request list: try removing chunks at doubling
+  // granularity; accept any removal that keeps the failure.
+  bool shrink_requests(SimWorld* world) {
+    bool changed = false;
+    int granularity = 2;
+    while (world->instance.num_requests() > 1) {
+      const int R = world->instance.num_requests();
+      granularity = std::min(granularity, R);
+      bool reduced_this_pass = false;
+      for (int chunk = 0; chunk < granularity; ++chunk) {
+        const int lo = static_cast<int>(
+            static_cast<long long>(chunk) * R / granularity);
+        const int hi = static_cast<int>(
+            static_cast<long long>(chunk + 1) * R / granularity);
+        if (lo >= hi) continue;
+        std::vector<char> keep(static_cast<std::size_t>(R), 1);
+        for (int r = lo; r < hi; ++r) keep[static_cast<std::size_t>(r)] = 0;
+        auto candidate = keep_requests(world->instance, keep);
+        if (!candidate) continue;
+        SimWorld next = rebuild(*world, std::move(*candidate));
+        if (probe(next)) {
+          *world = std::move(next);
+          changed = reduced_this_pass = true;
+          break;  // indices shifted; restart the pass
+        }
+      }
+      if (reduced_this_pass) continue;
+      if (granularity >= R) break;
+      granularity = std::min(2 * granularity, R);
+    }
+    return changed;
+  }
+
+  bool shrink_edges(SimWorld* world) {
+    bool changed = false;
+    // Highest id first: surviving edge ids below the dropped one are
+    // stable, so one sweep visits every original edge once.
+    for (EdgeId e = world->instance.graph().num_edges() - 1; e >= 0; --e) {
+      auto candidate = drop_edge(world->instance, e);
+      if (!candidate) continue;
+      SimWorld next = rebuild(*world, std::move(*candidate));
+      if (probe(next)) {
+        *world = std::move(next);
+        changed = true;
+      }
+    }
+    return changed;
+  }
+
+  bool compact(SimWorld* world) {
+    auto candidate = compact_vertices(world->instance);
+    if (!candidate) return false;
+    SimWorld next = rebuild(*world, std::move(*candidate));
+    if (!probe(next)) return false;
+    *world = std::move(next);
+    return true;
+  }
+
+  SimWorld run(SimWorld world) {
+    for (;;) {
+      ++stats_.rounds;
+      bool changed = shrink_requests(&world);
+      changed = shrink_edges(&world) || changed;
+      changed = compact(&world) || changed;
+      if (!changed || stats_.probes >= options_.max_probes) break;
+    }
+    return world;
+  }
+
+  const ShrinkStats& stats() const { return stats_; }
+
+ private:
+  const WorldPredicate& fails_;
+  ShrinkOptions options_;
+  ShrinkStats stats_;
+};
+
+}  // namespace
+
+SimWorld shrink_world(const SimWorld& start, const WorldPredicate& fails,
+                      const ShrinkOptions& options, ShrinkStats* stats) {
+  TUFP_REQUIRE(fails(start), "shrink_world requires a failing start world");
+  Shrinker shrinker(fails, options);
+  SimWorld world = shrinker.run(start);
+  if (stats) *stats = shrinker.stats();
+  return world;
+}
+
+}  // namespace tufp::sim

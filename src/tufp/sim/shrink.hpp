@@ -1,0 +1,44 @@
+// Instance shrinking: reduce a failing world to a minimal repro.
+//
+// Given a world and a deterministic failure predicate (normally "oracle X
+// still reports a violation"), the shrinker greedily applies three
+// reductions until a fixpoint or the probe budget:
+//   1. request ddmin — delta-debugging over the request list (try to
+//      drop chunks at doubling granularity, keep any reduction that still
+//      fails);
+//   2. edge contraction — drop graph edges one at a time while the
+//      failure persists (requests keep their vertex ids);
+//   3. vertex compaction — strip vertices no remaining edge or request
+//      touches and renumber, so the repro file reads small.
+// The predicate sees complete SimWorlds (solver config and epoch batching
+// inherited from the failing world, arrivals zeroed) and must treat any
+// exception as "does not fail"; the shrinker itself never throws on a
+// reduction that produces an invalid instance — it just discards it.
+#pragma once
+
+#include <functional>
+
+#include "tufp/sim/world.hpp"
+
+namespace tufp::sim {
+
+struct ShrinkOptions {
+  // Hard cap on predicate evaluations across all rounds (each is a full
+  // oracle re-run, the dominant cost).
+  int max_probes = 600;
+};
+
+struct ShrinkStats {
+  int probes = 0;
+  int rounds = 0;
+};
+
+using WorldPredicate = std::function<bool(const SimWorld&)>;
+
+// Returns the smallest failing world found; `start` itself when nothing
+// smaller fails. Precondition: fails(start) is true (checked).
+SimWorld shrink_world(const SimWorld& start, const WorldPredicate& fails,
+                      const ShrinkOptions& options = {},
+                      ShrinkStats* stats = nullptr);
+
+}  // namespace tufp::sim

@@ -1,0 +1,257 @@
+#include "tufp/sim/world_gen.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "tufp/graph/generators.hpp"
+#include "tufp/util/assert.hpp"
+#include "tufp/util/math.hpp"
+#include "tufp/util/rng.hpp"
+#include "tufp/workload/lower_bounds.hpp"
+
+namespace tufp::sim {
+
+namespace {
+
+// Per-world demand profile — the "B-bounded demand mixes" axis of the
+// matrix. Every profile keeps demands in (0, 1].
+enum class DemandProfile { kUniform, kSmall, kBimodal, kUnit };
+
+double sample_demand(DemandProfile profile, Rng& rng) {
+  switch (profile) {
+    case DemandProfile::kUniform:
+      return rng.next_double(0.1, 1.0);
+    case DemandProfile::kSmall:
+      return rng.next_double(0.05, 0.3);
+    case DemandProfile::kBimodal:
+      return rng.next_bool(0.5) ? rng.next_double(0.05, 0.2)
+                                : rng.next_double(0.8, 1.0);
+    case DemandProfile::kUnit:
+      return 1.0;
+  }
+  return 1.0;
+}
+
+double sample_value(Rng& rng) {
+  // Mild skew: most bids moderate, occasional whale.
+  const double base = rng.next_double(1.0, 8.0);
+  return rng.next_bool(0.1) ? base * rng.next_double(3.0, 8.0) : base;
+}
+
+// Terminal-pair sampling that cannot fail: source uniform among vertices
+// that reach somebody, target uniform among its reachable set. BFS per
+// draw is fine at fuzz-world sizes.
+Request sample_request(const Graph& graph, DemandProfile profile, Rng& rng) {
+  const int n = graph.num_vertices();
+  for (;;) {
+    const auto s = static_cast<VertexId>(
+        rng.next_below(static_cast<std::uint64_t>(n)));
+    const std::vector<bool> reach = reachable_from(graph, s);
+    std::vector<VertexId> targets;
+    for (VertexId v = 0; v < n; ++v) {
+      if (v != s && reach[static_cast<std::size_t>(v)]) targets.push_back(v);
+    }
+    if (targets.empty()) continue;  // isolated source; redraw
+    Request req;
+    req.source = s;
+    req.target = targets[rng.next_below(targets.size())];
+    req.demand = sample_demand(profile, rng);
+    req.value = sample_value(rng);
+    return req;
+  }
+}
+
+std::vector<Request> sample_requests(const Graph& graph, int count,
+                                     DemandProfile profile, Rng& rng) {
+  std::vector<Request> requests;
+  requests.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    requests.push_back(sample_request(graph, profile, rng));
+  }
+  return requests;
+}
+
+// Arrival-time synthesis — the trace axis. Arrival order is the request
+// order; only the clock differs.
+std::vector<double> synth_arrivals(int count, Rng& rng) {
+  std::vector<double> arrivals(static_cast<std::size_t>(count), 0.0);
+  const int model = static_cast<int>(rng.next_below(3));
+  if (model == 0) return arrivals;  // one-shot: everything at t = 0
+  if (model == 1) {                 // Poisson trace
+    const double rate = rng.next_double(20.0, 200.0);
+    double clock = 0.0;
+    for (auto& t : arrivals) {
+      clock += -std::log1p(-rng.next_double()) / rate;
+      t = clock;
+    }
+    return arrivals;
+  }
+  // Burst trace: groups arrive simultaneously every `period` seconds.
+  const double period = rng.next_double(0.02, 0.2);
+  const int burst = 1 + static_cast<int>(rng.next_below(8));
+  for (int i = 0; i < count; ++i) {
+    arrivals[static_cast<std::size_t>(i)] = (i / burst) * period;
+  }
+  return arrivals;
+}
+
+DemandProfile sample_profile(Rng& rng) {
+  switch (rng.next_below(4)) {
+    case 0: return DemandProfile::kUniform;
+    case 1: return DemandProfile::kSmall;
+    case 2: return DemandProfile::kBimodal;
+    default: return DemandProfile::kUnit;
+  }
+}
+
+BoundedUfpConfig sample_solver(Rng& rng) {
+  BoundedUfpConfig solver;
+  solver.capacity_guard = true;
+  // Mostly the serving-layer mode; sometimes the paper-faithful threshold
+  // so the stopping rule is fuzzed too.
+  solver.run_to_saturation = !rng.next_bool(0.25);
+  switch (rng.next_below(3)) {
+    case 0: solver.epsilon = 1.0 / 6.0; break;
+    case 1: solver.epsilon = 0.1; break;
+    default: solver.epsilon = 0.3; break;
+  }
+  return solver;
+}
+
+UfpInstance make_staircase_world(Rng& rng) {
+  const int l = 2 + static_cast<int>(rng.next_below(3));  // 2..4
+  const int B = 2 + static_cast<int>(rng.next_below(4));  // 2..5
+  const bool subdivided = rng.next_bool(0.5);
+  return make_staircase(l, B, subdivided).instance;
+}
+
+// Single-sink tree: every vertex routes to one sink, the topology where
+// edge contention concentrates (the hard single-sink families of
+// Shepherd–Vetta live on trees into one sink). Random parent pointers give
+// random depth/branching; capacities grow toward the sink so B sits on
+// the leaves.
+UfpInstance make_single_sink_world(Rng& rng, DemandProfile profile) {
+  const int n = 6 + static_cast<int>(rng.next_below(15));  // 6..20
+  const double B = 1.0 + static_cast<double>(rng.next_below(8));
+  Graph g = Graph::directed(n);
+  for (VertexId v = 1; v < n; ++v) {
+    const auto parent = static_cast<VertexId>(
+        rng.next_below(static_cast<std::uint64_t>(v)));
+    // Edges closer to the sink (vertex 0) carry more headroom.
+    const double depth_bonus = parent == 0 ? rng.next_double(1.0, 3.0) : 1.0;
+    g.add_edge(v, parent, B * depth_bonus);
+  }
+  g.finalize();
+
+  const int R = 6 + static_cast<int>(rng.next_below(25));
+  std::vector<Request> requests;
+  requests.reserve(static_cast<std::size_t>(R));
+  for (int i = 0; i < R; ++i) {
+    Request req;
+    req.source = 1 + static_cast<VertexId>(
+                         rng.next_below(static_cast<std::uint64_t>(n - 1)));
+    req.target = 0;
+    req.demand = sample_demand(profile, rng);
+    req.value = sample_value(rng);
+    requests.push_back(req);
+  }
+  return UfpInstance(std::move(g), std::move(requests));
+}
+
+UfpInstance make_grid_world(Rng& rng, DemandProfile profile) {
+  const int rows = 3 + static_cast<int>(rng.next_below(3));
+  const int cols = 3 + static_cast<int>(rng.next_below(3));
+  const double cap = 2.0 + static_cast<double>(rng.next_below(15));
+  Graph g = grid_graph(rows, cols, cap, /*directed=*/false);
+  const int R = 8 + static_cast<int>(rng.next_below(25));
+  std::vector<Request> requests = sample_requests(g, R, profile, rng);
+  return UfpInstance(std::move(g), std::move(requests));
+}
+
+UfpInstance make_random_sparse_world(Rng& rng, DemandProfile profile) {
+  const int n = 8 + static_cast<int>(rng.next_below(14));  // 8..21
+  const int m = n + static_cast<int>(rng.next_below(
+                        static_cast<std::uint64_t>(2 * n)));
+  const double cap_min = 1.0 + static_cast<double>(rng.next_below(6));
+  Graph g = random_graph(n, m, cap_min, cap_min * rng.next_double(1.0, 3.0),
+                         rng.next_bool(0.5), rng);
+  const int R = 6 + static_cast<int>(rng.next_below(28));
+  std::vector<Request> requests = sample_requests(g, R, profile, rng);
+  return UfpInstance(std::move(g), std::move(requests));
+}
+
+UfpInstance make_layered_world(Rng& rng, DemandProfile profile) {
+  const int layers = 3 + static_cast<int>(rng.next_below(3));
+  const int width = 2 + static_cast<int>(rng.next_below(3));
+  const int fanout =
+      1 + static_cast<int>(rng.next_below(static_cast<std::uint64_t>(width)));
+  const double cap_min = 1.0 + static_cast<double>(rng.next_below(5));
+  Graph g = layered_graph(layers, width, fanout, cap_min,
+                          cap_min * rng.next_double(1.0, 2.5), rng);
+  const int R = 6 + static_cast<int>(rng.next_below(20));
+  std::vector<Request> requests = sample_requests(g, R, profile, rng);
+  return UfpInstance(std::move(g), std::move(requests));
+}
+
+UfpInstance make_ring_world(Rng& rng, DemandProfile profile) {
+  const int n = 6 + static_cast<int>(rng.next_below(11));  // 6..16
+  const double cap = 2.0 + static_cast<double>(rng.next_below(10));
+  Graph g = ring_graph(n, cap, rng.next_bool(0.5));
+  const int R = 6 + static_cast<int>(rng.next_below(20));
+  std::vector<Request> requests = sample_requests(g, R, profile, rng);
+  return UfpInstance(std::move(g), std::move(requests));
+}
+
+}  // namespace
+
+const char* family_name(WorldFamily family) {
+  switch (family) {
+    case WorldFamily::kStaircase: return "staircase";
+    case WorldFamily::kSingleSink: return "single-sink";
+    case WorldFamily::kGrid: return "grid";
+    case WorldFamily::kRandomSparse: return "random-sparse";
+    case WorldFamily::kLayered: return "layered";
+    case WorldFamily::kRing: return "ring";
+  }
+  return "unknown";
+}
+
+WorldFamily family_from_name(const std::string& name) {
+  for (WorldFamily f : kAllFamilies) {
+    if (name == family_name(f)) return f;
+  }
+  throw std::invalid_argument("unknown world family: " + name);
+}
+
+SimWorld generate_world(const WorldSpec& spec) {
+  Rng rng(spec.seed ^ 0xf0f1f2f3f4f5f6f7ULL);
+  const DemandProfile profile = sample_profile(rng);
+
+  UfpInstance instance = [&]() -> UfpInstance {
+    switch (spec.family) {
+      case WorldFamily::kStaircase: return make_staircase_world(rng);
+      case WorldFamily::kSingleSink: return make_single_sink_world(rng, profile);
+      case WorldFamily::kGrid: return make_grid_world(rng, profile);
+      case WorldFamily::kRandomSparse:
+        return make_random_sparse_world(rng, profile);
+      case WorldFamily::kLayered: return make_layered_world(rng, profile);
+      case WorldFamily::kRing: return make_ring_world(rng, profile);
+    }
+    TUFP_CHECK(false, "unhandled world family");
+  }();
+
+  SimWorld world{spec, std::move(instance), {}, 16, sample_solver(rng)};
+  const int R = world.instance.num_requests();
+  world.arrivals = synth_arrivals(R, rng);
+  // Batches small enough that multi-epoch residual carry-over is exercised,
+  // large enough that epochs hold real auctions.
+  const int lo = std::max(2, R / 6);
+  const int hi = std::max(lo + 1, R / 2);
+  world.max_batch =
+      lo + static_cast<int>(rng.next_below(
+               static_cast<std::uint64_t>(hi - lo + 1)));
+  return world;
+}
+
+}  // namespace tufp::sim

@@ -1,0 +1,14 @@
+// The generator matrix: WorldSpec -> SimWorld, deterministically.
+#pragma once
+
+#include "tufp/sim/world.hpp"
+
+namespace tufp::sim {
+
+// Generates the world named by `spec`. Pure: identical specs yield
+// byte-identical worlds (graph, requests, arrivals, config). Never throws
+// on any spec — every (family, seed) pair maps to a valid normalized
+// B-bounded instance with at least one request.
+SimWorld generate_world(const WorldSpec& spec);
+
+}  // namespace tufp::sim

@@ -42,6 +42,18 @@ T parse(const std::string& token) {
   return value;
 }
 
+// Header counts drive reserve() and read loops: a negative count must be a
+// parse error here, not a giant allocation three lines later.
+int parse_count(std::istream& is, const char* what) {
+  const std::string token = next_token(is);
+  const int value = parse<int>(token);
+  if (value < 0) {
+    throw std::invalid_argument("tufp io: negative " + std::string(what) +
+                                " '" + token + "'");
+  }
+  return value;
+}
+
 }  // namespace
 
 void save_ufp(const UfpInstance& instance, std::ostream& os) {
@@ -66,9 +78,9 @@ UfpInstance load_ufp(std::istream& is) {
   if (direction != "directed" && direction != "undirected") {
     throw std::invalid_argument("tufp io: bad direction '" + direction + "'");
   }
-  const int n = parse<int>(next_token(is));
-  const int m = parse<int>(next_token(is));
-  const int R = parse<int>(next_token(is));
+  const int n = parse_count(is, "vertex count");
+  const int m = parse_count(is, "edge count");
+  const int R = parse_count(is, "request count");
 
   Graph g = direction == "directed" ? Graph::directed(n) : Graph::undirected(n);
   for (int e = 0; e < m; ++e) {
@@ -110,8 +122,8 @@ void save_muca(const MucaInstance& instance, std::ostream& os) {
 
 MucaInstance load_muca(std::istream& is) {
   expect_token(is, "muca");
-  const int m = parse<int>(next_token(is));
-  const int R = parse<int>(next_token(is));
+  const int m = parse_count(is, "item count");
+  const int R = parse_count(is, "request count");
 
   std::vector<int> multiplicities;
   multiplicities.reserve(static_cast<std::size_t>(m));
@@ -126,7 +138,7 @@ MucaInstance load_muca(std::istream& is) {
     expect_token(is, "req");
     MucaRequest req;
     req.value = parse<double>(next_token(is));
-    const int k = parse<int>(next_token(is));
+    const int k = parse_count(is, "bundle size");
     req.bundle.reserve(static_cast<std::size_t>(k));
     for (int i = 0; i < k; ++i) req.bundle.push_back(parse<int>(next_token(is)));
     requests.push_back(std::move(req));

@@ -307,6 +307,107 @@ TEST(EpochEngine, CountBasedModeNeverShedsToAQueueSmallerThanABatch) {
             500);
 }
 
+TEST(EpochEngine, EmptyEpochIsANoOp) {
+  const StreamingScenario scenario =
+      make_streaming_grid_scenario(3, 3, 4.0, ValueModel::kUniform);
+  EpochEngineConfig config;
+  config.max_batch = 10;
+  EpochEngine engine(scenario.graph, config);
+
+  const AdmissionReport report = engine.run_epoch({});
+  EXPECT_EQ(report.batch_size, 0);
+  EXPECT_EQ(report.admitted, 0);
+  EXPECT_EQ(report.invalid_rejected, 0);
+  EXPECT_EQ(report.offered_value, 0.0);
+  EXPECT_EQ(engine.epochs_run(), 1);
+  for (EdgeId e = 0; e < scenario.graph->num_edges(); ++e) {
+    EXPECT_DOUBLE_EQ(engine.residual()[static_cast<std::size_t>(e)],
+                     scenario.graph->capacity(e));
+  }
+
+  // The engine stays fully usable after an empty epoch.
+  PoissonStream stream(scenario.graph, scenario.request_config, 100.0, 60, 11);
+  engine.run(stream);
+  EXPECT_GT(engine.metrics().counters().admitted, 0);
+}
+
+TEST(EpochEngine, QueueOverflowDroppingEveryRequestStillTerminates) {
+  // Time-based windows with a queue far smaller than each burst: almost
+  // everything is shed at the queue, and the run must terminate with the
+  // books balanced (seen == admitted + rejected + dropped).
+  const StreamingScenario scenario =
+      make_streaming_grid_scenario(4, 4, 6.0, ValueModel::kUniform);
+  EpochEngineConfig config;
+  config.max_batch = 400;
+  config.epoch_duration = 0.5;
+  config.queue_capacity = 1;
+  EpochEngine engine(scenario.graph, config);
+
+  BurstStream stream(scenario.graph, scenario.request_config, /*period=*/0.5,
+                     /*burst_size=*/40, /*limit=*/200, /*seed=*/7);
+  engine.run(stream);
+
+  const EngineCounters& c = engine.metrics().counters();
+  EXPECT_EQ(c.requests_seen, 200);
+  EXPECT_GT(c.queue_dropped, 0);
+  EXPECT_EQ(c.requests_seen,
+            c.admitted + c.rejected + c.queue_dropped + c.invalid_rejected);
+}
+
+TEST(EpochEngine, MalformedBidsAreShedNotFatal) {
+  // A zero-value bid used to blow up the whole epoch inside the instance
+  // constructor; now every malformed bid is counted and shed while the
+  // valid remainder still clears.
+  const StreamingScenario scenario =
+      make_streaming_grid_scenario(3, 3, 6.0, ValueModel::kUniform);
+  EpochEngineConfig config;
+  config.max_batch = 10;
+  config.record_allocations = true;
+  EpochEngine engine(scenario.graph, config);
+
+  PoissonStream stream(scenario.graph, scenario.request_config, 100.0, 6, 3);
+  std::vector<TimedRequest> batch;
+  TimedRequest t;
+  while (stream.next(&t)) batch.push_back(t);
+  ASSERT_EQ(batch.size(), 6u);
+
+  batch[1].request.value = 0.0;            // zero-value bid
+  batch[2].request.demand = 1.5;           // un-normalized demand
+  batch[4].request.target = batch[4].request.source;  // degenerate pair
+
+  const AdmissionReport report = engine.run_epoch(batch);
+  EXPECT_EQ(report.batch_size, 6);
+  EXPECT_EQ(report.invalid_rejected, 3);
+  EXPECT_EQ(engine.metrics().counters().invalid_rejected, 3);
+  EXPECT_GT(report.admitted, 0);  // the valid bids still cleared
+  for (const AdmissionRecord& a : report.allocations) {
+    // Winners reference their batch slot and never a malformed bid.
+    EXPECT_TRUE(a.request != 1 && a.request != 2 && a.request != 4);
+    EXPECT_EQ(a.sequence, batch[static_cast<std::size_t>(a.request)].sequence);
+    EXPECT_EQ(a.bid, batch[static_cast<std::size_t>(a.request)].request.value);
+  }
+}
+
+TEST(EpochEngine, AllBidsMalformedRejectsWithoutAnAuction) {
+  const StreamingScenario scenario =
+      make_streaming_grid_scenario(3, 3, 6.0, ValueModel::kUniform);
+  EpochEngineConfig config;
+  config.max_batch = 4;
+  EpochEngine engine(scenario.graph, config);
+
+  PoissonStream stream(scenario.graph, scenario.request_config, 100.0, 4, 3);
+  std::vector<TimedRequest> batch;
+  TimedRequest t;
+  while (stream.next(&t)) batch.push_back(t);
+  for (TimedRequest& tr : batch) tr.request.value = -1.0;
+
+  const AdmissionReport report = engine.run_epoch(batch);
+  EXPECT_EQ(report.invalid_rejected, 4);
+  EXPECT_EQ(report.admitted, 0);
+  EXPECT_EQ(report.offered_value, 0.0);
+  EXPECT_EQ(engine.metrics().counters().rejected, 0);
+}
+
 TEST(EpochEngine, TimeBasedEpochsRespectWindows) {
   const StreamingScenario scenario =
       make_streaming_grid_scenario(4, 4, 10.0, ValueModel::kUniform);

@@ -1,0 +1,167 @@
+#include "tufp/sim/fuzzer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+#include "tufp/sim/world_gen.hpp"
+#include "tufp/workload/io.hpp"
+
+namespace tufp::sim {
+namespace {
+
+TEST(SimFuzz, SameSeedSameWorldsSameVerdicts) {
+  FuzzConfig config;
+  config.seed = 2026;
+  config.max_worlds = 18;
+  std::ostringstream log1, log2;
+  const FuzzReport a = run_fuzz(config, &log1);
+  const FuzzReport b = run_fuzz(config, &log2);
+  EXPECT_EQ(a.worlds_run, 18);
+  EXPECT_EQ(a.worlds_run, b.worlds_run);
+  EXPECT_EQ(a.worlds_failed, b.worlds_failed);
+  EXPECT_EQ(log1.str(), log2.str());
+  EXPECT_FALSE(log1.str().empty());
+}
+
+TEST(SimFuzz, HealthySweepIsClean) {
+  FuzzConfig config;
+  config.seed = 7;
+  config.max_worlds = 24;
+  const FuzzReport report = run_fuzz(config);
+  EXPECT_EQ(report.worlds_failed, 0);
+  EXPECT_TRUE(report.violations.empty());
+}
+
+TEST(SimFuzz, FamilyMatrixIsCoveredRoundRobin) {
+  FuzzConfig config;
+  config.seed = 5;
+  config.max_worlds = static_cast<int>(std::size(kAllFamilies));
+  std::ostringstream log;
+  run_fuzz(config, &log);
+  for (WorldFamily family : kAllFamilies) {
+    EXPECT_NE(log.str().find(std::string("family=") + family_name(family)),
+              std::string::npos)
+        << family_name(family);
+  }
+}
+
+// The subsystem's acceptance check: a deliberately broken payment rule is
+// caught by the suite and shrunk to a repro of at most 8 requests.
+TEST(SimFuzz, BrokenPaymentRuleIsCaughtAndShrunkToATinyRepro) {
+  FuzzConfig config;
+  config.seed = 3;
+  config.max_worlds = 12;
+  config.oracle_options.fault = FaultInjection::kOverchargeWinners;
+  config.stop_on_first = true;
+  std::ostringstream log;
+  const FuzzReport report = run_fuzz(config, &log);
+
+  ASSERT_GE(report.worlds_failed, 1);
+  ASSERT_FALSE(report.violations.empty());
+  const FuzzViolation& v = report.violations.front();
+  EXPECT_EQ(v.oracle, "payments-ir");
+  EXPECT_LE(v.shrunk_requests, 8);
+  EXPECT_LE(v.shrunk_requests, v.original_requests);
+
+  // The repro is a loadable workload/io file...
+  ASSERT_FALSE(v.repro_text.empty());
+  std::istringstream repro(v.repro_text);
+  const SimWorld replay = load_repro(repro);
+  EXPECT_EQ(replay.instance.num_requests(), v.shrunk_requests);
+
+  // ...that still reproduces the violation under the same fault, and is
+  // clean without it — the bug lives in the payment rule, not the world.
+  const std::vector<std::string> only{v.oracle};
+  EXPECT_FALSE(
+      run_oracle_suite(replay, config.oracle_options, only).empty());
+  EXPECT_TRUE(run_oracle_suite(replay, OracleOptions{}, only).empty());
+}
+
+TEST(SimFuzz, ReproPreservesTheFailingWorldsSolverConfig) {
+  // A violation that only manifests under the world's sampled solver
+  // config (say run_to_saturation=false, epsilon=0.3) must replay under
+  // it: the repro carries a `# solver ...` directive that load_repro
+  // honours.
+  SimWorld world = generate_world({WorldFamily::kGrid, 1});
+  world.solver.run_to_saturation = false;
+  world.solver.epsilon = 0.3;
+  world.max_batch = 5;
+
+  FuzzConfig config;
+  config.seed = 77;
+  FuzzViolation violation;
+  violation.world_index = 0;
+  violation.spec = world.spec;
+  violation.oracle = "payments-ir";
+  violation.detail = "synthetic";
+  violation.original_requests = world.instance.num_requests();
+  config.oracle_options.fault = FaultInjection::kOverchargeWinners;
+
+  const std::string text = make_repro_text(config, violation, world);
+  EXPECT_NE(text.find("# solver epsilon"), std::string::npos);
+  EXPECT_NE(text.find("--inject overcharge-winners"), std::string::npos);
+
+  std::istringstream is(text);
+  const SimWorld replay = load_repro(is);
+  EXPECT_EQ(replay.solver.epsilon, 0.3);
+  EXPECT_FALSE(replay.solver.run_to_saturation);
+  EXPECT_EQ(replay.max_batch, 5);
+  EXPECT_EQ(replay.instance.num_requests(), world.instance.num_requests());
+}
+
+TEST(SimFuzz, LoadReproDefaultsWithoutADirective) {
+  const SimWorld world = generate_world({WorldFamily::kRing, 8});
+  std::stringstream plain;
+  save_ufp(world.instance, plain);
+  const SimWorld replay = load_repro(plain);
+  EXPECT_TRUE(replay.solver.run_to_saturation);
+  EXPECT_TRUE(replay.solver.capacity_guard);
+  EXPECT_EQ(replay.instance.num_requests(), world.instance.num_requests());
+}
+
+TEST(SimFuzz, ReproFilesLandInTheConfiguredDirectory) {
+  FuzzConfig config;
+  config.seed = 3;
+  config.max_worlds = 6;
+  config.oracle_options.fault = FaultInjection::kOverchargeWinners;
+  config.stop_on_first = true;
+  config.repro_dir = ::testing::TempDir() + "/tufp_fuzz_repros";
+  const FuzzReport report = run_fuzz(config);
+  ASSERT_FALSE(report.violations.empty());
+  const FuzzViolation& v = report.violations.front();
+  ASSERT_FALSE(v.repro_path.empty());
+  std::ifstream repro(v.repro_path);
+  ASSERT_TRUE(repro.good());
+  const SimWorld replay = load_repro(repro);
+  const std::vector<std::string> only{v.oracle};
+  EXPECT_FALSE(
+      run_oracle_suite(replay, config.oracle_options, only).empty());
+}
+
+TEST(SimFuzz, StopOnFirstHaltsTheSweep) {
+  FuzzConfig config;
+  config.seed = 3;
+  config.max_worlds = 50;
+  config.oracle_options.fault = FaultInjection::kOverchargeWinners;
+  config.stop_on_first = true;
+  const FuzzReport report = run_fuzz(config);
+  ASSERT_EQ(report.worlds_failed, 1);
+  EXPECT_LT(report.worlds_run, 50);
+}
+
+TEST(SimFuzz, OracleSubsetRestrictsTheSuite) {
+  FuzzConfig config;
+  config.seed = 3;
+  config.max_worlds = 6;
+  config.oracle_options.fault = FaultInjection::kOverchargeWinners;
+  // The fault only trips payments-ir; restricting the suite to a
+  // different oracle must keep the sweep green.
+  config.oracles = {"feasible"};
+  const FuzzReport report = run_fuzz(config);
+  EXPECT_EQ(report.worlds_failed, 0);
+}
+
+}  // namespace
+}  // namespace tufp::sim

@@ -1,0 +1,99 @@
+#include "tufp/sim/shrink.hpp"
+
+#include <gtest/gtest.h>
+
+#include "tufp/sim/oracles.hpp"
+#include "tufp/sim/world_gen.hpp"
+
+namespace tufp::sim {
+namespace {
+
+// A synthetic failure independent of the solver: "some request bids more
+// than 100". The shrinker should boil any world down to just that request
+// on a minimal graph.
+bool has_whale(const SimWorld& world) {
+  for (const Request& r : world.instance.requests()) {
+    if (r.value > 100.0) return true;
+  }
+  return false;
+}
+
+SimWorld world_with_whale(std::uint64_t seed) {
+  SimWorld world = generate_world({WorldFamily::kGrid, seed});
+  std::vector<Request> requests = world.instance.requests();
+  requests[requests.size() / 2].value = 500.0;
+  UfpInstance spiked(world.instance.shared_graph(), std::move(requests));
+  SimWorld out{world.spec, std::move(spiked), world.arrivals, world.max_batch,
+               world.solver};
+  return out;
+}
+
+TEST(SimShrink, ReducesToTheSingleCulpritRequest) {
+  const SimWorld start = world_with_whale(3);
+  ASSERT_GT(start.instance.num_requests(), 5);
+  ShrinkStats stats;
+  const SimWorld shrunk =
+      shrink_world(start, has_whale, ShrinkOptions{}, &stats);
+  EXPECT_EQ(shrunk.instance.num_requests(), 1);
+  EXPECT_GT(shrunk.instance.request(0).value, 100.0);
+  // Predicate ignores the graph entirely, so edge contraction should have
+  // pared it to a single edge and compaction renumbered the vertices.
+  EXPECT_EQ(shrunk.instance.graph().num_edges(), 1);
+  EXPECT_LE(shrunk.instance.graph().num_vertices(), 4);
+  EXPECT_GT(stats.probes, 0);
+  EXPECT_GE(stats.rounds, 1);
+}
+
+TEST(SimShrink, RequiresAFailingStart) {
+  const SimWorld healthy = generate_world({WorldFamily::kGrid, 4});
+  EXPECT_THROW(shrink_world(healthy, has_whale), std::invalid_argument);
+}
+
+TEST(SimShrink, ProbeBudgetBoundsTheWork) {
+  const SimWorld start = world_with_whale(9);
+  ShrinkOptions options;
+  options.max_probes = 3;
+  ShrinkStats stats;
+  const SimWorld shrunk = shrink_world(start, has_whale, options, &stats);
+  EXPECT_LE(stats.probes, 3);
+  // Whatever came out still fails — shrinking never loses the bug.
+  EXPECT_TRUE(has_whale(shrunk));
+}
+
+TEST(SimShrink, ThrowingCandidatesAreDiscardedNotFatal) {
+  const SimWorld start = world_with_whale(5);
+  const int floor_requests = start.instance.num_requests() - 2;
+  // A predicate that blows up below a size floor: the shrinker must treat
+  // the exception as "does not fail" and keep the floor.
+  const WorldPredicate touchy = [&](const SimWorld& world) {
+    if (world.instance.num_requests() < floor_requests) {
+      throw std::runtime_error("too small to evaluate");
+    }
+    return has_whale(world);
+  };
+  const SimWorld shrunk = shrink_world(start, touchy);
+  EXPECT_GE(shrunk.instance.num_requests(), floor_requests);
+  EXPECT_TRUE(has_whale(shrunk));
+}
+
+TEST(SimShrink, ShrunkOracleViolationStillFails) {
+  // End-to-end with a real oracle: inject the overcharge fault, shrink
+  // against payments-ir, and confirm the reduced world still trips it.
+  OracleOptions options;
+  options.fault = FaultInjection::kOverchargeWinners;
+  const std::vector<std::string> only{"payments-ir"};
+  const WorldPredicate fails = [&](const SimWorld& world) {
+    return !run_oracle_suite(world, options, only).empty();
+  };
+  // Find a world the fault actually bites (it needs winners).
+  SimWorld start = generate_world({WorldFamily::kGrid, 1});
+  for (std::uint64_t seed = 2; !fails(start); ++seed) {
+    start = generate_world({WorldFamily::kGrid, seed});
+  }
+  const SimWorld shrunk = shrink_world(start, fails);
+  EXPECT_LE(shrunk.instance.num_requests(), 8);
+  EXPECT_TRUE(fails(shrunk));
+}
+
+}  // namespace
+}  // namespace tufp::sim

@@ -1,0 +1,67 @@
+#include "tufp/sim/world_gen.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "tufp/workload/io.hpp"
+
+namespace tufp::sim {
+namespace {
+
+std::string serialize(const SimWorld& world) {
+  std::stringstream ss;
+  save_ufp(world.instance, ss);
+  return ss.str();
+}
+
+TEST(SimWorldGen, IdenticalSpecsYieldByteIdenticalWorlds) {
+  for (WorldFamily family : kAllFamilies) {
+    const WorldSpec spec{family, 0x5eedcafeULL};
+    const SimWorld a = generate_world(spec);
+    const SimWorld b = generate_world(spec);
+    EXPECT_EQ(serialize(a), serialize(b)) << family_name(family);
+    EXPECT_EQ(a.arrivals, b.arrivals);
+    EXPECT_EQ(a.max_batch, b.max_batch);
+    EXPECT_EQ(a.solver.epsilon, b.solver.epsilon);
+    EXPECT_EQ(a.solver.run_to_saturation, b.solver.run_to_saturation);
+  }
+}
+
+TEST(SimWorldGen, DifferentSeedsYieldDifferentWorlds) {
+  const SimWorld a = generate_world({WorldFamily::kGrid, 1});
+  const SimWorld b = generate_world({WorldFamily::kGrid, 2});
+  EXPECT_NE(serialize(a), serialize(b));
+}
+
+TEST(SimWorldGen, EveryFamilyProducesValidBoundedWorlds) {
+  for (WorldFamily family : kAllFamilies) {
+    for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+      const SimWorld world = generate_world({family, seed * 7919});
+      SCOPED_TRACE(std::string(family_name(family)) + " seed " +
+                   std::to_string(seed * 7919));
+      // The bounded_ufp preconditions every oracle relies on.
+      EXPECT_TRUE(world.instance.is_normalized());
+      EXPECT_GE(world.instance.bound_B(), 1.0);
+      EXPECT_GE(world.instance.num_requests(), 1);
+      EXPECT_GE(world.instance.graph().num_edges(), 1);
+      EXPECT_GE(world.max_batch, 1);
+      ASSERT_EQ(world.arrivals.size(),
+                static_cast<std::size_t>(world.instance.num_requests()));
+      for (std::size_t i = 1; i < world.arrivals.size(); ++i) {
+        EXPECT_LE(world.arrivals[i - 1], world.arrivals[i]);
+      }
+      EXPECT_TRUE(world.solver.capacity_guard);
+    }
+  }
+}
+
+TEST(SimWorldGen, FamilyNamesRoundTrip) {
+  for (WorldFamily family : kAllFamilies) {
+    EXPECT_EQ(family_from_name(family_name(family)), family);
+  }
+  EXPECT_THROW(family_from_name("nope"), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace tufp::sim
