@@ -39,9 +39,7 @@ int main(int argc, char** argv) {
                      "BoundedUFP value", "UFP/frac", "dropped"});
   for (std::uint64_t seed = 1; seed <= 5; ++seed) {
     const UfpInstance inst = make_instance(seed * 41, 30.0, 18);
-    RoundingConfig rr_cfg;
-    rr_cfg.seed = seed;
-    const RoundingResult rr = randomized_rounding_ufp(inst, rr_cfg);
+    const RoundingResult rr = randomized_rounding_ufp(inst, seed);
     BoundedUfpConfig ufp_cfg;
     ufp_cfg.epsilon = 0.5;
     const double ufp_value =
@@ -61,9 +59,7 @@ int main(int argc, char** argv) {
 
   // (b) Monotonicity: audit both rules on tight instances.
   const UfpRule rr_rule = [](const UfpInstance& inst) {
-    RoundingConfig cfg;
-    cfg.seed = 20260609;
-    return randomized_rounding_ufp(inst, cfg).solution;
+    return randomized_rounding_ufp(inst, 20260609).solution;
   };
   BoundedUfpConfig sat;
   sat.run_to_saturation = true;

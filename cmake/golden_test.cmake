@@ -2,6 +2,8 @@
 #
 # Inputs: ENGINE (binary path), ARGS (one shell-style argument string),
 # GOLDEN (committed expected stdout), OUT (scratch path for actual stdout).
+# Optional: EXPECT_RC (expected exit status, default 0 — repro replays
+# exit 1 by contract when the violation re-fires).
 # The tool's stdout is its deterministic channel (wall-clock goes to
 # stderr), so the comparison is byte-for-byte.
 foreach(var ENGINE ARGS GOLDEN OUT)
@@ -9,6 +11,9 @@ foreach(var ENGINE ARGS GOLDEN OUT)
     message(FATAL_ERROR "golden_test.cmake requires -D${var}=...")
   endif()
 endforeach()
+if(NOT DEFINED EXPECT_RC)
+  set(EXPECT_RC 0)
+endif()
 
 separate_arguments(arg_list UNIX_COMMAND "${ARGS}")
 execute_process(
@@ -16,8 +21,9 @@ execute_process(
   OUTPUT_FILE ${OUT}
   ERROR_VARIABLE stderr_text
   RESULT_VARIABLE run_rc)
-if(NOT run_rc EQUAL 0)
-  message(FATAL_ERROR "${ENGINE} ${ARGS} exited ${run_rc}\n${stderr_text}")
+if(NOT run_rc EQUAL EXPECT_RC)
+  message(FATAL_ERROR "${ENGINE} ${ARGS} exited ${run_rc}"
+          " (expected ${EXPECT_RC})\n${stderr_text}")
 endif()
 
 execute_process(

@@ -11,6 +11,7 @@
 namespace tufp {
 
 RoundingResult randomized_rounding_ufp(const UfpInstance& instance,
+                                       std::uint64_t seed,
                                        const RoundingConfig& config) {
   TUFP_REQUIRE(config.scale > 0.0 && config.scale <= 1.0,
                "scale must be in (0,1]");
@@ -22,7 +23,7 @@ RoundingResult randomized_rounding_ufp(const UfpInstance& instance,
   const UfpFractionalSolution lp = solve_ufp_lp(instance, lp_options);
 
   RoundingResult result{UfpSolution(R), lp.objective};
-  Rng rng(config.seed);
+  Rng rng(seed);
 
   // Raghavan-Thompson: select path k of request r with probability
   // scale * x[r][k]; with the leftover probability the request is dropped.

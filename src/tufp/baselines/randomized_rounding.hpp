@@ -12,7 +12,11 @@
 //
 // The rounding is a deterministic function of (instance, seed): the
 // "mechanism" formed from it with critical payments is well defined, just
-// not truthful.
+// not truthful. The seed is an explicit call parameter — the entire state
+// of the coin flips — and the implementation draws from a local
+// Xoshiro256** stream with no shared or global state, so concurrent calls
+// (e.g. the lab's OpenMP beta sweeps) are race-free and reproducible
+// per-call.
 #pragma once
 
 #include <cstdint>
@@ -25,7 +29,6 @@ namespace tufp {
 
 struct RoundingConfig {
   double scale = 0.98;  // multiplies the fractional marginals before sampling
-  std::uint64_t seed = 0xd1ce;
   PathEnumOptions path_enum;
 };
 
@@ -37,6 +40,7 @@ struct RoundingResult {
 };
 
 RoundingResult randomized_rounding_ufp(const UfpInstance& instance,
+                                       std::uint64_t seed,
                                        const RoundingConfig& config = {});
 
 }  // namespace tufp

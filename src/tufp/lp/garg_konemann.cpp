@@ -121,6 +121,7 @@ GkResult garg_konemann_fractional_ufp(const UfpInstance& instance,
         raw_totals[static_cast<std::size_t>(r)] / scale;
   }
   result.objective = objective;
+  result.edge_duals = std::move(y);
   return result;
 }
 

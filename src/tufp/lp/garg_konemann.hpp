@@ -44,6 +44,13 @@ struct GkResult {
   std::vector<GkFlow> flows;
   // Per-request routed fraction, sum over paths; <= 1 each.
   std::vector<double> request_totals;
+  // Final row duals y_e, one per edge, strictly positive. Any such vector
+  // rescales into a feasible dual certificate (ufp/dual_certificate.hpp),
+  // so best_dual_bound(instance, edge_duals) is a certified *upper* bound
+  // on the fractional optimum — the bracket [objective, bound] pins the LP
+  // value without solving it exactly (lab/upper_bound.hpp). Empty only for
+  // request-free instances.
+  std::vector<double> edge_duals;
   std::int64_t iterations = 0;
   bool converged = true;  // false only when max_iterations was exhausted
 };

@@ -58,6 +58,21 @@ AuditReport audit_ufp_truthfulness(const UfpInstance& instance,
       probes.push_back(probe);
     }
 
+    if (options.probe_zero_value) {
+      // A zero-value bid cannot even be declared (UfpInstance validates
+      // v > 0): the mechanism reads it as opting out, for a guaranteed
+      // utility of 0. Individual rationality demands truth-telling never
+      // fall below that outside the bisection tolerance.
+      ++report.misreports_tried;
+      if (0.0 > truthful_utility + options.tolerance) {
+        std::ostringstream os;
+        os << "agent " << r << " prefers the zero-value opt-out (utility 0) "
+           << "to truth-telling (utility " << truthful_utility << ")";
+        report.violations.push_back(
+            {r, truthful_utility, 0.0, 0.0, truth.demand, os.str()});
+      }
+    }
+
     for (const Request& probe : probes) {
       ++report.misreports_tried;
       const UfpInstance misreported = instance.with_request(r, probe);
@@ -118,6 +133,18 @@ AuditReport audit_muca_truthfulness(const MucaInstance& instance,
         probe.bundle.push_back(extra);
       }
       probes.push_back(probe);
+    }
+
+    if (options.probe_zero_value) {
+      // Same boundary probe as the UFP audit: opting out guarantees 0.
+      ++report.misreports_tried;
+      if (0.0 > truthful_utility + options.tolerance) {
+        std::ostringstream os;
+        os << "agent " << r << " prefers the zero-value opt-out (utility 0) "
+           << "to truth-telling (utility " << truthful_utility << ")";
+        report.violations.push_back(
+            {r, truthful_utility, 0.0, 0.0, 0.0, os.str()});
+      }
     }
 
     for (const MucaRequest& probe : probes) {

@@ -33,6 +33,14 @@ struct AuditOptions {
   int value_misreports_per_agent = 8;
   int demand_misreports_per_agent = 4;  // UFP only
   int bundle_misreports_per_agent = 4;  // MUCA only
+  // Also probe the boundary of the declaration space: a zero-value bid.
+  // Zero is outside the valid type space (instances require v > 0), so
+  // the mechanism treats it as non-participation — the agent is never
+  // allocated and pays nothing, utility exactly 0. The probe flags an
+  // individual-rationality breach: truth-telling must never be worse than
+  // opting out. Off by default to keep misreports_tried stable for
+  // existing callers.
+  bool probe_zero_value = false;
   double tolerance = 1e-4;  // must exceed the payment bisection tolerance
   std::uint64_t seed = 0x5eed;
   PaymentOptions payments;

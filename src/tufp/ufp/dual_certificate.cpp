@@ -86,4 +86,23 @@ DualCertificate best_dual_bound(const UfpInstance& instance,
   return best;
 }
 
+double claim36_upper_bound(const UfpInstance& instance,
+                           const BoundedUfpConfig& config) {
+  BoundedUfpConfig run_config = config;
+  run_config.record_trace = false;
+  return claim36_upper_bound(instance, bounded_ufp(instance, run_config));
+}
+
+double claim36_upper_bound(const UfpInstance& instance,
+                           const BoundedUfpResult& run) {
+  double bound = run.dual_upper_bound;
+  // The final weights are one more feasible dual snapshot; the best
+  // rescaled certificate over them can only tighten Claim 3.6's running
+  // minimum (and caps the bound at the total declared value).
+  if (!run.y.empty()) {
+    bound = std::min(bound, best_dual_bound(instance, run.y).upper_bound);
+  }
+  return bound;
+}
+
 }  // namespace tufp

@@ -20,6 +20,7 @@
 #include <span>
 #include <vector>
 
+#include "tufp/ufp/bounded_ufp.hpp"
 #include "tufp/ufp/instance.hpp"
 
 namespace tufp {
@@ -33,5 +34,19 @@ struct DualCertificate {
 // Preconditions: y has one strictly positive entry per edge.
 DualCertificate best_dual_bound(const UfpInstance& instance,
                                 std::span<const double> y);
+
+// Claim 3.6 along a Bounded-UFP run under `config`, tightened by the best
+// rescaled certificate of the run's final weights. The single shared
+// implementation of "the dual upper bound": the sim oracle suite checks
+// solver output against it and the evaluation lab certifies ratios with
+// it (lab/upper_bound.hpp re-exports it), so the two can never disagree.
+double claim36_upper_bound(const UfpInstance& instance,
+                           const BoundedUfpConfig& config);
+
+// Same bound read off an already-completed run (no re-solve): callers
+// that hold the run anyway — the lab sweep certifies with the same run
+// whose solution answers its `bounded` solver — pay for Bounded-UFP once.
+double claim36_upper_bound(const UfpInstance& instance,
+                           const BoundedUfpResult& run);
 
 }  // namespace tufp

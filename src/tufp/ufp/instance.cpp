@@ -85,6 +85,18 @@ UfpInstance UfpInstance::normalized() const {
   return UfpInstance(std::move(g), std::move(reqs));
 }
 
+UfpInstance UfpInstance::with_capacity_scale(double factor) const {
+  TUFP_REQUIRE(factor > 0.0, "capacity scale must be positive");
+  Graph g = graph_->is_directed() ? Graph::directed(graph_->num_vertices())
+                                  : Graph::undirected(graph_->num_vertices());
+  for (EdgeId e = 0; e < graph_->num_edges(); ++e) {
+    const auto [u, v] = graph_->endpoints(e);
+    g.add_edge(u, v, graph_->capacity(e) * factor);
+  }
+  g.finalize();
+  return UfpInstance(std::move(g), requests_);
+}
+
 UfpInstance UfpInstance::with_request(int r, const Request& declared) const {
   TUFP_REQUIRE(r >= 0 && r < num_requests(), "request index out of range");
   const Request& original = requests_[static_cast<std::size_t>(r)];

@@ -61,6 +61,12 @@ class UfpInstance {
   // stay fixed (paper §"The setting").
   UfpInstance with_request(int r, const Request& declared) const;
 
+  // Copy with every edge capacity multiplied by `factor` > 0; demands and
+  // values untouched. On a normalized instance this dials the
+  // capacity-to-demand ratio beta = B/d_max directly — the knob the
+  // evaluation lab sweeps (lab/sweep.hpp).
+  UfpInstance with_capacity_scale(double factor) const;
+
  private:
   std::shared_ptr<const Graph> graph_;
   std::vector<Request> requests_;

@@ -12,6 +12,11 @@ namespace tufp {
 
 // Smallest capacity that puts an m-edge graph into the paper's regime for
 // accuracy eps, times a slack factor: slack * ln(m)/eps^2 (at least 1).
+// On a normalized instance (d_max = 1) this is equally the smallest
+// beta = c_min/d_max inside the regime — the threshold the evaluation lab
+// (lab/sweep.hpp) records per cell as SweepCell::in_regime, so ratio
+// curves can be read against where Theorem 3.1's guarantee formally
+// kicks in.
 double regime_capacity(int num_edges, double eps, double slack = 1.0);
 
 // ISP-style undirected mesh with uniform capacity and mixed traffic.

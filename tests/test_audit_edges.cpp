@@ -1,0 +1,129 @@
+// Truthfulness-audit edge cases and negative tests: exactly tied bids
+// must not produce false violations, zero-value bids are handled as the
+// opt-out boundary of the declaration space, and a deliberately
+// non-monotone allocation rule is flagged by both auditors.
+#include "tufp/mechanism/truthfulness_audit.hpp"
+
+#include <gtest/gtest.h>
+
+#include "tufp/graph/generators.hpp"
+#include "tufp/util/rng.hpp"
+#include "tufp/workload/request_gen.hpp"
+
+namespace tufp {
+namespace {
+
+// One shared edge, every request competing for it with the same terminals.
+UfpInstance contended_edge_instance(std::vector<Request> requests,
+                                    double capacity) {
+  Graph g = Graph::directed(2);
+  g.add_edge(0, 1, capacity);
+  g.finalize();
+  return UfpInstance(std::move(g), std::move(requests));
+}
+
+UfpRule saturating_rule() {
+  BoundedUfpConfig cfg;
+  cfg.run_to_saturation = true;
+  return make_bounded_ufp_rule(cfg);
+}
+
+// Deliberately NON-monotone: a request wins iff its declared value stays
+// below a cap (raising your bid can flip you from winner to loser), first
+// fit in index order on the single shared edge.
+UfpRule value_capped_rule(double cap) {
+  return [cap](const UfpInstance& inst) {
+    UfpSolution solution(inst.num_requests());
+    double residual = inst.graph().capacity(0);
+    for (int r = 0; r < inst.num_requests(); ++r) {
+      const Request& req = inst.request(r);
+      if (req.value <= cap && req.demand <= residual + 1e-12) {
+        solution.assign(r, Path{0});
+        residual -= req.demand;
+      }
+    }
+    return solution;
+  };
+}
+
+TEST(AuditEdges, ZeroValueBidRejectedByInstanceValidation) {
+  // A zero-value bid is outside the type space the mechanisms quantify
+  // over; it never reaches an allocation rule.
+  Graph g = Graph::directed(2);
+  g.add_edge(0, 1, 1.0);
+  g.finalize();
+  EXPECT_THROW(UfpInstance(std::move(g), {{0, 1, 1.0, 0.0}}),
+               std::invalid_argument);
+}
+
+TEST(AuditEdges, ZeroValueProbeCountedAndCleanUnderTruthfulMechanism) {
+  const UfpInstance inst = contended_edge_instance(
+      {{0, 1, 1.0, 3.0}, {0, 1, 1.0, 2.0}, {0, 1, 0.5, 1.0}}, 1.5);
+  AuditOptions options;
+  options.probe_zero_value = true;
+  options.value_misreports_per_agent = 2;
+  options.demand_misreports_per_agent = 0;
+  const AuditReport report =
+      audit_ufp_truthfulness(inst, saturating_rule(), options);
+  // Critical payments never exceed the declared value, so truth-telling
+  // always weakly beats the zero-value opt-out: counted, no violation.
+  EXPECT_TRUE(report.truthful())
+      << (report.violations.empty() ? "" : report.violations[0].description);
+  EXPECT_EQ(report.misreports_tried, 3L * (2 + 1));
+}
+
+TEST(AuditEdges, ExactlyTiedBidsAuditCleanly) {
+  // Four byte-identical declarations racing for one unit of capacity: the
+  // index tie-break decides, and no misreport around the tie may look
+  // profitable (a tied loser that outbids the winner pays the full tied
+  // value — utility 0, not a violation).
+  std::vector<Request> tied(4, Request{0, 1, 1.0, 2.0});
+  const UfpInstance inst = contended_edge_instance(std::move(tied), 1.0);
+  AuditOptions options;
+  options.probe_zero_value = true;
+  options.seed = 99;
+  const AuditReport report =
+      audit_ufp_truthfulness(inst, saturating_rule(), options);
+  EXPECT_TRUE(report.truthful())
+      << (report.violations.empty() ? "" : report.violations[0].description);
+  EXPECT_GT(report.misreports_tried, 0);
+
+  MonotonicityOptions mono;
+  mono.seed = 7;
+  const MonotonicityReport monotone =
+      audit_ufp_monotonicity(inst, saturating_rule(), mono);
+  EXPECT_TRUE(monotone.monotone());
+}
+
+TEST(AuditEdges, NonMonotoneRuleFlaggedByMonotonicityAudit) {
+  const UfpInstance inst = contended_edge_instance(
+      {{0, 1, 1.0, 5.0}, {0, 1, 1.0, 2.0}, {0, 1, 1.0, 2.5}}, 10.0);
+  MonotonicityOptions options;
+  options.probes_per_agent = 8;
+  const MonotonicityReport report =
+      audit_ufp_monotonicity(inst, value_capped_rule(3.0), options);
+  // Winners under the cap flip to losers when they raise their bid past
+  // it: Definition 2.1 is violated and the audit must say so.
+  EXPECT_FALSE(report.monotone());
+}
+
+TEST(AuditEdges, NonMonotoneRuleFlaggedByTruthfulnessAudit) {
+  // Agent 0's true value (5) sits above the cap, so truth-telling loses
+  // (utility 0) while shading the bid under the cap wins the edge for a
+  // payment at most the shaded declaration — a profitable misreport the
+  // audit must surface.
+  const UfpInstance inst = contended_edge_instance(
+      {{0, 1, 1.0, 5.0}, {0, 1, 1.0, 1.0}}, 10.0);
+  AuditOptions options;
+  options.value_misreports_per_agent = 4;  // grid includes 0.25 and 0.5
+  options.demand_misreports_per_agent = 0;
+  const AuditReport report =
+      audit_ufp_truthfulness(inst, value_capped_rule(3.0), options);
+  ASSERT_FALSE(report.truthful());
+  EXPECT_EQ(report.violations[0].agent, 0);
+  EXPECT_GT(report.violations[0].misreport_utility,
+            report.violations[0].truthful_utility);
+}
+
+}  // namespace
+}  // namespace tufp

@@ -112,9 +112,7 @@ TEST(Bkv, CoarseBoundStillSound) {
 TEST(RandomizedRoundingTest, FeasibleAfterRepair) {
   for (std::uint64_t seed = 40; seed < 48; ++seed) {
     const UfpInstance inst = make_instance(seed, 1.5, 14);
-    RoundingConfig cfg;
-    cfg.seed = seed;
-    const RoundingResult result = randomized_rounding_ufp(inst, cfg);
+    const RoundingResult result = randomized_rounding_ufp(inst, seed);
     EXPECT_TRUE(result.solution.check_feasibility(inst).feasible)
         << "seed " << seed;
     EXPECT_GE(result.fractional_optimum,
@@ -124,10 +122,8 @@ TEST(RandomizedRoundingTest, FeasibleAfterRepair) {
 
 TEST(RandomizedRoundingTest, DeterministicGivenSeed) {
   const UfpInstance inst = make_instance(50, 1.5, 12);
-  RoundingConfig cfg;
-  cfg.seed = 99;
-  const auto a = randomized_rounding_ufp(inst, cfg);
-  const auto b = randomized_rounding_ufp(inst, cfg);
+  const auto a = randomized_rounding_ufp(inst, 99);
+  const auto b = randomized_rounding_ufp(inst, 99);
   EXPECT_EQ(a.solution.selected_requests(), b.solution.selected_requests());
 }
 
@@ -135,9 +131,7 @@ TEST(RandomizedRoundingTest, TracksLpOnLargeCapacity) {
   // In the large-capacity regime rounding rarely needs repair and lands
   // close to the fractional optimum (the 1+eps story the paper cites).
   const UfpInstance inst = make_instance(60, 40.0, 20);
-  RoundingConfig cfg;
-  cfg.seed = 7;
-  const RoundingResult result = randomized_rounding_ufp(inst, cfg);
+  const RoundingResult result = randomized_rounding_ufp(inst, 7);
   EXPECT_EQ(result.dropped, 0);
   EXPECT_GE(result.solution.total_value(inst),
             0.75 * result.fractional_optimum);
@@ -147,7 +141,7 @@ TEST(RandomizedRoundingTest, ScaleValidation) {
   const UfpInstance inst = make_instance(70, 2.0, 5);
   RoundingConfig cfg;
   cfg.scale = 0.0;
-  EXPECT_THROW(randomized_rounding_ufp(inst, cfg), std::invalid_argument);
+  EXPECT_THROW(randomized_rounding_ufp(inst, 1, cfg), std::invalid_argument);
 }
 
 

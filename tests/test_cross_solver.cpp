@@ -60,9 +60,7 @@ TEST_P(CrossSolverTest, FullOrderingHolds) {
   IterativeMinimizerConfig mini_cfg;
   mini_cfg.function = &h;
   const auto minimizer = reasonable_iterative_minimizer(inst, mini_cfg);
-  RoundingConfig rr_cfg;
-  rr_cfg.seed = GetParam();
-  const RoundingResult rounding = randomized_rounding_ufp(inst, rr_cfg);
+  const RoundingResult rounding = randomized_rounding_ufp(inst, GetParam());
 
   const struct {
     const char* name;

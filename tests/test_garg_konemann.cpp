@@ -7,6 +7,7 @@
 
 #include "tufp/graph/generators.hpp"
 #include "tufp/lp/ufp_lp.hpp"
+#include "tufp/ufp/dual_certificate.hpp"
 #include "tufp/util/math.hpp"
 #include "tufp/util/rng.hpp"
 #include "tufp/workload/request_gen.hpp"
@@ -99,6 +100,40 @@ TEST_P(GkPropertyTest, NearOptimalAgainstExactLp) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, GkPropertyTest,
                          ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+// The lab's bracket contract on >= 10 seeded instances: the exact simplex
+// optimum and the combinatorial GK value agree within the (1+eps)
+// guarantee — gk <= lp <= gk/(1-3eps) — and GK's exposed final duals
+// rescale into a certificate that bounds the LP from above, so
+// [objective, best_dual_bound(edge_duals)] always sandwiches the
+// fractional optimum.
+class GkSimplexCrossCheck : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(GkSimplexCrossCheck, FractionalOptimaAgreeWithinGuarantee) {
+  const std::uint64_t seed = GetParam();
+  // Alternate between a tight and a roomy topology so the cross-check
+  // spans both contended and slack regimes.
+  const UfpInstance inst = seed % 2 == 0 ? small_instance(seed * 13 + 5, 1.6, 9)
+                                         : small_instance(seed * 13 + 5, 2.4, 11);
+  GkConfig cfg;
+  cfg.epsilon = 0.08;
+  const GkResult gk = garg_konemann_fractional_ufp(inst, cfg);
+  ASSERT_TRUE(gk.converged) << "seed " << seed;
+  const double lp = solve_ufp_lp(inst).objective;
+  EXPECT_LE(gk.objective, lp + 1e-6) << "seed " << seed;
+  EXPECT_GE(gk.objective, (1.0 - 3.0 * cfg.epsilon) * lp - 1e-6)
+      << "seed " << seed << " gk=" << gk.objective << " lp=" << lp;
+
+  ASSERT_EQ(gk.edge_duals.size(),
+            static_cast<std::size_t>(inst.graph().num_edges()));
+  for (double y : gk.edge_duals) EXPECT_GT(y, 0.0);
+  const DualCertificate cert = best_dual_bound(inst, gk.edge_duals);
+  EXPECT_GE(cert.upper_bound, lp - 1e-6)
+      << "seed " << seed << ": GK dual certificate fell below the LP optimum";
+}
+
+INSTANTIATE_TEST_SUITE_P(TwelveSeeds, GkSimplexCrossCheck,
+                         ::testing::Range<std::uint64_t>(1, 13));
 
 TEST(GargKonemann, TighterEpsilonImprovesValue) {
   const UfpInstance inst = small_instance(99, 1.8, 10);

@@ -84,6 +84,18 @@ TEST(UfpInstance, WithRequestRejectsTerminalChange) {
   EXPECT_THROW(inst.with_request(0, changed), std::invalid_argument);
 }
 
+TEST(UfpInstance, WithCapacityScaleDialsBetaOnly) {
+  UfpInstance inst(line(4.0), {{0, 2, 0.5, 3.0}, {0, 1, 1.0, 1.0}});
+  const UfpInstance wider = inst.with_capacity_scale(2.5);
+  EXPECT_DOUBLE_EQ(wider.bound_B(), 10.0);
+  // Demands, values and topology untouched.
+  EXPECT_DOUBLE_EQ(wider.request(0).demand, 0.5);
+  EXPECT_DOUBLE_EQ(wider.request(1).value, 1.0);
+  EXPECT_EQ(wider.graph().num_edges(), inst.graph().num_edges());
+  EXPECT_EQ(wider.graph().is_directed(), inst.graph().is_directed());
+  EXPECT_THROW(inst.with_capacity_scale(0.0), std::invalid_argument);
+}
+
 TEST(UfpInstance, EmptyRequestStatsThrow) {
   UfpInstance inst(line(), {});
   EXPECT_THROW(inst.max_demand(), std::invalid_argument);

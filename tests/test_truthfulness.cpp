@@ -74,9 +74,7 @@ TEST(RandomizedRounding, ViolatesMonotonicitySomewhere) {
   // The classical technique is not monotone: across a few tight instances
   // and fixed coins, some improvement flips a winner to a loser.
   const UfpRule rr_rule = [](const UfpInstance& inst) {
-    RoundingConfig cfg;
-    cfg.seed = 1234;
-    return randomized_rounding_ufp(inst, cfg).solution;
+    return randomized_rounding_ufp(inst, 1234).solution;
   };
   long violations = 0;
   for (std::uint64_t seed = 320; seed < 328; ++seed) {

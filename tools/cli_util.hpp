@@ -1,0 +1,23 @@
+// Small argument-parsing helpers shared by the CLI tools. Header-only on
+// purpose: tools/*.cpp each build into their own binary, so shared logic
+// must not live in a tool translation unit.
+#pragma once
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace tufp::cli {
+
+// "a,b,,c" -> {"a", "b", "c"} (empty tokens skipped).
+inline std::vector<std::string> split_csv(const std::string& csv) {
+  std::vector<std::string> out;
+  std::stringstream ss(csv);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    if (!item.empty()) out.push_back(item);
+  }
+  return out;
+}
+
+}  // namespace tufp::cli

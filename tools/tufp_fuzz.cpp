@@ -39,6 +39,7 @@
 #include <string>
 #include <vector>
 
+#include "cli_util.hpp"
 #include "tufp/sim/fuzzer.hpp"
 #include "tufp/sim/oracles.hpp"
 #include "tufp/sim/world_gen.hpp"
@@ -59,15 +60,7 @@ using namespace tufp::sim;
   std::exit(2);
 }
 
-std::vector<std::string> split_csv(const std::string& csv) {
-  std::vector<std::string> out;
-  std::stringstream ss(csv);
-  std::string item;
-  while (std::getline(ss, item, ',')) {
-    if (!item.empty()) out.push_back(item);
-  }
-  return out;
-}
+using tufp::cli::split_csv;
 
 struct Options {
   FuzzConfig config;
@@ -145,9 +138,12 @@ int run_replay(const Options& opt) {
     return 2;
   }
   // load_repro honours the repro's `# solver ...` directive so the replay
-  // runs under the exact config that produced the violation.
+  // runs under the exact config that produced the violation. The echoed
+  // path goes to stderr: stdout stays byte-stable however the repro file
+  // is addressed (the golden replay test diffs it).
   const SimWorld world = load_repro(is);
-  std::cout << "replay " << opt.replay_path
+  std::cerr << "replaying " << opt.replay_path << "\n";
+  std::cout << "replay"
             << " requests=" << world.instance.num_requests()
             << " edges=" << world.instance.graph().num_edges()
             << " epsilon=" << world.solver.epsilon << " saturation="
