@@ -75,6 +75,9 @@ BkvResult bkv_ufp(const UfpInstance& instance, const BoundedUfpConfig& config) {
       alpha_all = std::min(alpha_all, priority);
       if (selected[static_cast<std::size_t>(r)]) continue;
       alpha_remaining = std::min(alpha_remaining, priority);
+      // Cached guard verdict: valid because residual only decreases here
+      // and every decrement stamps its edge (sp_cache.hpp's direction-
+      // agnostic invariant — capacity *increases* would need stamps too).
       if (config.capacity_guard && !entry.fits) continue;
       if (priority < best_priority) {
         best_priority = priority;

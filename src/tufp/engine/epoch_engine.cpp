@@ -27,12 +27,41 @@ EpochEngine::EpochEngine(std::shared_ptr<const Graph> base_graph,
                "the engine requires the capacity guard: residual carry-over "
                "is unsound on infeasible epoch outputs");
   residual_.assign(base_->capacities().begin(), base_->capacities().end());
+  for (const double c : base_->capacities()) total_capacity_ += c;
+  if (config_.track_leases) {
+    ledger_ = std::make_unique<temporal::LeaseLedger>(
+        base_->num_edges(),
+        temporal::LeaseLedgerConfig{config_.lease_tick_seconds});
+  }
 }
 
 void EpochEngine::reset() {
   residual_.assign(base_->capacities().begin(), base_->capacities().end());
   metrics_ = EngineMetrics();
+  if (ledger_) ledger_->clear();
   epoch_ = 0;
+}
+
+void EpochEngine::refresh_lease_gauges() {
+  if (!ledger_) return;
+  metrics_.set_lease_gauges(
+      ledger_->active_count(),
+      total_capacity_ > 0.0 ? ledger_->leased_capacity() / total_capacity_
+                            : 0.0);
+}
+
+int EpochEngine::reclaim_expired(double now) {
+  if (!ledger_) return 0;
+  // The ledger clock never runs backwards; a stale `now` (e.g. an
+  // explicit run_epoch() with an older batch) reclaims at the frontier.
+  const double effective = std::max(now, ledger_->now());
+  const int expired =
+      ledger_->reclaim_until(effective, base_->capacities(), residual_);
+  if (expired > 0) {
+    metrics_.counters().leases_expired += expired;
+    refresh_lease_gauges();
+  }
+  return expired;
 }
 
 EngineSummary EpochEngine::run(
@@ -107,6 +136,10 @@ EngineSummary EpochEngine::run(
   EngineSummary summary;
   summary.counters = metrics_.counters();
   summary.admitted_fraction = metrics_.admitted_fraction();
+  if (ledger_) {
+    summary.active_leases = ledger_->active_count();
+    summary.occupancy = metrics_.occupancy();
+  }
   summary.wall_seconds = timer.elapsed_seconds();
   summary.requests_per_second =
       summary.wall_seconds > 0.0
@@ -131,6 +164,19 @@ AdmissionReport EpochEngine::clear_epoch(const std::vector<TimedRequest>& batch,
   ++metrics_.counters().epochs;
   metrics_.batch_sizes().add(static_cast<double>(batch.size()));
 
+  // Epoch boundary: return expired leases' capacity *before* compiling
+  // the residual snapshot, so this auction runs over the residual left by
+  // expired and active leases. The reclaim may only *increase* residuals;
+  // the snapshot (and with it every per-epoch sp_cache) is compiled
+  // fresh below, which is what keeps cached negative fit verdicts from
+  // outliving a capacity increase (DESIGN.md §10, sp_cache.hpp).
+  {
+    WallTimer reclaim_timer;
+    report.expired_leases = reclaim_expired(close_time);
+    report.reclaim_seconds = reclaim_timer.elapsed_seconds();
+    if (ledger_) metrics_.reclaim_seconds().record(report.reclaim_seconds);
+  }
+
   // Malformed bids (a zero-value bid, an out-of-range endpoint, an
   // un-normalized demand) must not poison the epoch: they are shed here,
   // counted as invalid, and the auction runs over the valid remainder.
@@ -147,11 +193,14 @@ AdmissionReport EpochEngine::clear_epoch(const std::vector<TimedRequest>& batch,
     report.max_admission_delay = std::max(report.max_admission_delay, delay);
 
     const Request& req = t.request;
+    // Durations must be positive; kInf (permanent) is the default. A NaN
+    // or non-positive duration is a malformed bid like a zero value.
     const bool valid = std::isfinite(req.demand) && std::isfinite(req.value) &&
                        req.demand > 0.0 && req.demand <= 1.0 &&
                        req.value > 0.0 && req.source >= 0 && req.source < n &&
                        req.target >= 0 && req.target < n &&
-                       req.source != req.target;
+                       req.source != req.target && t.duration > 0.0 &&
+                       !std::isnan(t.duration);
     if (!valid) {
       ++report.invalid_rejected;
       ++metrics_.counters().invalid_rejected;
@@ -172,8 +221,14 @@ AdmissionReport EpochEngine::clear_epoch(const std::vector<TimedRequest>& batch,
 
   if (requests.empty() || snapshot.num_active_edges() == 0) {
     // Fully saturated network (or nothing valid to clear): every valid bid
-    // is rejected without an auction.
+    // is rejected without an auction. Lease gauges still report — on a
+    // churning workload a saturated epoch is exactly when occupancy is
+    // the number worth watching.
     metrics_.counters().rejected += static_cast<std::int64_t>(requests.size());
+    if (ledger_) {
+      report.active_leases = ledger_->active_count();
+      report.occupancy = metrics_.occupancy();
+    }
     report.solve_seconds = timer.elapsed_seconds();
     metrics_.solve_seconds().record(report.solve_seconds);
     return report;
@@ -210,25 +265,44 @@ AdmissionReport EpochEngine::clear_epoch(const std::vector<TimedRequest>& batch,
     }
     const Path& path = *run.solution.path_of(r);
     const double demand = instance.request(r).demand;
+    std::vector<EdgeId> base_edges;
+    if (ledger_) base_edges.reserve(path.size());
     for (EdgeId e : path) {
       const auto base_e = static_cast<std::size_t>(snapshot.base_edge(e));
       residual_[base_e] = std::max(0.0, residual_[base_e] - demand);
+      if (ledger_) base_edges.push_back(static_cast<EdgeId>(base_e));
     }
     const double bid = instance.request(r).value;
+    const int bi = batch_index[static_cast<std::size_t>(r)];
+    const TimedRequest& timed = batch[static_cast<std::size_t>(bi)];
+    if (ledger_) {
+      // The lease starts at the epoch close (the decision instant), not
+      // the arrival: a request cannot hold capacity it was not yet
+      // granted. Permanent (kInf) leases are recorded for occupancy but
+      // never scheduled.
+      const double expires =
+          timed.duration < kInf ? close_time + timed.duration : kInf;
+      ledger_->admit(timed.sequence, demand, std::move(base_edges),
+                     close_time, expires);
+      if (timed.duration < kInf) ++metrics_.counters().finite_leases;
+    }
     ++metrics_.counters().admitted;
     ++report.admitted;
     report.admitted_value += bid;
     report.revenue += payments[static_cast<std::size_t>(r)];
     if (config_.record_allocations) {
-      const int bi = batch_index[static_cast<std::size_t>(r)];
       report.allocations.push_back(
-          {batch[static_cast<std::size_t>(bi)].sequence, bi, bid,
-           payments[static_cast<std::size_t>(r)],
+          {timed.sequence, bi, bid, payments[static_cast<std::size_t>(r)],
            static_cast<int>(path.size())});
     }
   }
   metrics_.counters().admitted_value += report.admitted_value;
   metrics_.counters().revenue += report.revenue;
+  if (ledger_) {
+    refresh_lease_gauges();
+    report.active_leases = metrics_.active_leases();
+    report.occupancy = metrics_.occupancy();
+  }
 
   report.solve_seconds = timer.elapsed_seconds();
   metrics_.solve_seconds().record(report.solve_seconds);

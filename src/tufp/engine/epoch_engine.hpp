@@ -4,11 +4,19 @@
 // continuously (engine/request_stream.hpp); the engine batches them into
 // epochs and clears each epoch as a Bounded-UFP auction on the *residual*
 // network: a GraphSnapshot compiled from the base topology minus the
-// capacity consumed by every previously admitted request. Admitted
-// requests hold their capacity forever (leases are out of scope here);
-// the residual therefore only shrinks, which is exactly the repeated
-// single-auction view of the paper's §5 with the network playing the role
-// of the recurring good.
+// capacity held by every currently *leased* request. An admission is a
+// lease (temporal/lease_ledger.hpp): requests carry a duration, infinite
+// by default — which reproduces the historical hold-forever semantics
+// byte-for-byte — and finite otherwise, in which case the lease's
+// capacity returns to the residual when it expires. Expiries are drained
+// at every epoch boundary, before the epoch's snapshot is compiled, in
+// deterministic (expiry time, lease id) order off a hierarchical timer
+// wheel, so the per-epoch reclaim cost is amortized O(1) per expiry and
+// the admission history stays byte-identical across thread counts. Each
+// epoch remains a per-auction application of the paper's mechanism over
+// the residual left by expired *and* active leases, so the monotonicity/
+// exactness guarantees are untouched (§5's repeated-auction view, now
+// with the good genuinely recurring).
 //
 // Each epoch is deterministic: Bounded-UFP with the capacity guard is
 // deterministic for any OpenMP thread count (detail/sp_cache.hpp), the
@@ -39,6 +47,7 @@
 #include "tufp/engine/request_stream.hpp"
 #include "tufp/engine/snapshot.hpp"
 #include "tufp/mechanism/critical_payment.hpp"
+#include "tufp/temporal/lease_ledger.hpp"
 #include "tufp/ufp/bounded_ufp.hpp"
 
 namespace tufp {
@@ -78,6 +87,17 @@ struct EpochEngineConfig {
     return cfg;
   }();
 
+  // Temporal leases (DESIGN.md §10). On: every admission is recorded in
+  // the lease ledger, finite-duration admissions return their capacity at
+  // expiry, and expiries drain at each epoch boundary. Off: the ledger is
+  // never built and requests' durations are ignored — the pre-temporal
+  // code path, kept as the baseline the temporal-infinite differential
+  // oracle diffs against.
+  bool track_leases = true;
+  // Timer-wheel tick (virtual seconds). Performance knob only; expiry
+  // comparisons stay exact at any tick.
+  double lease_tick_seconds = 0.05;
+
   // Keep per-request AdmissionRecords in each report (tests, small runs).
   bool record_allocations = false;
 };
@@ -111,8 +131,15 @@ struct AdmissionReport {
   int solver_iterations = 0;
   std::int64_t sp_computations = 0;
   std::int64_t sp_tree_runs = 0;  // Dijkstra tree searches (source shards)
+  // Lease churn at this epoch boundary (deterministic): expiries drained
+  // before the snapshot was compiled, the active lease count and the
+  // occupancy (leased capacity / total base capacity) after the clear.
+  int expired_leases = 0;
+  std::int64_t active_leases = 0;
+  double occupancy = 0.0;
   double max_admission_delay = 0.0;  // virtual seconds, deterministic
   double solve_seconds = 0.0;        // wall clock — NOT deterministic
+  double reclaim_seconds = 0.0;      // wall clock — NOT deterministic
   std::vector<AdmissionRecord> allocations;  // when record_allocations
 };
 
@@ -120,6 +147,9 @@ struct AdmissionReport {
 struct EngineSummary {
   EngineCounters counters;
   double admitted_fraction = 0.0;
+  // Final lease gauges (deterministic; zero without track_leases).
+  std::int64_t active_leases = 0;
+  double occupancy = 0.0;
   double wall_seconds = 0.0;          // NOT deterministic
   double requests_per_second = 0.0;   // NOT deterministic
 };
@@ -146,8 +176,19 @@ class EpochEngine {
   const EpochEngineConfig& config() const { return config_; }
   int epochs_run() const { return epoch_; }
 
-  // Forgets all admissions: residual back to base capacities, metrics and
-  // epoch counter to zero.
+  // Drains every lease expired by virtual time `now` (clamped to the
+  // ledger clock, which never runs backwards), returning their capacity
+  // to the residual. Epoch boundaries call this automatically; exposed
+  // for drivers that advance the clock past the last arrival (the
+  // `--horizon` flag, the temporal-no-leak oracle). Returns the number of
+  // leases reclaimed; always 0 without track_leases.
+  int reclaim_expired(double now);
+
+  // The lease ledger, or nullptr without track_leases.
+  const temporal::LeaseLedger* lease_ledger() const { return ledger_.get(); }
+
+  // Forgets all admissions: residual back to base capacities, metrics,
+  // leases and epoch counter to zero.
   void reset();
 
  private:
@@ -156,10 +197,13 @@ class EpochEngine {
   void apply_payments(const UfpInstance& instance, const BoundedUfpResult& run,
                       const BoundedUfpConfig& solver_cfg,
                       std::vector<double>* payments);
+  void refresh_lease_gauges();
 
   std::shared_ptr<const Graph> base_;
   EpochEngineConfig config_;
   std::vector<double> residual_;
+  std::unique_ptr<temporal::LeaseLedger> ledger_;
+  double total_capacity_ = 0.0;
   EngineMetrics metrics_;
   int epoch_ = 0;
 };

@@ -84,6 +84,15 @@ std::string EngineMetrics::summary(bool include_wall_clock) const {
      << Table::format_double(admission_delay_.percentile(0.5), 4)
      << " p99=" << Table::format_double(admission_delay_.percentile(0.99), 4)
      << "\n";
+  // Lease line only when the run actually used finite durations: an
+  // all-infinite workload prints exactly the pre-temporal summary (the
+  // committed golden traces rely on this).
+  if (c.finite_leases > 0 || c.leases_expired > 0) {
+    os << "leases_finite=" << c.finite_leases
+       << " leases_expired=" << c.leases_expired
+       << " active_leases=" << active_leases_
+       << " occupancy=" << Table::format_double(occupancy_, 4) << "\n";
+  }
   if (include_wall_clock && solve_seconds_.count() > 0) {
     os << "solve_seconds_mean="
        << Table::format_double(solve_seconds_.stats().mean(), 6)

@@ -63,6 +63,13 @@ struct EngineCounters {
   std::int64_t solver_iterations = 0;
   std::int64_t sp_computations = 0;
   std::int64_t sp_tree_runs = 0;  // Dijkstra trees behind sp_computations
+
+  // Temporal lease churn (DESIGN.md §10). finite_leases counts admissions
+  // with a finite duration; leases_expired counts reclamations. Both stay
+  // zero on an all-infinite workload, which is what keeps the summary
+  // output of pre-temporal runs byte-identical.
+  std::int64_t finite_leases = 0;
+  std::int64_t leases_expired = 0;
 };
 
 class EngineMetrics {
@@ -79,10 +86,28 @@ class EngineMetrics {
   GeometricHistogram& solve_seconds() { return solve_seconds_; }
   const GeometricHistogram& solve_seconds() const { return solve_seconds_; }
 
+  // Wall-clock seconds per epoch-boundary lease reclaim (machine-
+  // dependent). The steady-state bench reads this to show expiry
+  // processing stays amortized O(1) as the horizon grows.
+  GeometricHistogram& reclaim_seconds() { return reclaim_seconds_; }
+  const GeometricHistogram& reclaim_seconds() const {
+    return reclaim_seconds_;
+  }
+
   RunningStats& batch_sizes() { return batch_sizes_; }
   const RunningStats& batch_sizes() const { return batch_sizes_; }
 
   double admitted_fraction() const;
+
+  // Lease gauges, refreshed by the engine after every reclaim/admission
+  // round: currently active leases and occupancy = leased capacity /
+  // total base capacity. Deterministic.
+  void set_lease_gauges(std::int64_t active_leases, double occupancy) {
+    active_leases_ = active_leases;
+    occupancy_ = occupancy;
+  }
+  std::int64_t active_leases() const { return active_leases_; }
+  double occupancy() const { return occupancy_; }
 
   // Multi-line human-readable dump. Deterministic block only unless
   // `include_wall_clock`.
@@ -92,7 +117,10 @@ class EngineMetrics {
   EngineCounters counters_;
   GeometricHistogram admission_delay_;
   GeometricHistogram solve_seconds_;
+  GeometricHistogram reclaim_seconds_;
   RunningStats batch_sizes_;
+  std::int64_t active_leases_ = 0;
+  double occupancy_ = 0.0;
 };
 
 }  // namespace tufp

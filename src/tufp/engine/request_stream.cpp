@@ -15,15 +15,24 @@ double exponential_gap(Rng& rng, double rate) {
   return -std::log(1.0 - rng.next_double()) / rate;
 }
 
+// Private seed stream for the duration sampler: distinct from both the
+// body RNG (raw seed) and the arrival RNG (~seed), so adding or removing
+// durations never shifts what the other two draw.
+std::uint64_t duration_seed(std::uint64_t seed) {
+  return SplitMix64(seed ^ 0x7e3a9c155d2f8b41ULL).next();
+}
+
 }  // namespace
 
 PoissonStream::PoissonStream(std::shared_ptr<const Graph> graph,
                              const RequestGenConfig& config, double rate,
-                             std::int64_t limit, std::uint64_t seed)
+                             std::int64_t limit, std::uint64_t seed,
+                             const DurationConfig& durations)
     : graph_(std::move(graph)),
       sampler_(*graph_, config),
       rng_(seed),
       arrival_rng_(SplitMix64(~seed).next()),
+      durations_(durations, duration_seed(seed)),
       rate_(rate),
       limit_(limit) {
   TUFP_REQUIRE(rate > 0.0, "Poisson rate must be positive");
@@ -36,6 +45,7 @@ bool PoissonStream::next(TimedRequest* out) {
   clock_ += exponential_gap(arrival_rng_, rate_);
   out->arrival_time = clock_;
   out->sequence = emitted_++;
+  out->duration = durations_.sample(clock_);
   out->request = sampler_.sample(rng_);
   return true;
 }
@@ -43,10 +53,12 @@ bool PoissonStream::next(TimedRequest* out) {
 BurstStream::BurstStream(std::shared_ptr<const Graph> graph,
                          const RequestGenConfig& config, double period,
                          int burst_size, std::int64_t limit,
-                         std::uint64_t seed)
+                         std::uint64_t seed,
+                         const DurationConfig& durations)
     : graph_(std::move(graph)),
       sampler_(*graph_, config),
       rng_(seed),
+      durations_(durations, duration_seed(seed)),
       period_(period),
       burst_size_(burst_size),
       limit_(limit) {
@@ -61,6 +73,7 @@ bool BurstStream::next(TimedRequest* out) {
   const std::int64_t burst_index = emitted_ / burst_size_;
   out->arrival_time = static_cast<double>(burst_index) * period_;
   out->sequence = emitted_++;
+  out->duration = durations_.sample(out->arrival_time);
   out->request = sampler_.sample(rng_);
   return true;
 }

@@ -19,7 +19,9 @@
 #include <deque>
 #include <memory>
 
+#include "tufp/temporal/duration.hpp"
 #include "tufp/ufp/instance.hpp"
+#include "tufp/util/math.hpp"
 #include "tufp/util/rng.hpp"
 #include "tufp/workload/request_gen.hpp"
 
@@ -28,6 +30,9 @@ namespace tufp {
 struct TimedRequest {
   double arrival_time = 0.0;   // virtual seconds since stream start
   std::int64_t sequence = 0;   // 0-based arrival index, unique per stream
+  // Requested lease duration in virtual seconds (temporal/duration.hpp);
+  // kInf holds the capacity forever — the pre-temporal semantics.
+  double duration = kInf;
   Request request;
 };
 
@@ -45,11 +50,17 @@ class RequestStream {
 // own RNG stream (derived from the seed), so request bodies consume the
 // seed exactly like the batch generator and the offered-workload
 // equivalence above holds.
+// Both adapters accept a DurationConfig: each emitted request carries a
+// lease duration drawn by a DurationSampler from its *own* RNG stream
+// (derived from the seed), so the request/arrival sampling is untouched —
+// the default kInfinite profile consumes no randomness and the stream is
+// byte-identical to its pre-temporal self.
 class PoissonStream final : public RequestStream {
  public:
   PoissonStream(std::shared_ptr<const Graph> graph,
                 const RequestGenConfig& config, double rate,
-                std::int64_t limit, std::uint64_t seed);
+                std::int64_t limit, std::uint64_t seed,
+                const DurationConfig& durations = {});
 
   bool next(TimedRequest* out) override;
 
@@ -58,6 +69,7 @@ class PoissonStream final : public RequestStream {
   RequestSampler sampler_;
   Rng rng_;
   Rng arrival_rng_;
+  DurationSampler durations_;
   double rate_;
   std::int64_t limit_;
   std::int64_t emitted_ = 0;
@@ -71,7 +83,8 @@ class BurstStream final : public RequestStream {
  public:
   BurstStream(std::shared_ptr<const Graph> graph,
               const RequestGenConfig& config, double period, int burst_size,
-              std::int64_t limit, std::uint64_t seed);
+              std::int64_t limit, std::uint64_t seed,
+              const DurationConfig& durations = {});
 
   bool next(TimedRequest* out) override;
 
@@ -79,6 +92,7 @@ class BurstStream final : public RequestStream {
   std::shared_ptr<const Graph> graph_;
   RequestSampler sampler_;
   Rng rng_;
+  DurationSampler durations_;
   double period_;
   int burst_size_;
   std::int64_t limit_;

@@ -50,8 +50,27 @@ std::string make_repro_text(const FuzzConfig& config,
      << shrunk.instance.num_requests() << " requests\n"
      << "# solver epsilon " << shrunk.solver.epsilon
      << " run-to-saturation " << (shrunk.solver.run_to_saturation ? 1 : 0)
-     << " max-batch " << shrunk.max_batch << "\n"
-     << "# replay: tufp_fuzz --replay <this-file> --oracles "
+     << " max-batch " << shrunk.max_batch << "\n";
+  if (!shrunk.durations.empty()) {
+    // Lease durations per surviving request ("inf" = permanent), plus the
+    // arrival clock that lets them actually expire mid-replay: the
+    // temporal oracles fail *on* these, so replay must restore both.
+    os << "# durations " << duration_profile_name(shrunk.duration_profile);
+    for (const double d : shrunk.durations) {
+      if (d >= kInf) {
+        os << " inf";
+      } else {
+        os << " " << d;
+      }
+    }
+    os << "\n# arrivals";
+    for (int r = 0; r < shrunk.instance.num_requests(); ++r) {
+      const auto ri = static_cast<std::size_t>(r);
+      os << " " << (ri < shrunk.arrivals.size() ? shrunk.arrivals[ri] : 0.0);
+    }
+    os << "\n";
+  }
+  os << "# replay: tufp_fuzz --replay <this-file> --oracles "
      << violation.oracle;
   if (config.oracle_options.fault != FaultInjection::kNone) {
     os << " --inject " << fault_name(config.oracle_options.fault);
@@ -72,35 +91,67 @@ SimWorld load_repro(std::istream& is) {
   solver.capacity_guard = true;
   solver.run_to_saturation = true;
   int max_batch = 0;  // 0 = derive from the request count below
+  std::vector<double> arrivals;
+  std::vector<double> durations;
+  DurationProfile duration_profile = DurationProfile::kInfinite;
 
   std::istringstream lines(text);
   std::string line;
+  bool solver_seen = false;
   while (std::getline(lines, line)) {
     std::istringstream ls(line);
     std::string hash, keyword;
-    if (!(ls >> hash >> keyword) || hash != "#" || keyword != "solver") {
-      continue;
-    }
-    std::string key;
-    while (ls >> key) {
-      if (key == "epsilon") {
-        ls >> solver.epsilon;
-      } else if (key == "run-to-saturation") {
-        int flag = 1;
-        ls >> flag;
-        solver.run_to_saturation = flag != 0;
-      } else if (key == "max-batch") {
-        ls >> max_batch;
+    if (!(ls >> hash >> keyword) || hash != "#") continue;
+    if (keyword == "solver" && !solver_seen) {
+      solver_seen = true;
+      std::string key;
+      while (ls >> key) {
+        if (key == "epsilon") {
+          ls >> solver.epsilon;
+        } else if (key == "run-to-saturation") {
+          int flag = 1;
+          ls >> flag;
+          solver.run_to_saturation = flag != 0;
+        } else if (key == "max-batch") {
+          ls >> max_batch;
+        }
+      }
+    } else if (keyword == "arrivals" && arrivals.empty()) {
+      double t = 0.0;
+      while (ls >> t) arrivals.push_back(t);
+    } else if (keyword == "durations" && durations.empty()) {
+      std::string token;
+      if (ls >> token) {
+        try {
+          duration_profile = duration_profile_from_name(token);
+        } catch (const std::invalid_argument&) {
+          // Tolerate headerless duration lists from hand-written files.
+          durations.push_back(token == "inf" ? kInf : std::stod(token));
+        }
+      }
+      while (ls >> token) {
+        durations.push_back(token == "inf" ? kInf : std::stod(token));
       }
     }
-    break;
   }
 
   std::istringstream body(text);
   UfpInstance instance = load_ufp(body);
   const int R = instance.num_requests();
   if (max_batch <= 0) max_batch = std::max(2, R / 3);
-  return wrap_instance(std::move(instance), solver, max_batch);
+  SimWorld world = wrap_instance(std::move(instance), solver, max_batch);
+  if (!durations.empty()) {
+    TUFP_REQUIRE(static_cast<int>(durations.size()) == R,
+                 "repro `# durations` count does not match its requests");
+    world.durations = std::move(durations);
+    world.duration_profile = duration_profile;
+  }
+  if (!arrivals.empty()) {
+    TUFP_REQUIRE(static_cast<int>(arrivals.size()) == R,
+                 "repro `# arrivals` count does not match its requests");
+    world.arrivals = std::move(arrivals);
+  }
+  return world;
 }
 
 FuzzReport run_fuzz(const FuzzConfig& config, std::ostream* log) {
@@ -124,6 +175,15 @@ FuzzReport run_fuzz(const FuzzConfig& config, std::ostream* log) {
     WorldSpec spec;
     spec.family = families[static_cast<std::size_t>(i) % families.size()];
     spec.seed = seeds.next();
+    if (!config.duration_profiles.empty()) {
+      // Profiles advance once per full family cycle, so the sweep walks
+      // the complete families x profiles cross product in |F|*|P| worlds
+      // (a shared i % len for both would skip unaligned pairs whenever
+      // the list lengths share a factor).
+      spec.durations = config.duration_profiles
+          [(static_cast<std::size_t>(i) / families.size()) %
+           config.duration_profiles.size()];
+    }
     const SimWorld world = generate_world(spec);
     ++report.worlds_run;
 
@@ -132,7 +192,8 @@ FuzzReport run_fuzz(const FuzzConfig& config, std::ostream* log) {
 
     if (log) {
       *log << "world " << i << " family=" << family_name(spec.family)
-           << " seed=" << spec.seed
+           << " seed=" << spec.seed << " durations="
+           << duration_profile_name(world.duration_profile)
            << " requests=" << world.instance.num_requests()
            << " edges=" << world.instance.graph().num_edges() << " verdict=";
       if (violations.empty()) {

@@ -37,6 +37,9 @@ struct FuzzConfig {
   double budget_seconds = 0.0;
 
   std::vector<WorldFamily> families;  // empty = full matrix
+  // Duration-profile axis, crossed with the families round-robin. Empty =
+  // kAuto (each world samples its own profile from its seed).
+  std::vector<DurationProfile> duration_profiles;
   std::vector<std::string> oracles;   // empty = whole catalogue
   OracleOptions oracle_options;
 

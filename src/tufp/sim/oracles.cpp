@@ -79,12 +79,19 @@ struct EngineRun {
 // Replays the world's request list through the epoch engine in max_batch
 // chunks. AdmissionRecord::sequence carries the global request index so
 // digests are comparable across runs and against offline solves.
+// `temporal_path` selects the lease-ledger code path with every duration
+// left infinite — the same workload through the temporal machinery, which
+// the temporal-infinite oracle diffs byte-for-byte against the default
+// lease-free path.
 EngineRun run_world_engine(const SimWorld& world, PaymentPolicy payments,
-                           int num_threads) {
+                           int num_threads, bool temporal_path = false) {
   EpochEngineConfig config;
   config.max_batch = world.max_batch;
   config.payments = payments;
   config.record_allocations = true;
+  // The pre-temporal oracle suite replays every world under hold-forever
+  // semantics: leases off keeps this the frozen legacy baseline.
+  config.track_leases = temporal_path;
   config.solver = world.solver;
   config.solver.capacity_guard = true;  // engine precondition
   config.solver.num_threads = num_threads;
@@ -120,6 +127,94 @@ EngineRun run_world_engine(const SimWorld& world, PaymentPolicy payments,
     batch.clear();
   }
   run.residual.assign(engine.residual().begin(), engine.residual().end());
+  return run;
+}
+
+// ------------------------------------------------------- temporal replay
+
+// One epoch of the temporal replay: the engine's report plus the per-edge
+// ledger view right after the boundary cleared.
+struct TemporalEpoch {
+  AdmissionReport report;
+  std::vector<double> residual;
+  std::vector<double> leased;  // ledger's active leased demand per edge
+};
+
+struct TemporalRun {
+  std::vector<TemporalEpoch> epochs;
+  double last_close = 0.0;
+  // State after the post-run horizon drain: the clock advanced past every
+  // finite expiry and everything reclaimable reclaimed.
+  int reclaimed_at_horizon = 0;
+  std::vector<double> final_residual;
+  std::vector<double> final_leased;
+  std::vector<int> final_active_on_edge;
+  std::int64_t final_active = 0;
+};
+
+// Replays the world through the lease-tracking engine with its sampled
+// durations, recording the ledger view each epoch, then drains to a
+// horizon beyond the last possible expiry (admissions happen at epoch
+// close <= last_close, so last_close + max finite duration bounds every
+// expiry).
+TemporalRun run_world_engine_temporal(const SimWorld& world,
+                                      int num_threads) {
+  EpochEngineConfig config;
+  config.max_batch = world.max_batch;
+  config.payments = PaymentPolicy::kNone;
+  config.record_allocations = true;
+  config.track_leases = true;
+  config.solver = world.solver;
+  config.solver.capacity_guard = true;
+  config.solver.num_threads = num_threads;
+  EpochEngine engine(world.instance.shared_graph(), config);
+  const temporal::LeaseLedger& ledger = *engine.lease_ledger();
+  const Graph& base = world.instance.graph();
+  const auto edges = static_cast<std::size_t>(base.num_edges());
+
+  TemporalRun run;
+  double max_finite_duration = 0.0;
+  const auto& requests = world.instance.requests();
+  std::vector<TimedRequest> batch;
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    TimedRequest t;
+    t.arrival_time = i < world.arrivals.size() ? world.arrivals[i] : 0.0;
+    t.sequence = static_cast<std::int64_t>(i);
+    t.duration = i < world.durations.size() ? world.durations[i] : kInf;
+    if (t.duration < kInf) {
+      max_finite_duration = std::max(max_finite_duration, t.duration);
+    }
+    t.request = requests[i];
+    batch.push_back(t);
+    if (static_cast<int>(batch.size()) < world.max_batch &&
+        i + 1 < requests.size()) {
+      continue;
+    }
+    TemporalEpoch epoch;
+    epoch.report = engine.run_epoch(batch);
+    run.last_close = std::max(run.last_close, epoch.report.close_time);
+    epoch.residual.assign(engine.residual().begin(),
+                          engine.residual().end());
+    epoch.leased.resize(edges);
+    for (EdgeId e = 0; e < base.num_edges(); ++e) {
+      epoch.leased[static_cast<std::size_t>(e)] = ledger.leased_demand(e);
+    }
+    run.epochs.push_back(std::move(epoch));
+    batch.clear();
+  }
+
+  const double horizon = run.last_close + max_finite_duration + 1.0;
+  run.reclaimed_at_horizon = engine.reclaim_expired(horizon);
+  run.final_residual.assign(engine.residual().begin(),
+                            engine.residual().end());
+  run.final_leased.resize(edges);
+  run.final_active_on_edge.resize(edges);
+  for (EdgeId e = 0; e < base.num_edges(); ++e) {
+    run.final_leased[static_cast<std::size_t>(e)] = ledger.leased_demand(e);
+    run.final_active_on_edge[static_cast<std::size_t>(e)] =
+        ledger.active_on_edge(e);
+  }
+  run.final_active = ledger.active_count();
   return run;
 }
 
@@ -176,11 +271,16 @@ struct OracleContext {
     }
     return *dual_;
   }
+  const TemporalRun& temporal() {
+    if (!temporal_) temporal_.emplace(run_world_engine_temporal(world, 1));
+    return *temporal_;
+  }
 
  private:
   std::optional<BoundedUfpResult> base_;
   std::optional<EngineRun> none_;
   std::optional<EngineRun> dual_;
+  std::optional<TemporalRun> temporal_;
 };
 
 namespace {
@@ -556,6 +656,144 @@ std::vector<Violation> oracle_payments_ir(OracleContext& ctx) {
   return out;
 }
 
+// ------------------------------------------------------ temporal oracles
+
+std::vector<Violation> oracle_temporal_infinite(OracleContext& ctx) {
+  // The temporal code path with every duration infinite must be
+  // indistinguishable — byte-for-byte, residuals included — from the
+  // lease-free legacy path: the ledger is pure bookkeeping until
+  // something actually expires.
+  std::vector<Violation> out;
+  const EngineRun& legacy = ctx.engine_dual();
+  const EngineRun temporal = run_world_engine(
+      ctx.world, PaymentPolicy::kDualPrice, 1, /*temporal_path=*/true);
+  const std::string diff = engine_run_diff(legacy, temporal);
+  if (!diff.empty()) {
+    add(&out, "temporal-infinite",
+        "lease-free vs infinite-lease engine: " + diff);
+  }
+  return out;
+}
+
+std::vector<Violation> oracle_temporal_conserve(OracleContext& ctx) {
+  const SimWorld& world = ctx.world;
+  const Graph& g = world.instance.graph();
+  std::vector<Violation> out;
+  const TemporalRun& run = ctx.temporal();
+
+  // Leg 1 — ledger vs residual, per epoch, per edge: what the ledger says
+  // is promised out plus what the engine says is free must reconstruct
+  // the base capacity. (Tolerance, not ==: admission clamps at zero may
+  // discard up to the guard slack per admission.)
+  for (const TemporalEpoch& epoch : run.epochs) {
+    for (EdgeId e = 0; e < g.num_edges(); ++e) {
+      const auto ei = static_cast<std::size_t>(e);
+      const double residual = epoch.residual[ei];
+      const double leased = epoch.leased[ei];
+      if (residual < -1e-9 || residual > g.capacity(e) + 1e-9 ||
+          !approx_eq(residual + leased, g.capacity(e), 1e-9, 1e-6)) {
+        add(&out, "temporal-conserve",
+            "epoch " + std::to_string(epoch.report.epoch) + " edge " +
+                std::to_string(e) + " residual " + fmt(residual) +
+                " + leased " + fmt(leased) + " != capacity " +
+                fmt(g.capacity(e)));
+      }
+    }
+  }
+
+  // Leg 2 — sim-side lease replay: rebuild the lease book from nothing
+  // but the admission records (demand, path length, duration) and demand
+  // the engine's total consumed capacity match it every epoch. This is
+  // the leg kLeakExpiredCapacity corrupts (the replay "loses" 5% of each
+  // expired lease), proving the conservation check bites.
+  const double reclaim_factor =
+      ctx.options.fault == FaultInjection::kLeakExpiredCapacity ? 0.95 : 1.0;
+  struct BookedLease {
+    double expires = 0.0;
+    double units = 0.0;  // demand * path edges
+  };
+  std::vector<BookedLease> book;
+  double booked = 0.0;
+  for (const TemporalEpoch& epoch : run.epochs) {
+    const double close = epoch.report.close_time;
+    // Expiries drain before the auction, mirroring the engine.
+    for (BookedLease& lease : book) {
+      if (lease.units > 0.0 && lease.expires <= close) {
+        booked -= lease.units * reclaim_factor;
+        lease.units = 0.0;
+      }
+    }
+    for (const AdmissionRecord& a : epoch.report.allocations) {
+      const auto seq = static_cast<std::size_t>(a.sequence);
+      const Request& req = world.instance.request(static_cast<int>(seq));
+      const double duration =
+          seq < world.durations.size() ? world.durations[seq] : kInf;
+      const double units = req.demand * a.path_edges;
+      booked += units;
+      if (duration < kInf) book.push_back({close + duration, units});
+    }
+    double consumed = 0.0;
+    for (EdgeId e = 0; e < g.num_edges(); ++e) {
+      consumed += g.capacity(e) - epoch.residual[static_cast<std::size_t>(e)];
+    }
+    if (!approx_eq(consumed, booked, 1e-6, 1e-6)) {
+      add(&out, "temporal-conserve",
+          "epoch " + std::to_string(epoch.report.epoch) +
+              " consumed capacity " + fmt(consumed) +
+              " does not match the replayed lease book " + fmt(booked));
+      break;  // the books only diverge further; one witness is enough
+    }
+  }
+  return out;
+}
+
+std::vector<Violation> oracle_temporal_no_leak(OracleContext& ctx) {
+  const SimWorld& world = ctx.world;
+  const Graph& g = world.instance.graph();
+  std::vector<Violation> out;
+  const TemporalRun& run = ctx.temporal();
+
+  // Every finite lease has expired by the drained horizon: an edge with
+  // no remaining (permanent) lease must hold its base capacity EXACTLY —
+  // the ledger's snap rule makes this an ==, not a tolerance.
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    const auto ei = static_cast<std::size_t>(e);
+    if (run.final_active_on_edge[ei] == 0) {
+      if (run.final_residual[ei] != g.capacity(e)) {
+        add(&out, "temporal-no-leak",
+            "edge " + std::to_string(e) + " residual " +
+                fmt(run.final_residual[ei]) + " != base capacity " +
+                fmt(g.capacity(e)) + " after every lease expired");
+      }
+    } else if (!approx_eq(run.final_residual[ei] + run.final_leased[ei],
+                          g.capacity(e), 1e-9, 1e-6)) {
+      add(&out, "temporal-no-leak",
+          "edge " + std::to_string(e) + " residual " +
+              fmt(run.final_residual[ei]) + " + permanent leases " +
+              fmt(run.final_leased[ei]) + " != capacity " +
+              fmt(g.capacity(e)));
+    }
+  }
+
+  // Only permanent admissions may survive the horizon.
+  std::int64_t permanent = 0;
+  for (const TemporalEpoch& epoch : run.epochs) {
+    for (const AdmissionRecord& a : epoch.report.allocations) {
+      const auto seq = static_cast<std::size_t>(a.sequence);
+      const double duration =
+          seq < world.durations.size() ? world.durations[seq] : kInf;
+      if (duration >= kInf) ++permanent;
+    }
+  }
+  if (run.final_active != permanent) {
+    add(&out, "temporal-no-leak",
+        "ledger holds " + std::to_string(run.final_active) +
+            " leases past the horizon, expected the " +
+            std::to_string(permanent) + " permanent admissions");
+  }
+  return out;
+}
+
 constexpr OracleEntry kCatalogue[] = {
     {"feasible", "solver output exact and capacity-feasible", oracle_feasible},
     {"dual-bound", "admitted value within the Claim 3.6 dual bound",
@@ -582,6 +820,15 @@ constexpr OracleEntry kCatalogue[] = {
      oracle_payment_policy},
     {"engine-offline", "single engine epoch equals the one-shot mechanism",
      oracle_engine_offline},
+    {"temporal-infinite",
+     "infinite-duration lease runs match the lease-free engine exactly",
+     oracle_temporal_infinite},
+    {"temporal-conserve",
+     "active lease demand + residual reconstructs capacity every epoch",
+     oracle_temporal_conserve},
+    {"temporal-no-leak",
+     "residual returns to the empty-network baseline after expiry",
+     oracle_temporal_no_leak},
 };
 
 }  // namespace
@@ -591,6 +838,8 @@ const char* fault_name(FaultInjection fault) {
     case FaultInjection::kNone: return "none";
     case FaultInjection::kOverchargeWinners: return "overcharge-winners";
     case FaultInjection::kChargeLosers: return "charge-losers";
+    case FaultInjection::kLeakExpiredCapacity:
+      return "leak-expired-capacity";
   }
   return "unknown";
 }
@@ -598,7 +847,8 @@ const char* fault_name(FaultInjection fault) {
 FaultInjection fault_from_name(const std::string& name) {
   for (FaultInjection f :
        {FaultInjection::kNone, FaultInjection::kOverchargeWinners,
-        FaultInjection::kChargeLosers}) {
+        FaultInjection::kChargeLosers,
+        FaultInjection::kLeakExpiredCapacity}) {
     if (name == fault_name(f)) return f;
   }
   throw std::invalid_argument("unknown fault injection: " + name);
@@ -640,9 +890,13 @@ SimWorld wrap_instance(UfpInstance instance) {
 SimWorld wrap_instance(UfpInstance instance, const BoundedUfpConfig& solver,
                        int max_batch) {
   const int R = instance.num_requests();
-  SimWorld world{WorldSpec{WorldFamily::kGrid, 0}, std::move(instance),
+  SimWorld world{WorldSpec{WorldFamily::kGrid, 0},
+                 std::move(instance),
                  std::vector<double>(static_cast<std::size_t>(R), 0.0),
-                 std::max(1, max_batch), solver};
+                 {},
+                 DurationProfile::kInfinite,
+                 std::max(1, max_batch),
+                 solver};
   return world;
 }
 
@@ -680,7 +934,8 @@ SimPricing sim_price(const UfpInstance& instance,
   // by default; seeded explicitly from the fuzz config.
   switch (options.fault) {
     case FaultInjection::kNone:
-      break;
+    case FaultInjection::kLeakExpiredCapacity:  // temporal-side fault:
+      break;  // payments untouched (see oracle_temporal_conserve)
     case FaultInjection::kOverchargeWinners:
       for (int r = 0; r < instance.num_requests(); ++r) {
         if (run.solution.is_selected(r)) {

@@ -11,6 +11,9 @@
 //   * payment-policy — allocation identical under kNone/kDualPrice/
 //                      kCritical (payments must not steer allocation)
 //   * engine-thread  — full multi-epoch engine run, 1 vs 4 threads
+//   * temporal-infinite — the temporal engine path (lease ledger on,
+//                      every duration infinite) vs the lease-free legacy
+//                      path, byte-for-byte
 //
 // Metamorphic oracles perturb the world in a direction with a provable
 // consequence and check the consequence:
@@ -38,6 +41,15 @@
 //                       transfers). This oracle prices through the sim
 //                       payment rule, which is where fault injection
 //                       plugs in.
+//   * temporal-conserve — per epoch and per edge, active leased demand +
+//                       residual == capacity, cross-checked against a
+//                       sim-side lease replay reconstructed from the
+//                       admission records (where kLeakExpiredCapacity
+//                       injects).
+//   * temporal-no-leak  — after the clock passes every finite expiry,
+//                       each edge with no remaining lease holds its base
+//                       capacity EXACTLY (==, not a tolerance: the
+//                       ledger's snap-on-last-expiry rule).
 //
 // Fault injection exists to prove the harness catches bugs: the sim
 // payment rule can be deliberately broken (seeded from the fuzz config,
@@ -57,6 +69,11 @@ enum class FaultInjection {
   kNone,
   kOverchargeWinners,  // winners pay 1.05x their bid — breaks IR
   kChargeLosers,       // losers pay a token amount — breaks loser-pays-zero
+  // The temporal-conserve oracle's sim-side lease replay "loses" 5% of
+  // every expired lease's capacity — breaks lease conservation, proving
+  // the temporal oracle suite bites (the temporal analogue of
+  // kOverchargeWinners for payments).
+  kLeakExpiredCapacity,
 };
 
 const char* fault_name(FaultInjection fault);

@@ -11,24 +11,50 @@ namespace tufp::sim {
 
 namespace {
 
-SimWorld rebuild(const SimWorld& base, UfpInstance instance) {
+// Rebuilds a shrunk world. Arrivals and durations are part of what a
+// temporal oracle fails *on* (no clock advance, no expiry), so both
+// travel with their surviving requests; allocation outcomes themselves
+// stay arrival-time independent, which is why the legacy oracles never
+// notice.
+SimWorld rebuild(const SimWorld& base, UfpInstance instance,
+                 std::vector<double> arrivals,
+                 std::vector<double> durations) {
   const int R = instance.num_requests();
-  SimWorld world{base.spec, std::move(instance),
-                 std::vector<double>(static_cast<std::size_t>(R), 0.0),
+  if (arrivals.empty()) {
+    arrivals.assign(static_cast<std::size_t>(R), 0.0);
+  }
+  SimWorld world{base.spec,
+                 std::move(instance),
+                 std::move(arrivals),
+                 std::move(durations),
+                 base.duration_profile,
                  std::max(1, std::min(base.max_batch, std::max(1, R))),
                  base.solver};
   return world;
 }
 
-std::optional<UfpInstance> keep_requests(const UfpInstance& instance,
-                                         const std::vector<char>& keep) {
+std::optional<UfpInstance> keep_requests(const SimWorld& world,
+                                         const std::vector<char>& keep,
+                                         std::vector<double>* arrivals,
+                                         std::vector<double>* durations) {
+  const UfpInstance& instance = world.instance;
   std::vector<Request> reduced;
+  arrivals->clear();
+  durations->clear();
   for (int r = 0; r < instance.num_requests(); ++r) {
-    if (keep[static_cast<std::size_t>(r)]) {
+    const auto ri = static_cast<std::size_t>(r);
+    if (keep[ri]) {
       reduced.push_back(instance.request(r));
+      if (ri < world.arrivals.size()) {
+        arrivals->push_back(world.arrivals[ri]);
+      }
+      if (ri < world.durations.size()) {
+        durations->push_back(world.durations[ri]);
+      }
     }
   }
   if (reduced.empty()) return std::nullopt;  // empty worlds fail no oracle
+  if (world.durations.empty()) durations->clear();
   return UfpInstance(instance.shared_graph(), std::move(reduced));
 }
 
@@ -118,9 +144,12 @@ class Shrinker {
         if (lo >= hi) continue;
         std::vector<char> keep(static_cast<std::size_t>(R), 1);
         for (int r = lo; r < hi; ++r) keep[static_cast<std::size_t>(r)] = 0;
-        auto candidate = keep_requests(world->instance, keep);
+        std::vector<double> arrivals;
+        std::vector<double> durations;
+        auto candidate = keep_requests(*world, keep, &arrivals, &durations);
         if (!candidate) continue;
-        SimWorld next = rebuild(*world, std::move(*candidate));
+        SimWorld next = rebuild(*world, std::move(*candidate),
+                                std::move(arrivals), std::move(durations));
         if (probe(next)) {
           *world = std::move(next);
           changed = reduced_this_pass = true;
@@ -141,7 +170,9 @@ class Shrinker {
     for (EdgeId e = world->instance.graph().num_edges() - 1; e >= 0; --e) {
       auto candidate = drop_edge(world->instance, e);
       if (!candidate) continue;
-      SimWorld next = rebuild(*world, std::move(*candidate));
+      // The request list is untouched: arrivals/durations carry over.
+      SimWorld next = rebuild(*world, std::move(*candidate),
+                              world->arrivals, world->durations);
       if (probe(next)) {
         *world = std::move(next);
         changed = true;
@@ -153,7 +184,8 @@ class Shrinker {
   bool compact(SimWorld* world) {
     auto candidate = compact_vertices(world->instance);
     if (!candidate) return false;
-    SimWorld next = rebuild(*world, std::move(*candidate));
+    SimWorld next = rebuild(*world, std::move(*candidate),
+                            world->arrivals, world->durations);
     if (!probe(next)) return false;
     *world = std::move(next);
     return true;

@@ -19,6 +19,7 @@
 #include <string>
 #include <vector>
 
+#include "tufp/temporal/duration.hpp"
 #include "tufp/ufp/bounded_ufp.hpp"
 #include "tufp/ufp/instance.hpp"
 
@@ -47,6 +48,11 @@ WorldFamily family_from_name(const std::string& name);
 struct WorldSpec {
   WorldFamily family = WorldFamily::kGrid;
   std::uint64_t seed = 0;  // world-local seed (not the fuzz run seed)
+  // Lease-duration axis (temporal/duration.hpp), crossed with the family
+  // matrix. kAuto samples a concrete profile from the seed — from a
+  // *separate* RNG stream, so worlds generated before the temporal axis
+  // existed are byte-identical under kAuto.
+  DurationProfile durations = DurationProfile::kAuto;
 };
 
 struct SimWorld {
@@ -57,6 +63,15 @@ struct SimWorld {
   // list (all-zero for one-shot families). Only the streaming oracles
   // read them; allocation outcomes are arrival-time independent.
   std::vector<double> arrivals;
+
+  // Lease duration per request (virtual seconds; kInf = permanent), same
+  // length as the request list — or empty, meaning all-permanent. Only
+  // the temporal oracles read them; the pre-temporal oracle suite replays
+  // every world under hold-forever semantics regardless.
+  std::vector<double> durations;
+  // The concrete profile `durations` was drawn from (spec.durations, or
+  // the seed-sampled profile when the spec says kAuto). Log/repro label.
+  DurationProfile duration_profile = DurationProfile::kInfinite;
 
   // Epoch batch size the streaming oracles replay the request list under.
   int max_batch = 16;

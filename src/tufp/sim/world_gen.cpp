@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <span>
 #include <utility>
 
 #include "tufp/graph/generators.hpp"
@@ -103,6 +104,47 @@ DemandProfile sample_profile(Rng& rng) {
     case 2: return DemandProfile::kBimodal;
     default: return DemandProfile::kUnit;
   }
+}
+
+// The temporal axis (spec.durations). Draws from a dedicated RNG stream,
+// never the world rng: adding the axis must not perturb the instances,
+// arrivals or solver configs the pre-temporal suite was generated with.
+DurationProfile sample_duration_profile(Rng& drng) {
+  // Weighted toward kInfinite so roughly half the matrix still exercises
+  // the hold-forever baseline the differential oracles diff against.
+  if (drng.next_bool(0.5)) return DurationProfile::kInfinite;
+  switch (drng.next_below(5)) {
+    case 0: return DurationProfile::kFixed;
+    case 1: return DurationProfile::kExponential;
+    case 2: return DurationProfile::kHeavyTailed;
+    case 3: return DurationProfile::kDiurnal;
+    default: return DurationProfile::kFlashCrowd;
+  }
+}
+
+// Duration synthesis for a generated world: scale the mean/period to the
+// world's arrival span so finite leases actually expire (and churn) while
+// its request list replays. One-shot worlds (span 0) still get small
+// positive durations — they expire once a driver advances the clock.
+std::vector<double> synth_durations(DurationProfile profile, int count,
+                                    std::span<const double> arrivals,
+                                    Rng& drng) {
+  if (profile == DurationProfile::kInfinite) return {};
+  const double span =
+      arrivals.empty() ? 0.0 : arrivals[arrivals.size() - 1];
+  DurationConfig config;
+  config.profile = profile;
+  config.mean = std::max(span / 3.0, 0.02) * drng.next_double(0.3, 1.5);
+  config.period = std::max(span / 2.0, 0.05);
+  DurationSampler sampler(config, drng());
+  std::vector<double> durations(static_cast<std::size_t>(count), 0.0);
+  for (int i = 0; i < count; ++i) {
+    durations[static_cast<std::size_t>(i)] =
+        sampler.sample(i < static_cast<int>(arrivals.size())
+                           ? arrivals[static_cast<std::size_t>(i)]
+                           : 0.0);
+  }
+  return durations;
 }
 
 BoundedUfpConfig sample_solver(Rng& rng) {
@@ -241,7 +283,13 @@ SimWorld generate_world(const WorldSpec& spec) {
     TUFP_CHECK(false, "unhandled world family");
   }();
 
-  SimWorld world{spec, std::move(instance), {}, 16, sample_solver(rng)};
+  SimWorld world{spec,
+                 std::move(instance),
+                 {},
+                 {},
+                 DurationProfile::kInfinite,
+                 16,
+                 sample_solver(rng)};
   const int R = world.instance.num_requests();
   world.arrivals = synth_arrivals(R, rng);
   // Batches small enough that multi-epoch residual carry-over is exercised,
@@ -251,6 +299,15 @@ SimWorld generate_world(const WorldSpec& spec) {
   world.max_batch =
       lo + static_cast<int>(rng.next_below(
                static_cast<std::uint64_t>(hi - lo + 1)));
+
+  // Temporal axis last, from its own seed stream (see above): the world
+  // up to this point is byte-identical to its pre-temporal self.
+  Rng drng(spec.seed ^ 0x1ea5e5d0a7a11e57ULL);
+  world.duration_profile = spec.durations == DurationProfile::kAuto
+                               ? sample_duration_profile(drng)
+                               : spec.durations;
+  world.durations =
+      synth_durations(world.duration_profile, R, world.arrivals, drng);
   return world;
 }
 

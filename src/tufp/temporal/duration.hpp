@@ -1,0 +1,83 @@
+// Lease duration profiles — the "how long does an admission hold its
+// capacity" axis of the workload space (DESIGN.md §10).
+//
+// A DurationSampler turns arrival times into lease durations under one of
+// six profiles. Everything draws from its own RNG stream (seeded
+// explicitly), so wiring durations into an existing stream or world
+// generator never perturbs the request/arrival sampling — a stream with
+// the kInfinite profile consumes no randomness at all and is
+// byte-identical to a pre-temporal stream.
+//
+//   infinite     — every lease is permanent (the engine's historical
+//                  semantics; the differential baseline).
+//   fixed        — duration == mean, deterministic. The simplest churn.
+//   exponential  — memoryless holding times, the M/M/∞-style steady state.
+//   heavy-tailed — Pareto(α = 1.5) scaled to the same mean: most leases
+//                  short, a fat tail of long holders — the mix that keeps
+//                  occupancy high while churn stays high too.
+//   diurnal      — exponential base scaled by a sinusoidal phase of the
+//                  arrival clock: leases granted "at night" (trough) are
+//                  short, "at peak" long. Models load-correlated holding.
+//   flash-crowd  — every lease expires at the *next multiple of period*
+//                  after its arrival: an entire window's admissions
+//                  release simultaneously, the mass-synchronized-expiry
+//                  stress case for the reclaim path.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "tufp/util/rng.hpp"
+
+namespace tufp {
+
+enum class DurationProfile {
+  kInfinite,
+  kFixed,
+  kExponential,
+  kHeavyTailed,
+  kDiurnal,
+  kFlashCrowd,
+  // Sentinel for the sim layer: sample a concrete profile from the world
+  // seed (world_gen.cpp). Not a valid profile for a DurationSampler.
+  kAuto,
+};
+
+inline constexpr DurationProfile kAllDurationProfiles[] = {
+    DurationProfile::kInfinite,    DurationProfile::kFixed,
+    DurationProfile::kExponential, DurationProfile::kHeavyTailed,
+    DurationProfile::kDiurnal,     DurationProfile::kFlashCrowd,
+};
+
+const char* duration_profile_name(DurationProfile profile);
+// Throws std::invalid_argument on an unknown name ("auto" included: the
+// sentinel is not addressable from CLIs).
+DurationProfile duration_profile_from_name(const std::string& name);
+
+struct DurationConfig {
+  DurationProfile profile = DurationProfile::kInfinite;
+  // Mean duration (virtual seconds) for fixed/exponential/heavy-tailed
+  // and the base mean for diurnal.
+  double mean = 1.0;
+  // Diurnal cycle length / flash-crowd release window.
+  double period = 1.0;
+};
+
+class DurationSampler {
+ public:
+  // `seed` feeds the sampler's private RNG; kInfinite/kFixed/kFlashCrowd
+  // never touch it.
+  DurationSampler(const DurationConfig& config, std::uint64_t seed);
+
+  // Duration (virtual seconds, > 0; kInf for the infinite profile) for a
+  // lease granted to a request arriving at `arrival_time`.
+  double sample(double arrival_time);
+
+  const DurationConfig& config() const { return config_; }
+
+ private:
+  DurationConfig config_;
+  Rng rng_;
+};
+
+}  // namespace tufp

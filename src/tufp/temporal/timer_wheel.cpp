@@ -1,0 +1,182 @@
+#include "tufp/temporal/timer_wheel.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <utility>
+
+#include "tufp/util/assert.hpp"
+
+namespace tufp::temporal {
+
+namespace {
+
+bool event_order(const TimerWheel::Event& a, const TimerWheel::Event& b) {
+  if (a.time != b.time) return a.time < b.time;
+  return a.id < b.id;
+}
+
+}  // namespace
+
+TimerWheel::TimerWheel(double tick_seconds) : tick_seconds_(tick_seconds) {
+  TUFP_REQUIRE(tick_seconds > 0.0 && std::isfinite(tick_seconds),
+               "timer wheel tick must be positive and finite");
+  for (auto& level : levels_) level.resize(kSlots);
+}
+
+std::int64_t TimerWheel::tick_of(double time) const {
+  return static_cast<std::int64_t>(std::floor(time / tick_seconds_));
+}
+
+void TimerWheel::place(std::int64_t tick, const Event& event) {
+  const std::int64_t delta = tick - cursor_;
+  for (int level = 0; level < kLevels; ++level) {
+    if (delta < (std::int64_t{1} << (kSlotBits * (level + 1)))) {
+      const auto slot = static_cast<std::size_t>(
+          (tick >> (kSlotBits * level)) & (kSlots - 1));
+      levels_[level][slot].push_back(event);
+      ++level_counts_[level];
+      return;
+    }
+  }
+  overflow_.push_back(event);
+  overflow_min_tick_ = overflow_.size() == 1
+                           ? tick
+                           : std::min(overflow_min_tick_, tick);
+}
+
+void TimerWheel::schedule(double time, std::int64_t id) {
+  TUFP_REQUIRE(std::isfinite(time) && time >= 0.0 && time >= now_,
+               "timer wheel cannot schedule into the past");
+  place(tick_of(time), Event{time, id});
+  ++size_;
+}
+
+void TimerWheel::cascade(int level, std::size_t slot) {
+  std::vector<Event>& bucket = levels_[level][slot];
+  if (bucket.empty()) return;
+  // Events here now have delta < 64^level from the cursor, so they land
+  // strictly below `level`; each event cascades at most kLevels times
+  // over its whole lifetime.
+  std::vector<Event> moved = std::move(bucket);
+  bucket.clear();
+  level_counts_[level] -= static_cast<std::int64_t>(moved.size());
+  for (const Event& event : moved) place(tick_of(event.time), event);
+}
+
+void TimerWheel::drain_cursor_slot(double now, bool whole_tick,
+                                   std::vector<Event>* out) {
+  std::vector<Event>& slot =
+      levels_[0][static_cast<std::size_t>(cursor_ & (kSlots - 1))];
+  if (slot.empty()) return;
+  scratch_.clear();
+  if (whole_tick) {
+    scratch_.swap(slot);
+  } else {
+    // The cursor's own tick may straddle `now`: take exactly the due
+    // prefix of the tick, keep the rest for the next advance.
+    auto keep = slot.begin();
+    for (const Event& event : slot) {
+      if (event.time <= now) {
+        scratch_.push_back(event);
+      } else {
+        *keep++ = event;
+      }
+    }
+    slot.erase(keep, slot.end());
+  }
+  size_ -= scratch_.size();
+  level_counts_[0] -= static_cast<std::int64_t>(scratch_.size());
+  // Slot insertion order is admission order, not expiry order; the sort
+  // restores the deterministic (time, id) contract. Ticks are drained in
+  // increasing order, so sorting within a tick orders the whole stream.
+  std::sort(scratch_.begin(), scratch_.end(), event_order);
+  out->insert(out->end(), scratch_.begin(), scratch_.end());
+}
+
+void TimerWheel::advance(double now, std::vector<Event>* out) {
+  TUFP_REQUIRE(out != nullptr, "advance() needs an output vector");
+  TUFP_REQUIRE(std::isfinite(now) && now >= now_,
+               "timer wheel clock must be nondecreasing");
+  const std::int64_t target = tick_of(now);
+  if (size_ == 0) {
+    cursor_ = target;
+    now_ = now;
+    return;
+  }
+  // The cursor's slot may hold leftovers from a previous partial drain of
+  // this same tick; re-examine it before stepping. After this, every slot
+  // at or before the cursor is empty, which is what lets the loop jump.
+  drain_cursor_slot(now, /*whole_tick=*/cursor_ < target, out);
+  while (cursor_ < target) {
+    if (size_ == 0) {
+      cursor_ = target;
+      break;
+    }
+    const std::int64_t next = next_event_tick();
+    TUFP_CHECK(next > cursor_, "timer wheel failed to make progress");
+    cursor_ = std::min(target, next);
+    // Wheel housekeeping at the landing, overflow first and cascades
+    // highest-level first so events settle downward in one pass. Every
+    // boundary between the old cursor and the landing had an empty slot
+    // by construction of next_event_tick(), so skipping it changed
+    // nothing. The overflow re-buckets only when the cursor reaches the
+    // horizon boundary that brings its earliest event in range; events
+    // still out of range simply return to the list with a fresh minimum.
+    if (!overflow_.empty() &&
+        cursor_ >= (overflow_min_tick_ / kHorizonTicks) * kHorizonTicks) {
+      std::vector<Event> moved = std::move(overflow_);
+      overflow_.clear();
+      for (const Event& event : moved) place(tick_of(event.time), event);
+    }
+    for (int level = kLevels - 1; level >= 1; --level) {
+      if ((cursor_ & ((std::int64_t{1} << (kSlotBits * level)) - 1)) == 0) {
+        cascade(level, static_cast<std::size_t>(
+                           (cursor_ >> (kSlotBits * level)) & (kSlots - 1)));
+      }
+    }
+    drain_cursor_slot(now, /*whole_tick=*/cursor_ < target, out);
+  }
+  now_ = now;
+}
+
+std::int64_t TimerWheel::next_event_tick() const {
+  std::int64_t best = std::numeric_limits<std::int64_t>::max();
+  // Level 0 holds events at most one revolution ahead: the first occupied
+  // slot going forward is the next level-0 tick that matters.
+  for (std::int64_t i = 1; i < kSlots && cursor_ + i < best; ++i) {
+    const auto idx =
+        static_cast<std::size_t>((cursor_ + i) & (kSlots - 1));
+    if (!levels_[0][idx].empty()) {
+      best = cursor_ + i;
+      break;
+    }
+  }
+  // Higher levels only act at their cascade boundaries (multiples of
+  // 64^level); slot indices advance by one per boundary, so one
+  // revolution of boundaries covers every occupied slot.
+  for (int level = 1; level < kLevels; ++level) {
+    if (level_counts_[level] == 0) continue;
+    const std::int64_t gran = std::int64_t{1} << (kSlotBits * level);
+    for (std::int64_t j = 1; j <= kSlots; ++j) {
+      const std::int64_t boundary = (cursor_ / gran + j) * gran;
+      if (boundary >= best) break;
+      const auto idx = static_cast<std::size_t>(
+          (boundary >> (kSlotBits * level)) & (kSlots - 1));
+      if (!levels_[level][idx].empty()) {
+        best = boundary;
+        break;
+      }
+    }
+  }
+  if (!overflow_.empty()) {
+    // The earliest overflow event becomes placeable at the last horizon
+    // boundary not after it; that boundary is > cursor_ (anything nearer
+    // would have been placed into the wheel directly).
+    best = std::min(best,
+                    (overflow_min_tick_ / kHorizonTicks) * kHorizonTicks);
+  }
+  return best;
+}
+
+}  // namespace tufp::temporal

@@ -85,7 +85,10 @@ BoundedUfpResult bounded_ufp(const UfpInstance& instance,
       alpha_cert = std::min(alpha_cert, priority);
       // Guard status is cached in the entry (sp_cache.hpp): it can only
       // change when the entry itself goes stale, so no per-iteration
-      // path rescan.
+      // path rescan. Sound here because this loop's residual is monotone
+      // non-increasing and every decrement stamps its edge; a driver that
+      // ever *returns* capacity mid-run (lease reclaim) must stamp the
+      // reclaimed edges too, or this read serves stale negative verdicts.
       if (config.capacity_guard && !entry.fits) continue;
       if (priority < best_priority) {
         best_priority = priority;

@@ -71,6 +71,11 @@ BoundedUfpRepeatResult bounded_ufp_repeat(const UfpInstance& instance,
       const Request& req = instance.request(r);
       const double priority = req.demand / req.value * entry.length;
       alpha_cert = std::min(alpha_cert, priority);
+      // Cached guard verdict: sound while residual is monotone non-
+      // increasing with stamped decrements (sp_cache.hpp). Note for the
+      // repeated-auction reading of §5: capacity does NOT reset between
+      // selections here — if a future variant restores it, the restored
+      // edges must be stamped or this read keeps stale negative fits.
       if (config.capacity_guard && !entry.fits) continue;
       if (priority < best_priority) {
         best_priority = priority;

@@ -18,9 +18,22 @@
 // capacities at this request's demand?") can only change when the entry
 // itself goes stale. refresh() therefore evaluates the guard once per
 // recomputation and caches it in Entry::fits; the selection loops read a
-// bool instead of rescanning the path every iteration. Callers that pass
-// `residual` must uphold the invariant that residual changes are
-// accompanied by an edge stamp at the same iteration.
+// bool instead of rescanning the path every iteration.
+//
+// The invariant callers that pass `residual` must uphold is DIRECTION-
+// AGNOSTIC: *every* residual change on an edge — decrement on admission
+// AND increment on reclamation (temporal lease expiry, DESIGN.md §10) —
+// must be accompanied by a stamp on that edge at the same iteration.
+// A decrement without a stamp leaves stale positive verdicts (infeasible
+// output); an increment without a stamp leaves stale NEGATIVE verdicts:
+// Entry::fits == false outlives the shortage that caused it and the
+// request is starved even though its path now fits — the admit → expire →
+// re-admit bug class. The solvers below never increase residuals
+// mid-run, and the engine reclaims only between epochs, each of which
+// compiles a fresh snapshot (and hence a fresh cache) — but any future
+// driver that reclaims capacity against a live cache must bump the edge
+// stamps of every reclaimed edge (pinned by
+// test_sp_cache.ReclaimedCapacityNeedsAStampToUnstickNegativeFits).
 //
 // Recomputation is sharded by source vertex: requests sharing a source
 // are answered from one Dijkstra tree (ShortestPathEngine::shortest_tree)

@@ -23,7 +23,9 @@ SimWorld world_with_whale(std::uint64_t seed) {
   std::vector<Request> requests = world.instance.requests();
   requests[requests.size() / 2].value = 500.0;
   UfpInstance spiked(world.instance.shared_graph(), std::move(requests));
-  SimWorld out{world.spec, std::move(spiked), world.arrivals, world.max_batch,
+  SimWorld out{world.spec,           std::move(spiked),
+               world.arrivals,       world.durations,
+               world.duration_profile, world.max_batch,
                world.solver};
   return out;
 }

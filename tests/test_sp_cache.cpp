@@ -160,6 +160,43 @@ TEST(SpCache, FitStatusIsPerRequestDemand) {
   EXPECT_TRUE(cache.entry(1).fits);   // demand 0.25 fits
 }
 
+TEST(SpCache, ReclaimedCapacityNeedsAStampToUnstickNegativeFits) {
+  // The admit → expire → re-admit bug class (DESIGN.md §10): a cached
+  // "does not fit" verdict is valid until the entry goes stale, and the
+  // entry only goes stale through edge stamps. Returning capacity to an
+  // edge WITHOUT stamping it therefore leaves the negative verdict in
+  // place — the request is starved although its path now fits. The
+  // reclaim path must stamp every edge whose residual it increases, which
+  // is exactly what flips the verdict back.
+  const UfpInstance inst = diamond_instance();
+  detail::SpCache cache(inst, false, 0);
+  std::vector<double> y{1.0, 1.0, 2.0, 2.0};
+  std::vector<std::int64_t> stamps(4, 0);
+  std::vector<double> residual{5.0, 5.0, 5.0, 5.0};
+  const std::vector<int> active{0};
+
+  // Admission saturates edge 0 (stamped, per the solver invariant).
+  residual[0] = 0.0;
+  stamps[0] = 1;
+  cache.refresh(y, stamps, 2, active, true, residual);
+  ASSERT_FALSE(cache.entry(0).fits);
+
+  // A lease expiry restores the capacity. Without a stamp the cache has
+  // no way to know: the stale negative verdict persists — this assertion
+  // documents the hazard the invariant exists to prevent.
+  residual[0] = 5.0;
+  cache.refresh(y, stamps, 3, active, true, residual);
+  EXPECT_EQ(cache.recomputed_last_refresh(), 0u);
+  EXPECT_FALSE(cache.entry(0).fits);  // stale: the path actually fits now
+
+  // The reclaim bumps the invalidation stamp of the touched edge; the
+  // entry recomputes and the request is admittable again.
+  stamps[0] = 3;
+  cache.refresh(y, stamps, 4, active, true, residual);
+  EXPECT_EQ(cache.recomputed_last_refresh(), 1u);
+  EXPECT_TRUE(cache.entry(0).fits);
+}
+
 TEST(SpCache, WithoutResidualEveryEntryFits) {
   const UfpInstance inst = diamond_instance();
   detail::SpCache cache(inst, false, 0);

@@ -1,0 +1,168 @@
+// LeaseLedger (temporal/lease_ledger.hpp): exact capacity return (the
+// snap-on-last-expiry rule), per-edge accounting, permanent leases,
+// deterministic drain order and reset.
+#include "tufp/temporal/lease_ledger.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "tufp/util/math.hpp"
+#include "tufp/util/rng.hpp"
+
+namespace tufp::temporal {
+namespace {
+
+TEST(LeaseLedger, ReclaimRestoresResidualExactly) {
+  // Demands like 0.1 are not exactly representable: an incremental
+  // subtract-then-add walk ends an ulp off. The ledger must return the
+  // residual to the base capacity bit-for-bit anyway (snap rule).
+  const std::vector<double> capacities{1.0, 3.7};
+  std::vector<double> residual = capacities;
+  LeaseLedger ledger(2);
+  for (int i = 0; i < 7; ++i) {
+    const double demand = 0.1 + 0.01 * i;
+    residual[0] -= demand;
+    residual[1] -= demand;
+    ledger.admit(i, demand, {0, 1}, 0.0, 1.0 + 0.25 * i);
+  }
+  ASSERT_NE(residual[0], capacities[0]);
+  EXPECT_EQ(ledger.active_count(), 7);
+  EXPECT_EQ(ledger.active_on_edge(0), 7);
+
+  const int expired = ledger.reclaim_until(10.0, capacities, residual);
+  EXPECT_EQ(expired, 7);
+  EXPECT_EQ(ledger.active_count(), 0);
+  EXPECT_EQ(ledger.leased_capacity(), 0.0);
+  // Exact, not approximate: the no-leak oracle depends on ==.
+  EXPECT_EQ(residual[0], capacities[0]);
+  EXPECT_EQ(residual[1], capacities[1]);
+}
+
+TEST(LeaseLedger, PartialExpiryKeepsConservationWithinTolerance) {
+  const std::vector<double> capacities{5.0};
+  std::vector<double> residual = capacities;
+  LeaseLedger ledger(1);
+  residual[0] -= 0.3;
+  ledger.admit(0, 0.3, {0}, 0.0, 1.0);
+  residual[0] -= 0.4;
+  ledger.admit(1, 0.4, {0}, 0.0, 2.0);
+
+  ledger.reclaim_until(1.5, capacities, residual);
+  EXPECT_EQ(ledger.active_count(), 1);
+  EXPECT_EQ(ledger.active_on_edge(0), 1);
+  EXPECT_NEAR(ledger.leased_demand(0), 0.4, 1e-12);
+  EXPECT_NEAR(residual[0] + ledger.leased_demand(0), capacities[0], 1e-12);
+}
+
+TEST(LeaseLedger, PermanentLeasesNeverExpire) {
+  const std::vector<double> capacities{2.0};
+  std::vector<double> residual = capacities;
+  LeaseLedger ledger(1);
+  residual[0] -= 1.0;
+  ledger.admit(0, 1.0, {0}, 0.0, kInf);
+  residual[0] -= 0.5;
+  ledger.admit(1, 0.5, {0}, 0.0, 3.0);
+  EXPECT_EQ(ledger.finite_admitted(), 1);
+
+  const int expired = ledger.reclaim_until(1e9, capacities, residual);
+  EXPECT_EQ(expired, 1);
+  EXPECT_EQ(ledger.active_count(), 1);
+  EXPECT_EQ(ledger.expired_total(), 1);
+  EXPECT_NEAR(residual[0], 1.0, 1e-12);
+  EXPECT_DOUBLE_EQ(ledger.leased_demand(0), 1.0);
+  EXPECT_DOUBLE_EQ(ledger.leased_capacity(), 1.0);
+}
+
+TEST(LeaseLedger, DrainOrderIsExpiryTimeThenLeaseId) {
+  const std::vector<double> capacities{100.0};
+  std::vector<double> residual = capacities;
+  LeaseLedger ledger(1);
+  // Same expiry time for ids 0/2, earlier time for id 1.
+  ledger.admit(10, 0.1, {0}, 0.0, 2.0);  // id 0
+  ledger.admit(11, 0.1, {0}, 0.0, 1.0);  // id 1
+  ledger.admit(12, 0.1, {0}, 0.0, 2.0);  // id 2
+  std::vector<Lease> drained;
+  ledger.reclaim_until(5.0, capacities, residual, &drained);
+  ASSERT_EQ(drained.size(), 3u);
+  EXPECT_EQ(drained[0].id, 1);
+  EXPECT_EQ(drained[1].id, 0);
+  EXPECT_EQ(drained[2].id, 2);
+  EXPECT_EQ(drained[0].sequence, 11);
+}
+
+TEST(LeaseLedger, OccupancyTracksDemandTimesPathLength) {
+  LeaseLedger ledger(4);
+  const std::vector<double> capacities{1.0, 1.0, 1.0, 1.0};
+  std::vector<double> residual = capacities;
+  ledger.admit(0, 0.25, {0, 1, 2}, 0.0, 1.0);
+  EXPECT_DOUBLE_EQ(ledger.leased_capacity(), 0.75);
+  ledger.admit(1, 0.5, {3}, 0.0, kInf);
+  EXPECT_DOUBLE_EQ(ledger.leased_capacity(), 1.25);
+  ledger.reclaim_until(2.0, capacities, residual);
+  EXPECT_DOUBLE_EQ(ledger.leased_capacity(), 0.5);
+}
+
+TEST(LeaseLedger, ClearForgetsEverything) {
+  LeaseLedger ledger(2);
+  const std::vector<double> capacities{1.0, 1.0};
+  std::vector<double> residual = capacities;
+  ledger.admit(0, 0.5, {0}, 0.0, 1.0);
+  ledger.reclaim_until(2.0, capacities, residual);
+  ledger.admit(1, 0.5, {1}, 2.0, 3.0);
+  ledger.clear();
+  EXPECT_EQ(ledger.active_count(), 0);
+  EXPECT_EQ(ledger.finite_admitted(), 0);
+  EXPECT_EQ(ledger.expired_total(), 0);
+  EXPECT_EQ(ledger.leased_capacity(), 0.0);
+  EXPECT_EQ(ledger.active_on_edge(1), 0);
+  // The clock restarts too: scheduling at t = 0 is legal again.
+  ledger.admit(2, 0.5, {0}, 0.0, 0.5);
+  EXPECT_EQ(ledger.active_count(), 1);
+}
+
+TEST(LeaseLedger, ChurnStressReturnsToBaselineExactly) {
+  // 5000 leases with irrational-ish demands over interleaved expiry
+  // cycles: whatever the arithmetic path, the final state must be the
+  // empty-network baseline, exactly.
+  const int kEdges = 16;
+  std::vector<double> capacities(kEdges, 10.0);
+  std::vector<double> residual = capacities;
+  LeaseLedger ledger(kEdges);
+  Rng rng(99);
+  double now = 0.0;
+  std::int64_t seq = 0;
+  for (int round = 0; round < 100; ++round) {
+    for (int i = 0; i < 50; ++i) {
+      const double demand = rng.next_double(0.01, 0.4);
+      std::vector<EdgeId> edges;
+      const int len = 1 + static_cast<int>(rng.next_below(4));
+      for (int k = 0; k < len; ++k) {
+        const auto e = static_cast<EdgeId>(rng.next_below(kEdges));
+        // Parallel lease edges are fine; duplicates within one path are
+        // not part of the engine contract, so avoid them here.
+        if (std::find(edges.begin(), edges.end(), e) == edges.end()) {
+          edges.push_back(e);
+        }
+      }
+      if (edges.empty()) edges.push_back(0);
+      for (const EdgeId e : edges) {
+        residual[static_cast<std::size_t>(e)] -= demand;
+      }
+      ledger.admit(seq++, demand, std::move(edges), now,
+                   now + rng.next_double(0.01, 3.0));
+    }
+    now += 0.25;
+    ledger.reclaim_until(now, capacities, residual);
+  }
+  ledger.reclaim_until(now + 10.0, capacities, residual);
+  EXPECT_EQ(ledger.active_count(), 0);
+  for (int e = 0; e < kEdges; ++e) {
+    EXPECT_EQ(residual[static_cast<std::size_t>(e)],
+              capacities[static_cast<std::size_t>(e)])
+        << "edge " << e;
+  }
+}
+
+}  // namespace
+}  // namespace tufp::temporal

@@ -1,15 +1,20 @@
 #!/usr/bin/env python3
-"""CI bench-regression gate for bench_perf_runtime --json output.
+"""CI bench-regression gate for benchmark JSON output.
 
-Compares a current google-benchmark JSON run against the committed
-baseline (bench/baseline.json) and fails when median throughput of any
-benchmark present in both files regresses by more than --threshold
-(default 20%).
+Compares a current JSON run against a committed baseline and fails when
+the throughput of any benchmark present in both files regresses by more
+than --threshold (default 20%). Two formats are recognized by shape:
 
-Throughput per benchmark is items_per_second when the benchmark reports
-it, otherwise 1/real_time. When a run contains repetition aggregates
-(--benchmark_repetitions=N), only the *_median rows are compared — single
-runs compare raw rows directly.
+* google-benchmark (``bench_perf_runtime --json``, baseline
+  ``bench/baseline.json``): an object with a ``benchmarks`` array.
+  Throughput is items_per_second when reported, otherwise 1/real_time;
+  when a run contains repetition aggregates
+  (--benchmark_repetitions=N), only the *_median rows are compared.
+* engine-throughput (``bench_engine_throughput --json``, baseline
+  ``bench/baseline_engine.json``): a top-level array of case rows.
+  Throughput is ``clear_requests_per_second`` — this covers the
+  steady-state lease cases (grid8-lease-exp-*) alongside the fill-phase
+  ones.
 
 Usage:
   check_bench_regression.py BASELINE CURRENT [--threshold 0.20]
@@ -32,6 +37,18 @@ MEDIAN_SUFFIX = "_median"
 def load_rows(path):
     with open(path) as f:
         data = json.load(f)
+    if isinstance(data, list):
+        # bench_engine_throughput format: one object per case. A zero
+        # throughput is kept (ratio 0 => flagged as a regression), not
+        # dropped: a case collapsing to zero must fail the gate, not
+        # silently leave the compared set.
+        out = {}
+        for row in data:
+            name = row.get("case")
+            throughput = row.get("clear_requests_per_second")
+            if name is not None and throughput is not None:
+                out[name] = float(throughput)
+        return out
     rows = data.get("benchmarks", [])
     medians = [r for r in rows if r.get("name", "").endswith(MEDIAN_SUFFIX)]
     if medians:

@@ -29,9 +29,21 @@
 //                            explicit thread request
 //   --eps X                  solver accuracy parameter (default 1/6)
 //   --sp-kernel auto|heap|bucket  shortest-path queue  (default auto)
+// Leases (DESIGN.md §10):
+//   --duration-profile none|fixed|exponential|heavy-tailed|diurnal|
+//                      flash-crowd                     (default none =
+//                            permanent leases, the historical semantics)
+//   --duration-mean X        mean lease duration, virtual s (default 1)
+//   --duration-period X      diurnal cycle / flash-crowd window (default 1)
+//   --horizon X              after the stream ends, advance the virtual
+//                            clock to X and reclaim what expired
+//                            (default 0 = no post-run drain)
 // Output:
 //   --csv                    per-epoch CSV instead of aligned table
 //   --quiet                  suppress the per-epoch series
+//   --json PATH              deterministic run summary as JSON (counters,
+//                            occupancy, lease churn — no wall-clock, so
+//                            the artifact cmp's clean across --threads)
 //
 // Output discipline: stdout carries only deterministic data — identical
 // for any --threads value and any machine (the determinism acceptance
@@ -39,8 +51,10 @@
 // stderr.
 #include <cmath>
 #include <cstdint>
+#include <fstream>
 #include <iostream>
 #include <memory>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -79,8 +93,14 @@ struct Options {
   double eps = 1.0 / 6.0;
   std::string sp_kernel = "auto";
 
+  std::string duration_profile = "none";
+  double duration_mean = 1.0;
+  double duration_period = 1.0;
+  double horizon = 0.0;
+
   bool csv = false;
   bool quiet = false;
+  std::string json_path;
 };
 
 [[noreturn]] void usage() {
@@ -92,7 +112,11 @@ struct Options {
                "  [--burst-size N] [--burst-period X] [--seed S]\n"
                "  [--epochs N] [--epoch-duration X] [--queue N]\n"
                "  [--payments none|dual|critical] [--threads N] [--eps X]\n"
-               "  [--sp-kernel auto|heap|bucket] [--csv] [--quiet]\n";
+               "  [--sp-kernel auto|heap|bucket]\n"
+               "  [--duration-profile none|fixed|exponential|heavy-tailed|"
+               "diurnal|flash-crowd]\n"
+               "  [--duration-mean X] [--duration-period X] [--horizon X]\n"
+               "  [--csv] [--quiet] [--json PATH]\n";
   std::exit(2);
 }
 
@@ -125,8 +149,13 @@ Options parse(int argc, char** argv) {
     else if (a == "--threads") opt.threads = std::stoi(value(i));
     else if (a == "--eps") opt.eps = std::stod(value(i));
     else if (a == "--sp-kernel") opt.sp_kernel = value(i);
+    else if (a == "--duration-profile") opt.duration_profile = value(i);
+    else if (a == "--duration-mean") opt.duration_mean = std::stod(value(i));
+    else if (a == "--duration-period") opt.duration_period = std::stod(value(i));
+    else if (a == "--horizon") opt.horizon = std::stod(value(i));
     else if (a == "--csv") opt.csv = true;
     else if (a == "--quiet") opt.quiet = true;
+    else if (a == "--json") opt.json_path = value(i);
     else usage();
   }
   if (opt.epochs < 1 || opt.requests < 0) usage();
@@ -154,6 +183,49 @@ SpKernel parse_sp_kernel(const std::string& name) {
   usage();
 }
 
+DurationProfile parse_duration_profile(const std::string& name) {
+  if (name == "none") return DurationProfile::kInfinite;  // CLI alias
+  try {
+    const DurationProfile p = duration_profile_from_name(name);
+    if (p != DurationProfile::kAuto) return p;
+  } catch (const std::invalid_argument&) {
+  }
+  usage();
+}
+
+// Deterministic run summary (counters, lease churn, occupancy — nothing
+// wall-clock): the CI artifact `cmp`'d across --threads values.
+void write_json(const std::string& path, const Options& opt,
+                const EngineMetrics& metrics, std::int64_t active_leases,
+                double occupancy) {
+  std::ofstream os(path);
+  if (!os.good()) {
+    throw std::runtime_error("cannot open --json path: " + path);
+  }
+  os.precision(17);
+  const EngineCounters& c = metrics.counters();
+  os << "{\n"
+     << "  \"scenario\": \"" << opt.scenario << "\",\n"
+     << "  \"duration_profile\": \"" << opt.duration_profile << "\",\n"
+     << "  \"requests\": " << c.requests_seen << ",\n"
+     << "  \"epochs\": " << c.epochs << ",\n"
+     << "  \"admitted\": " << c.admitted << ",\n"
+     << "  \"rejected\": " << c.rejected << ",\n"
+     << "  \"invalid_rejected\": " << c.invalid_rejected << ",\n"
+     << "  \"queue_dropped\": " << c.queue_dropped << ",\n"
+     << "  \"admitted_fraction\": " << metrics.admitted_fraction() << ",\n"
+     << "  \"offered_value\": " << c.offered_value << ",\n"
+     << "  \"admitted_value\": " << c.admitted_value << ",\n"
+     << "  \"revenue\": " << c.revenue << ",\n"
+     << "  \"solver_iterations\": " << c.solver_iterations << ",\n"
+     << "  \"sp_computations\": " << c.sp_computations << ",\n"
+     << "  \"finite_leases\": " << c.finite_leases << ",\n"
+     << "  \"leases_expired\": " << c.leases_expired << ",\n"
+     << "  \"active_leases\": " << active_leases << ",\n"
+     << "  \"occupancy\": " << occupancy << "\n"
+     << "}\n";
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -178,6 +250,12 @@ int main(int argc, char** argv) {
                                              opt.capacity, value_model,
                                              opt.seed);
 
+    DurationConfig durations;
+    durations.profile = parse_duration_profile(opt.duration_profile);
+    durations.mean = opt.duration_mean;
+    durations.period = opt.duration_period;
+    const bool temporal = durations.profile != DurationProfile::kInfinite;
+
     // The stream seed is derived, not opt.seed itself: the random scenario
     // consumes Rng(opt.seed) for the topology, and reusing the identical
     // sequence for arrivals would correlate workload with topology.
@@ -186,11 +264,11 @@ int main(int argc, char** argv) {
     if (opt.arrivals == "poisson") {
       stream = std::make_unique<PoissonStream>(
           scenario.graph, scenario.request_config, opt.rate, opt.requests,
-          stream_seed);
+          stream_seed, durations);
     } else if (opt.arrivals == "burst") {
       stream = std::make_unique<BurstStream>(
           scenario.graph, scenario.request_config, opt.burst_period,
-          opt.burst_size, opt.requests, stream_seed);
+          opt.burst_size, opt.requests, stream_seed, durations);
     } else {
       usage();
     }
@@ -208,14 +286,22 @@ int main(int argc, char** argv) {
 
     EpochEngine engine(scenario.graph, config);
 
-    Table series({"epoch", "batch", "admitted", "offered_value",
-                  "admitted_value", "revenue", "dual_ub", "active_edges",
-                  "saturated", "B", "iterations"});
+    // The lease columns appear only under a finite duration profile, so
+    // the default (permanent-lease) table stays byte-identical to the
+    // pre-temporal engine — the committed golden traces pin this.
+    std::vector<std::string> columns = {
+        "epoch",   "batch",        "admitted",  "offered_value",
+        "admitted_value", "revenue", "dual_ub", "active_edges",
+        "saturated", "B",          "iterations"};
+    if (temporal) {
+      columns.insert(columns.end(), {"expired", "leases", "occupancy"});
+    }
+    Table series(columns);
     series.set_precision(2);
     const EngineSummary summary =
         engine.run(*stream, [&](const AdmissionReport& r) {
-      series.row()
-          .cell(r.epoch)
+      auto row = series.row();
+      row.cell(r.epoch)
           .cell(r.batch_size)
           .cell(r.admitted)
           .cell(r.offered_value)
@@ -226,6 +312,11 @@ int main(int argc, char** argv) {
           .cell(r.saturated_edges)
           .cell(r.min_residual)
           .cell(r.solver_iterations);
+      if (temporal) {
+        row.cell(r.expired_leases)
+            .cell(static_cast<long long>(r.active_leases))
+            .cell(r.occupancy);
+      }
         });
 
     // Deterministic channel: epoch series + load summary.
@@ -237,8 +328,30 @@ int main(int argc, char** argv) {
       }
       std::cout << '\n';
     }
+
+    // Post-run drain: advance the virtual clock past the last arrival and
+    // reclaim what expired by then (deterministic — it reads only lease
+    // state). Makes the steady state inspectable after a finite stream.
+    if (opt.horizon > 0.0) {
+      const int reclaimed = engine.reclaim_expired(opt.horizon);
+      std::cout << "horizon=" << Table::format_double(opt.horizon, 2)
+                << " reclaimed=" << reclaimed << " active_leases="
+                << (engine.lease_ledger() != nullptr
+                        ? engine.lease_ledger()->active_count()
+                        : 0)
+                << "\n";
+    }
+
     std::cout << "=== AdmissionReport summary ===\n"
               << engine.metrics().summary(/*include_wall_clock=*/false);
+
+    if (!opt.json_path.empty()) {
+      const auto* ledger = engine.lease_ledger();
+      write_json(opt.json_path, opt, engine.metrics(),
+                 ledger != nullptr ? ledger->active_count() : 0,
+                 engine.metrics().occupancy());
+      std::cerr << "wrote " << opt.json_path << "\n";
+    }
 
     // Wall-clock channel (machine-dependent; kept off stdout so the
     // deterministic output diffs clean across thread counts).

@@ -21,9 +21,14 @@
 //                       way, a seconds budget only truncates it)
 //   --max-worlds N      cap alongside a seconds budget (default 100000)
 //   --families a,b,c    subset of: staircase single-sink grid
-//                       random-sparse layered ring
+//                       random-sparse layered ring — plus duration
+//                       profiles (infinite fixed exponential heavy-tailed
+//                       diurnal flash-crowd), which cross with the
+//                       topology families; without one, each world
+//                       samples its own profile from its seed
 //   --oracles x,y       subset of the catalogue (see --list)
-//   --inject F          none|overcharge-winners|charge-losers
+//   --inject F          none|overcharge-winners|charge-losers|
+//                       leak-expired-capacity
 //   --repro-dir DIR     write shrunk repro files here
 //   --no-shrink         keep violations at original size
 //   --stop-on-first     exit after the first failing world
@@ -95,8 +100,23 @@ Options parse(int argc, char** argv) {
       opt.config.max_worlds = std::stoi(value(i));
       max_worlds_given = true;
     } else if (a == "--families") {
+      // The matrix has two registered axes: world families and duration
+      // profiles. Either kind of name is accepted here, mixed freely —
+      // `--families grid,flash-crowd` sweeps grid worlds under
+      // flash-crowd leases (profiles round-robin like families do).
       for (const std::string& name : split_csv(value(i))) {
-        opt.config.families.push_back(family_from_name(name));
+        try {
+          opt.config.families.push_back(family_from_name(name));
+        } catch (const std::invalid_argument&) {
+          try {
+            opt.config.duration_profiles.push_back(
+                duration_profile_from_name(name));
+          } catch (const std::invalid_argument&) {
+            throw std::invalid_argument(
+                "unknown world family or duration profile: " + name +
+                " (see --list)");
+          }
+        }
       }
     } else if (a == "--oracles") {
       opt.config.oracles = split_csv(value(i));
@@ -127,6 +147,10 @@ int run_list() {
   std::cout << "families:\n";
   for (WorldFamily f : kAllFamilies) {
     std::cout << "  " << family_name(f) << "\n";
+  }
+  std::cout << "duration profiles (usable in --families):\n";
+  for (DurationProfile p : kAllDurationProfiles) {
+    std::cout << "  " << duration_profile_name(p) << "\n";
   }
   return 0;
 }
