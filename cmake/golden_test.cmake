@@ -3,7 +3,9 @@
 # Inputs: ENGINE (binary path), ARGS (one shell-style argument string),
 # GOLDEN (committed expected stdout), OUT (scratch path for actual stdout).
 # Optional: EXPECT_RC (expected exit status, default 0 — repro replays
-# exit 1 by contract when the violation re-fires).
+# exit 1 by contract when the violation re-fires); INPUT (file piped to
+# the tool's stdin — how the tufp_serve session goldens drive a daemon
+# the same way a shell pipe would).
 # The tool's stdout is its deterministic channel (wall-clock goes to
 # stderr), so the comparison is byte-for-byte.
 foreach(var ENGINE ARGS GOLDEN OUT)
@@ -16,8 +18,16 @@ if(NOT DEFINED EXPECT_RC)
 endif()
 
 separate_arguments(arg_list UNIX_COMMAND "${ARGS}")
+if(DEFINED INPUT)
+  set(stdin_arg INPUT_FILE ${INPUT})
+  set(stdin_hint "< ${INPUT} ")
+else()
+  set(stdin_arg)
+  set(stdin_hint "")
+endif()
 execute_process(
   COMMAND ${ENGINE} ${arg_list}
+  ${stdin_arg}
   OUTPUT_FILE ${OUT}
   ERROR_VARIABLE stderr_text
   RESULT_VARIABLE run_rc)
@@ -37,5 +47,5 @@ if(NOT diff_rc EQUAL 0)
           "--- expected (${GOLDEN})\n${expected}\n"
           "--- actual (${OUT})\n${actual}\n"
           "If the change is intentional, regenerate the golden file:\n"
-          "  ${ENGINE} ${ARGS} > ${GOLDEN} 2>/dev/null")
+          "  ${ENGINE} ${ARGS} ${stdin_hint}> ${GOLDEN} 2>/dev/null")
 endif()

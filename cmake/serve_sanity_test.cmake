@@ -1,0 +1,75 @@
+# In-service oracle-bite check, run as a ctest via `cmake -P`.
+#
+# Proves the tufp_serve --sanity oracles catch a real reclaim bug
+# end-to-end: a session run under --inject leak-expired-capacity must
+# (1) abort with exit code 3 mid-session,
+# (2) leave a replayable repro dump in the scratch dir, and
+# (3) re-fire (exit 3 again) when that dump is piped back through an
+#     identically-configured daemon — the repro contract.
+#
+# Inputs: SERVE (tufp_serve binary), SESSION (session transcript piped to
+# stdin), SCRATCH (directory for the repro dump and captured output).
+foreach(var SERVE SESSION SCRATCH)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "serve_sanity_test.cmake requires -D${var}=...")
+  endif()
+endforeach()
+
+file(REMOVE_RECURSE ${SCRATCH})
+file(MAKE_DIRECTORY ${SCRATCH})
+
+set(serve_args --max-batch 16 --sanity every-2 --inject leak-expired-capacity
+               --repro-dir ${SCRATCH})
+
+execute_process(
+  COMMAND ${SERVE} ${serve_args}
+  INPUT_FILE ${SESSION}
+  OUTPUT_FILE ${SCRATCH}/det.jsonl
+  ERROR_FILE ${SCRATCH}/wall.txt
+  RESULT_VARIABLE run_rc)
+if(NOT run_rc EQUAL 3)
+  file(READ ${SCRATCH}/wall.txt wall_text)
+  message(FATAL_ERROR "tufp_serve under fault injection exited ${run_rc}, "
+          "expected 3 (sanity violation)\n${wall_text}")
+endif()
+
+file(GLOB repro_files ${SCRATCH}/serve-repro-*.txt)
+list(LENGTH repro_files repro_count)
+if(repro_count EQUAL 0)
+  message(FATAL_ERROR "sanity violation fired but no repro dump was "
+          "written to ${SCRATCH}")
+endif()
+list(GET repro_files 0 repro)
+
+# The violation must be reported on the deterministic channel too.
+file(READ ${SCRATCH}/det.jsonl det_text)
+if(NOT det_text MATCHES "\"event\":\"sanity_violation\"")
+  message(FATAL_ERROR "no sanity_violation event on the det channel:\n"
+          "${det_text}")
+endif()
+
+# Replay: the dump must re-fire the same violation.
+execute_process(
+  COMMAND ${SERVE} ${serve_args}
+  INPUT_FILE ${repro}
+  OUTPUT_QUIET
+  ERROR_QUIET
+  RESULT_VARIABLE replay_rc)
+if(NOT replay_rc EQUAL 3)
+  file(READ ${repro} repro_text)
+  message(FATAL_ERROR "repro replay exited ${replay_rc}, expected the "
+          "violation to re-fire (exit 3)\n--- dump\n${repro_text}")
+endif()
+
+# Control: the same session without injection must run clean.
+execute_process(
+  COMMAND ${SERVE} --max-batch 16 --sanity every-2 --repro-dir ${SCRATCH}
+  INPUT_FILE ${SESSION}
+  OUTPUT_QUIET
+  ERROR_QUIET
+  RESULT_VARIABLE clean_rc)
+if(NOT clean_rc EQUAL 0)
+  message(FATAL_ERROR "control session without fault injection exited "
+          "${clean_rc}, expected 0 — the oracles are firing on healthy "
+          "state")
+endif()

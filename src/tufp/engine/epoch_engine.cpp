@@ -55,8 +55,25 @@ int EpochEngine::reclaim_expired(double now) {
   // The ledger clock never runs backwards; a stale `now` (e.g. an
   // explicit run_epoch() with an older batch) reclaims at the frontier.
   const double effective = std::max(now, ledger_->now());
-  const int expired =
-      ledger_->reclaim_until(effective, base_->capacities(), residual_);
+  int expired = 0;
+  if (config_.inject_reclaim_leak > 0.0) {
+    // Oracle-bite fault (see the config field): after the ledger returns
+    // an expired lease's capacity — snap rule included — "lose" a
+    // fraction of it again on every edge the lease crossed. Conservation
+    // (leased + residual == capacity) now fails, which is exactly what
+    // the in-service sanity checks must catch.
+    std::vector<temporal::Lease> drained;
+    expired = ledger_->reclaim_until(effective, base_->capacities(),
+                                     residual_, &drained);
+    for (const temporal::Lease& lease : drained) {
+      for (const EdgeId e : lease.edges) {
+        auto& r = residual_[static_cast<std::size_t>(e)];
+        r = std::max(0.0, r - config_.inject_reclaim_leak * lease.demand);
+      }
+    }
+  } else {
+    expired = ledger_->reclaim_until(effective, base_->capacities(), residual_);
+  }
   if (expired > 0) {
     metrics_.counters().leases_expired += expired;
     refresh_lease_gauges();
@@ -128,7 +145,8 @@ EngineSummary EpochEngine::run(
 
     const double close_time =
         time_based ? epoch_end : batch.back().arrival_time;
-    const AdmissionReport report = clear_epoch(batch, close_time);
+    AdmissionReport report = clear_epoch(batch, close_time);
+    report.queue_depth = static_cast<std::int64_t>(queue.size());
     if (on_epoch) on_epoch(report);
     if (time_based) epoch_end += config_.epoch_duration;
   }
@@ -151,6 +169,15 @@ EngineSummary EpochEngine::run(
 
 AdmissionReport EpochEngine::run_epoch(const std::vector<TimedRequest>& batch) {
   const double close_time = batch.empty() ? 0.0 : batch.back().arrival_time;
+  return clear_epoch(batch, close_time);
+}
+
+AdmissionReport EpochEngine::run_epoch(const std::vector<TimedRequest>& batch,
+                                       double close_time) {
+  for (const TimedRequest& t : batch) {
+    TUFP_REQUIRE(t.arrival_time <= close_time,
+                 "epoch close time precedes an arrival in its batch");
+  }
   return clear_epoch(batch, close_time);
 }
 

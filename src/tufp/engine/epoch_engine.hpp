@@ -100,6 +100,14 @@ struct EpochEngineConfig {
 
   // Keep per-request AdmissionRecords in each report (tests, small runs).
   bool record_allocations = false;
+
+  // FAULT INJECTION — never set outside oracle-bite tests. Fraction of
+  // each expired lease's per-edge demand that the reclaim path "loses"
+  // instead of returning to the residual: the engine-side twin of the sim
+  // suite's kLeakExpiredCapacity (sim/oracles.hpp), breaking lease
+  // conservation so the in-service sanity checks (obs/sanity.hpp) and
+  // tufp_serve --sanity can prove they catch a real reclaim bug.
+  double inject_reclaim_leak = 0.0;
 };
 
 // One admitted request, reported with its clearing price.
@@ -137,6 +145,10 @@ struct AdmissionReport {
   int expired_leases = 0;
   std::int64_t active_leases = 0;
   double occupancy = 0.0;
+  // Requests still queued when this epoch's batch was drawn (run() fills
+  // it; external drivers clearing explicit batches set it themselves).
+  // Deterministic: the queue is a pure function of the stream and config.
+  std::int64_t queue_depth = 0;
   double max_admission_delay = 0.0;  // virtual seconds, deterministic
   double solve_seconds = 0.0;        // wall clock — NOT deterministic
   double reclaim_seconds = 0.0;      // wall clock — NOT deterministic
@@ -167,7 +179,13 @@ class EpochEngine {
 
   // Clears one epoch over an explicit batch against the current residual
   // state. Building block of run(); exposed for tests and custom drivers.
+  // The single-argument form closes at the last arrival in the batch; the
+  // two-argument form closes at an explicit virtual time >= every arrival
+  // (what a time- or occupancy-triggered driver like tufp_serve needs:
+  // the decision instant is the trigger, not the last arrival).
   AdmissionReport run_epoch(const std::vector<TimedRequest>& batch);
+  AdmissionReport run_epoch(const std::vector<TimedRequest>& batch,
+                            double close_time);
 
   // Current residual capacity per base EdgeId.
   std::span<const double> residual() const { return residual_; }
@@ -186,6 +204,16 @@ class EpochEngine {
 
   // The lease ledger, or nullptr without track_leases.
   const temporal::LeaseLedger* lease_ledger() const { return ledger_.get(); }
+
+  // Stream-level ingestion counters for external drivers (tufp_serve)
+  // that batch their own queue instead of going through run(): requests
+  // pulled from the wire and requests shed by the driver's bounded queue.
+  // run() maintains these itself; mixing run() with external accounting
+  // in one engine would double-count.
+  void record_ingest(std::int64_t requests_seen, std::int64_t queue_dropped) {
+    metrics_.counters().requests_seen += requests_seen;
+    metrics_.counters().queue_dropped += queue_dropped;
+  }
 
   // Forgets all admissions: residual back to base capacities, metrics,
   // leases and epoch counter to zero.

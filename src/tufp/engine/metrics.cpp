@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "tufp/util/assert.hpp"
+#include "tufp/util/json.hpp"
 #include "tufp/util/table.hpp"
 
 namespace tufp {
@@ -58,6 +59,28 @@ double GeometricHistogram::percentile(double q) const {
   }
   return min_value_ *
          std::exp(log_growth_ * static_cast<double>(buckets_.size()));
+}
+
+std::string GeometricHistogram::to_json() const {
+  std::ostringstream buckets;
+  buckets << '[';
+  bool first = true;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    if (buckets_[i] == 0) continue;
+    // Edges recomputed exactly as percentile() does: min * growth^i.
+    const double lo =
+        min_value_ * std::exp(log_growth_ * static_cast<double>(i));
+    const double hi =
+        min_value_ * std::exp(log_growth_ * static_cast<double>(i + 1));
+    if (!first) buckets << ',';
+    first = false;
+    buckets << '[' << json_double(lo) << ',' << json_double(hi) << ','
+            << buckets_[i] << ']';
+  }
+  buckets << ']';
+  JsonObject obj;
+  obj.field("count", total_).raw("buckets", buckets.str());
+  return obj.str();
 }
 
 double EngineMetrics::admitted_fraction() const {

@@ -40,6 +40,14 @@ class GeometricHistogram {
   double percentile(double q) const;
   const RunningStats& stats() const { return stats_; }
 
+  // JSON snapshot for the telemetry layer (DESIGN.md §11): total count
+  // plus the occupied buckets as [lower edge, upper edge, count] triples
+  // in bucket order. Rendered through util/json.hpp's canonical %.17g
+  // formatter, so two histograms with identical contents serialize
+  // byte-identically — across thread counts, kernels and machines (no
+  // printf-formatting drift; the unit tests pin t1 == t4).
+  std::string to_json() const;
+
  private:
   double min_value_;
   double log_growth_;

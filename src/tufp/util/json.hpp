@@ -1,0 +1,60 @@
+// Canonical JSON formatting for the telemetry layer (DESIGN.md §11).
+//
+// Every JSON byte the system emits — telemetry events, histogram
+// snapshots, the tufp_engine --json summary — goes through these helpers,
+// so "byte-identical across threads/kernels/machines" reduces to "the
+// underlying doubles are identical", which the deterministic channel
+// guarantees. One formatter, one drift surface:
+//   * doubles print as %.17g (shortest form that round-trips IEEE-754
+//     exactly in the worst case; locale-independent via snprintf on the
+//     "C"-numeric formats the repo never changes);
+//   * non-finite doubles print as quoted strings ("inf"/"-inf"/"nan") —
+//     JSON has no literals for them and silently emitting `null` would
+//     make a missing field and an infinite lease indistinguishable;
+//   * strings escape the JSON control set and nothing else;
+//   * objects serialize fields in insertion order (schema order is part
+//     of the byte-exact contract, tests diff whole lines).
+#pragma once
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace tufp {
+
+// %.17g rendering of a finite double; "inf"/"-inf"/"nan" (unquoted —
+// callers quote) otherwise.
+std::string json_double(double value);
+
+// Escapes backslash, quote and control characters; returns the body
+// without surrounding quotes.
+std::string json_escape(std::string_view text);
+
+// Insertion-ordered JSON object builder. Values are rendered immediately;
+// str() just wraps the accumulated body in braces, so a builder can be
+// reused as the value of a raw() field in an enclosing object.
+class JsonObject {
+ public:
+  JsonObject& field(std::string_view name, std::string_view text);
+  JsonObject& field(std::string_view name, const char* text) {
+    return field(name, std::string_view(text));
+  }
+  JsonObject& field(std::string_view name, double value);
+  JsonObject& field(std::string_view name, std::int64_t value);
+  JsonObject& field(std::string_view name, int value) {
+    return field(name, static_cast<std::int64_t>(value));
+  }
+  JsonObject& field(std::string_view name, bool value);
+  // Pre-rendered JSON value (array, nested object) inserted verbatim.
+  JsonObject& raw(std::string_view name, std::string_view json);
+
+  std::string str() const;
+
+ private:
+  void key(std::string_view name);
+  std::ostringstream body_;
+  bool first_ = true;
+};
+
+}  // namespace tufp

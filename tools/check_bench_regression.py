@@ -55,7 +55,13 @@ def load_rows(path):
         rows = medians
     out = {}
     for row in rows:
-        name = row["name"]
+        name = row.get("name")
+        if name is None:
+            # Malformed or foreign row (e.g. a context object leaking into
+            # the array): skip it rather than KeyError the whole gate.
+            print(f"warning: {path}: skipping benchmark row without a "
+                  f"'name' field", file=sys.stderr)
+            continue
         if name.endswith(MEDIAN_SUFFIX):
             name = name[: -len(MEDIAN_SUFFIX)]
         throughput = row.get("items_per_second")
@@ -107,6 +113,14 @@ def main():
     if missing:
         print(f"note: {len(missing)} baseline benchmark(s) absent from the "
               f"current run: {', '.join(missing)}")
+    # New benchmarks not yet in the committed baseline are expected right
+    # after a bench suite grows: warn (so the baseline gets refreshed) but
+    # never fail — the gate compares only the intersection.
+    unbaselined = sorted(set(current) - set(baseline))
+    if unbaselined:
+        print(f"warning: {len(unbaselined)} benchmark(s) missing from the "
+              f"baseline, skipped: {', '.join(unbaselined)}; refresh with "
+              f"--update", file=sys.stderr)
 
     if regressions:
         worst = min(regressions, key=lambda r: r[1])

@@ -1,0 +1,189 @@
+#!/usr/bin/env python3
+"""Shape-regression gate over telemetry JSONL trajectories.
+
+Diffs a candidate telemetry stream (tufp_serve / tufp_engine --telemetry)
+against a committed baseline, enforcing the two-channel discipline from
+DESIGN.md §11:
+
+  * det channel  — epoch/hist/sanity/summary/drain/meta events are a
+    deterministic function of workload + config, so the gate is EXACT:
+    the event sequences must match field-for-field, bit-for-bit on every
+    double.  Any drift is a behaviour change someone must explain (then
+    regenerate the baseline).
+  * wall channel — epoch_wall/summary_wall events are machine-dependent;
+    by default they are ignored, and with --wall-tolerance R each shared
+    numeric field must stay within relative factor R of the baseline
+    (catching order-of-magnitude throughput cliffs without flaking on
+    machine noise).
+
+The trajectory view: beyond per-event equality, the det gate prints which
+*series* diverged first (occupancy, active_leases, admitted_value, ...)
+so a failure reads as "occupancy trajectory diverged at epoch 12", not a
+wall of JSON.
+
+Exit codes: 0 ok, 1 regression, 2 usage/IO error.
+
+Usage:
+  check_trend.py --baseline bench/baseline_telemetry.jsonl \
+                 --candidate telemetry.jsonl [--wall-tolerance 10.0]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+DET_TRAJECTORY_FIELDS = (
+    "occupancy",
+    "active_leases",
+    "admitted_value",
+    "admitted",
+    "expired",
+    "queue_depth",
+)
+
+
+def fail(msg: str) -> None:
+    print(f"TREND FAIL: {msg}")
+
+
+def load_events(path: str):
+    """Returns (det_events, wall_events) preserving stream order."""
+    det, wall = [], []
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            for lineno, line in enumerate(fh, 1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    event = json.loads(line)
+                except json.JSONDecodeError as exc:
+                    print(f"error: {path}:{lineno}: bad JSON: {exc}",
+                          file=sys.stderr)
+                    sys.exit(2)
+                chan = event.get("chan")
+                if chan == "det":
+                    det.append(event)
+                elif chan == "wall":
+                    wall.append(event)
+                else:
+                    print(f"error: {path}:{lineno}: event without a "
+                          f"det/wall chan field", file=sys.stderr)
+                    sys.exit(2)
+    except OSError as exc:
+        print(f"error: cannot read {path}: {exc}", file=sys.stderr)
+        sys.exit(2)
+    return det, wall
+
+
+def first_trajectory_divergence(base, cand):
+    """Names the first det *series* that diverges, for the failure report."""
+    base_epochs = [e for e in base if e.get("event") == "epoch"]
+    cand_epochs = [e for e in cand if e.get("event") == "epoch"]
+    for field in DET_TRAJECTORY_FIELDS:
+        for i, (b, c) in enumerate(zip(base_epochs, cand_epochs)):
+            if b.get(field) != c.get(field):
+                return (f"{field} trajectory diverged at epoch index {i}: "
+                        f"baseline {b.get(field)!r} vs candidate "
+                        f"{c.get(field)!r}")
+    if len(base_epochs) != len(cand_epochs):
+        return (f"epoch count changed: baseline {len(base_epochs)} vs "
+                f"candidate {len(cand_epochs)}")
+    return None
+
+
+def check_det(base, cand) -> int:
+    """Exact gate: det event streams must be identical."""
+    failures = 0
+    if len(base) != len(cand):
+        fail(f"det event count: baseline {len(base)} vs candidate "
+             f"{len(cand)}")
+        failures += 1
+    for i, (b, c) in enumerate(zip(base, cand)):
+        if b == c:
+            continue
+        failures += 1
+        kind = b.get("event", "?")
+        diffs = []
+        for key in sorted(set(b) | set(c)):
+            if b.get(key) != c.get(key):
+                diffs.append(f"{key}: {b.get(key)!r} -> {c.get(key)!r}")
+        fail(f"det event {i} ({kind}) differs: " + "; ".join(diffs[:6]))
+        if failures >= 10:
+            fail("... (stopping after 10 det mismatches)")
+            break
+    if failures:
+        trajectory = first_trajectory_divergence(base, cand)
+        if trajectory:
+            fail(trajectory)
+    return failures
+
+
+def check_wall(base, cand, tolerance: float) -> int:
+    """Tolerance gate: shared numeric wall fields within factor `tolerance`.
+
+    Wall streams may legitimately differ in length (the det stream is the
+    shape authority), so events are matched by (event, epoch) key.
+    """
+    failures = 0
+
+    def key(e):
+        return (e.get("event"), e.get("epoch"))
+
+    base_by_key = {key(e): e for e in base}
+    for c in cand:
+        b = base_by_key.get(key(c))
+        if b is None:
+            continue
+        for field, cv in c.items():
+            bv = b.get(field)
+            if not isinstance(cv, (int, float)) or isinstance(cv, bool):
+                continue
+            if not isinstance(bv, (int, float)) or isinstance(bv, bool):
+                continue
+            if field == "epoch":
+                continue
+            if bv == 0 and cv == 0:
+                continue
+            lo, hi = sorted((abs(bv), abs(cv)))
+            if lo == 0 or hi / lo > tolerance:
+                fail(f"wall {key(c)} field {field}: baseline {bv!r} vs "
+                     f"candidate {cv!r} exceeds tolerance x{tolerance}")
+                failures += 1
+    return failures
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(
+        description="Diff telemetry trajectories against a baseline.")
+    parser.add_argument("--baseline", required=True,
+                        help="committed baseline telemetry JSONL")
+    parser.add_argument("--candidate", required=True,
+                        help="freshly produced telemetry JSONL")
+    parser.add_argument("--wall-tolerance", type=float, default=0.0,
+                        help="check wall-channel numeric fields to this "
+                             "relative factor (0 = ignore wall channel)")
+    args = parser.parse_args()
+    if args.wall_tolerance < 0:
+        parser.error("--wall-tolerance must be >= 0")
+
+    base_det, base_wall = load_events(args.baseline)
+    cand_det, cand_wall = load_events(args.candidate)
+
+    failures = check_det(base_det, cand_det)
+    if args.wall_tolerance > 0:
+        failures += check_wall(base_wall, cand_wall, args.wall_tolerance)
+
+    if failures:
+        print(f"check_trend: {failures} failure(s) against {args.baseline}")
+        return 1
+    wall_note = (f", wall within x{args.wall_tolerance}"
+                 if args.wall_tolerance > 0 else ", wall ignored")
+    print(f"check_trend: OK ({len(cand_det)} det events exact{wall_note})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,118 @@
+#!/usr/bin/env python3
+"""Checks for check_bench_regression.py (run in CI as a ctest).
+
+Pins the gate's contract on mismatched benchmark sets: a candidate row
+missing from the baseline (fresh benchmark, baseline not yet refreshed)
+is skipped with a warning, never a KeyError or a failure; a row without a
+name is skipped with a warning; genuine regressions on the shared set
+still fail. Uses only the standard library (unittest) so it runs in the
+bare CI container; pytest collects these classes too if present.
+"""
+
+import io
+import json
+import os
+import sys
+import tempfile
+import unittest
+from contextlib import redirect_stderr, redirect_stdout
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+import check_bench_regression as gate  # noqa: E402
+
+
+def google_bench(rows):
+    return {"benchmarks": rows}
+
+
+class Harness(unittest.TestCase):
+    def run_gate(self, baseline, current, argv=()):
+        tmp = tempfile.mkdtemp(prefix="bench_gate_")
+        base_path = os.path.join(tmp, "baseline.json")
+        cur_path = os.path.join(tmp, "current.json")
+        with open(base_path, "w") as f:
+            json.dump(baseline, f)
+        with open(cur_path, "w") as f:
+            json.dump(current, f)
+        out, err = io.StringIO(), io.StringIO()
+        old_argv = sys.argv
+        sys.argv = ["check_bench_regression.py", base_path, cur_path,
+                    *argv]
+        try:
+            with redirect_stdout(out), redirect_stderr(err):
+                rc = gate.main()
+        finally:
+            sys.argv = old_argv
+        return rc, out.getvalue(), err.getvalue()
+
+
+class CandidateOnlyBenchmarks(Harness):
+    def test_skipped_with_warning_not_keyerror(self):
+        # The regression this file exists for: a benchmark added to the
+        # suite before the committed baseline is refreshed must be
+        # skipped with a warning — the gate used to die on mismatched
+        # sets instead of comparing the intersection.
+        baseline = google_bench(
+            [{"name": "bm_old", "items_per_second": 100.0}])
+        current = google_bench(
+            [{"name": "bm_old", "items_per_second": 99.0},
+             {"name": "bm_new", "items_per_second": 5.0}])
+        rc, out, err = self.run_gate(baseline, current)
+        self.assertEqual(rc, 0, msg=out + err)
+        self.assertIn("bm_new", err)
+        self.assertIn("missing from the baseline", err)
+        self.assertIn("--update", err)
+
+    def test_engine_throughput_format_too(self):
+        baseline = [{"case": "grid8", "clear_requests_per_second": 1e5}]
+        current = [{"case": "grid8", "clear_requests_per_second": 1e5},
+                   {"case": "grid8-lease", "clear_requests_per_second": 2e4}]
+        rc, out, err = self.run_gate(baseline, current)
+        self.assertEqual(rc, 0, msg=out + err)
+        self.assertIn("grid8-lease", err)
+
+
+class MalformedRows(Harness):
+    def test_row_without_name_is_skipped(self):
+        baseline = google_bench(
+            [{"name": "bm_a", "items_per_second": 100.0}])
+        current = google_bench(
+            [{"items_per_second": 3.0},  # foreign row: no name
+             {"name": "bm_a", "items_per_second": 100.0}])
+        rc, out, err = self.run_gate(baseline, current)
+        self.assertEqual(rc, 0, msg=out + err)
+        self.assertIn("without a 'name' field", err)
+
+
+class SharedSetStillGated(Harness):
+    def test_regression_on_shared_benchmark_fails(self):
+        baseline = google_bench(
+            [{"name": "bm_a", "items_per_second": 100.0}])
+        current = google_bench(
+            [{"name": "bm_a", "items_per_second": 10.0},
+             {"name": "bm_new", "items_per_second": 1.0}])
+        rc, out, err = self.run_gate(baseline, current)
+        self.assertEqual(rc, 1, msg=out + err)
+        self.assertIn("REGRESSION", out)
+
+    def test_no_overlap_is_a_hard_error(self):
+        baseline = google_bench(
+            [{"name": "bm_gone", "items_per_second": 1.0}])
+        current = google_bench(
+            [{"name": "bm_new", "items_per_second": 1.0}])
+        rc, out, err = self.run_gate(baseline, current)
+        self.assertEqual(rc, 2, msg=out + err)
+
+    def test_baseline_only_benchmark_noted(self):
+        baseline = google_bench(
+            [{"name": "bm_a", "items_per_second": 100.0},
+             {"name": "bm_gone", "items_per_second": 50.0}])
+        current = google_bench(
+            [{"name": "bm_a", "items_per_second": 100.0}])
+        rc, out, err = self.run_gate(baseline, current)
+        self.assertEqual(rc, 0, msg=out + err)
+        self.assertIn("bm_gone", out)
+
+
+if __name__ == "__main__":
+    unittest.main()

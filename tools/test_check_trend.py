@@ -1,0 +1,127 @@
+#!/usr/bin/env python3
+"""Checks for check_trend.py (run in CI as a ctest).
+
+Pins the two-channel discipline of the trend gate: det-channel events
+compare exactly (any drift fails, and the failure names the trajectory
+that diverged first), wall-channel events are ignored by default and
+tolerance-compared with --wall-tolerance. Standard library only
+(unittest); pytest collects these classes too if present.
+"""
+
+import io
+import json
+import os
+import sys
+import tempfile
+import unittest
+from contextlib import redirect_stderr, redirect_stdout
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+import check_trend as trend  # noqa: E402
+
+
+def epoch(i, **fields):
+    event = {"event": "epoch", "chan": "det", "epoch": i,
+             "admitted": 10, "admitted_value": 50.0, "occupancy": 0.1,
+             "active_leases": 10, "expired": 0, "queue_depth": 0}
+    event.update(fields)
+    return event
+
+
+def wall(i, **fields):
+    event = {"event": "epoch_wall", "chan": "wall", "epoch": i,
+             "solve_seconds": 0.001}
+    event.update(fields)
+    return event
+
+
+SUMMARY = {"event": "summary", "chan": "det", "epochs": 2, "admitted": 20}
+
+
+class Harness(unittest.TestCase):
+    def run_trend(self, baseline_events, candidate_events, argv=()):
+        tmp = tempfile.mkdtemp(prefix="trend_gate_")
+        base_path = os.path.join(tmp, "baseline.jsonl")
+        cand_path = os.path.join(tmp, "candidate.jsonl")
+        for path, events in ((base_path, baseline_events),
+                             (cand_path, candidate_events)):
+            with open(path, "w") as f:
+                for event in events:
+                    f.write(json.dumps(event) + "\n")
+        out, err = io.StringIO(), io.StringIO()
+        old_argv = sys.argv
+        sys.argv = ["check_trend.py", "--baseline", base_path,
+                    "--candidate", cand_path, *argv]
+        try:
+            with redirect_stdout(out), redirect_stderr(err):
+                rc = trend.main()
+        finally:
+            sys.argv = old_argv
+        return rc, out.getvalue(), err.getvalue()
+
+
+class DetChannelExact(Harness):
+    def test_identical_streams_pass(self):
+        events = [epoch(0), epoch(1), SUMMARY, wall(0), wall(1)]
+        rc, out, err = self.run_trend(events, events)
+        self.assertEqual(rc, 0, msg=out + err)
+        self.assertIn("OK", out)
+
+    def test_any_det_drift_fails_and_names_trajectory(self):
+        baseline = [epoch(0), epoch(1, occupancy=0.2), SUMMARY]
+        candidate = [epoch(0), epoch(1, occupancy=0.2000001), SUMMARY]
+        rc, out, err = self.run_trend(baseline, candidate)
+        self.assertEqual(rc, 1, msg=out + err)
+        self.assertIn("occupancy trajectory diverged at epoch index 1", out)
+
+    def test_missing_det_event_fails(self):
+        baseline = [epoch(0), epoch(1), SUMMARY]
+        candidate = [epoch(0), SUMMARY]
+        rc, out, err = self.run_trend(baseline, candidate)
+        self.assertEqual(rc, 1, msg=out + err)
+        self.assertIn("det event count", out)
+
+
+class WallChannelTolerant(Harness):
+    def test_wall_ignored_by_default(self):
+        baseline = [epoch(0), SUMMARY, wall(0, solve_seconds=0.001)]
+        candidate = [epoch(0), SUMMARY, wall(0, solve_seconds=10.0)]
+        rc, out, err = self.run_trend(baseline, candidate)
+        self.assertEqual(rc, 0, msg=out + err)
+
+    def test_wall_within_tolerance_passes(self):
+        baseline = [epoch(0), SUMMARY, wall(0, solve_seconds=0.001)]
+        candidate = [epoch(0), SUMMARY, wall(0, solve_seconds=0.004)]
+        rc, out, err = self.run_trend(baseline, candidate,
+                                      ["--wall-tolerance", "10"])
+        self.assertEqual(rc, 0, msg=out + err)
+
+    def test_wall_beyond_tolerance_fails(self):
+        baseline = [epoch(0), SUMMARY, wall(0, solve_seconds=0.001)]
+        candidate = [epoch(0), SUMMARY, wall(0, solve_seconds=1.0)]
+        rc, out, err = self.run_trend(baseline, candidate,
+                                      ["--wall-tolerance", "10"])
+        self.assertEqual(rc, 1, msg=out + err)
+        self.assertIn("solve_seconds", out)
+
+    def test_extra_wall_events_are_not_an_error(self):
+        # Wall streams may differ in length (--det-only runs, crashes
+        # mid-wall-write): the det stream is the shape authority.
+        baseline = [epoch(0), SUMMARY]
+        candidate = [epoch(0), SUMMARY, wall(0)]
+        rc, out, err = self.run_trend(baseline, candidate,
+                                      ["--wall-tolerance", "10"])
+        self.assertEqual(rc, 0, msg=out + err)
+
+
+class StreamHygiene(Harness):
+    def test_event_without_chan_is_a_usage_error(self):
+        baseline = [epoch(0), SUMMARY]
+        candidate = [epoch(0), {"event": "epoch"}, SUMMARY]
+        with self.assertRaises(SystemExit) as ctx:
+            self.run_trend(baseline, candidate)
+        self.assertEqual(ctx.exception.code, 2)
+
+
+if __name__ == "__main__":
+    unittest.main()

@@ -41,9 +41,15 @@
 // Output:
 //   --csv                    per-epoch CSV instead of aligned table
 //   --quiet                  suppress the per-epoch series
-//   --json PATH              deterministic run summary as JSON (counters,
-//                            occupancy, lease churn — no wall-clock, so
-//                            the artifact cmp's clean across --threads)
+//   --json PATH              deterministic run summary as telemetry JSONL
+//                            (meta + hist + summary events, DESIGN.md §11 —
+//                            same schema tufp_serve streams; det channel
+//                            only, so the artifact cmp's clean across
+//                            --threads)
+//   --telemetry PATH|-       stream the full per-epoch telemetry
+//                            (epoch/hist/summary events). `-` replaces the
+//                            table: det events on stdout, wall on stderr
+//   --hist-every N           histogram snapshot cadence for --telemetry
 //
 // Output discipline: stdout carries only deterministic data — identical
 // for any --threads value and any machine (the determinism acceptance
@@ -60,6 +66,8 @@
 
 #include "tufp/engine/epoch_engine.hpp"
 #include "tufp/engine/request_stream.hpp"
+#include "tufp/obs/telemetry.hpp"
+#include "tufp/util/json.hpp"
 #include "tufp/util/parallel.hpp"
 #include "tufp/util/rng.hpp"
 #include "tufp/util/table.hpp"
@@ -101,6 +109,8 @@ struct Options {
   bool csv = false;
   bool quiet = false;
   std::string json_path;
+  std::string telemetry;
+  int hist_every = 0;
 };
 
 [[noreturn]] void usage() {
@@ -116,7 +126,8 @@ struct Options {
                "  [--duration-profile none|fixed|exponential|heavy-tailed|"
                "diurnal|flash-crowd]\n"
                "  [--duration-mean X] [--duration-period X] [--horizon X]\n"
-               "  [--csv] [--quiet] [--json PATH]\n";
+               "  [--csv] [--quiet] [--json PATH] [--telemetry PATH|-]\n"
+               "  [--hist-every N]\n";
   std::exit(2);
 }
 
@@ -156,6 +167,8 @@ Options parse(int argc, char** argv) {
     else if (a == "--csv") opt.csv = true;
     else if (a == "--quiet") opt.quiet = true;
     else if (a == "--json") opt.json_path = value(i);
+    else if (a == "--telemetry") opt.telemetry = value(i);
+    else if (a == "--hist-every") opt.hist_every = std::stoi(value(i));
     else usage();
   }
   if (opt.epochs < 1 || opt.requests < 0) usage();
@@ -193,37 +206,41 @@ DurationProfile parse_duration_profile(const std::string& name) {
   usage();
 }
 
-// Deterministic run summary (counters, lease churn, occupancy — nothing
-// wall-clock): the CI artifact `cmp`'d across --threads values.
+// The run-description event heading every telemetry stream this tool
+// writes (schema: DESIGN.md §11; tufp_serve emits its own meta fields).
+void emit_meta(obs::TelemetrySink& sink, const Options& opt,
+               const Graph& graph) {
+  JsonObject obj;
+  obj.field("event", "meta")
+      .field("chan", "det")
+      .field("tool", "tufp_engine")
+      .field("scenario", opt.scenario)
+      .field("duration_profile", opt.duration_profile)
+      .field("vertices", graph.num_vertices())
+      .field("edges", graph.num_edges())
+      .field("requests", opt.requests)
+      .field("arrivals", opt.arrivals)
+      .field("seed", static_cast<std::int64_t>(opt.seed));
+  sink.emit(obs::Channel::kDeterministic, obj.str());
+}
+
+// Deterministic run summary routed through the telemetry serializer: one
+// JSONL stream of meta + hist + summary events — the same schema and the
+// same %.17g formatter tufp_serve uses, det channel only, so the CI
+// artifact cmp's clean across --threads values.
 void write_json(const std::string& path, const Options& opt,
-                const EngineMetrics& metrics, std::int64_t active_leases,
-                double occupancy) {
+                const Graph& graph, const EngineMetrics& metrics,
+                std::int64_t active_leases, double occupancy) {
   std::ofstream os(path);
   if (!os.good()) {
     throw std::runtime_error("cannot open --json path: " + path);
   }
-  os.precision(17);
-  const EngineCounters& c = metrics.counters();
-  os << "{\n"
-     << "  \"scenario\": \"" << opt.scenario << "\",\n"
-     << "  \"duration_profile\": \"" << opt.duration_profile << "\",\n"
-     << "  \"requests\": " << c.requests_seen << ",\n"
-     << "  \"epochs\": " << c.epochs << ",\n"
-     << "  \"admitted\": " << c.admitted << ",\n"
-     << "  \"rejected\": " << c.rejected << ",\n"
-     << "  \"invalid_rejected\": " << c.invalid_rejected << ",\n"
-     << "  \"queue_dropped\": " << c.queue_dropped << ",\n"
-     << "  \"admitted_fraction\": " << metrics.admitted_fraction() << ",\n"
-     << "  \"offered_value\": " << c.offered_value << ",\n"
-     << "  \"admitted_value\": " << c.admitted_value << ",\n"
-     << "  \"revenue\": " << c.revenue << ",\n"
-     << "  \"solver_iterations\": " << c.solver_iterations << ",\n"
-     << "  \"sp_computations\": " << c.sp_computations << ",\n"
-     << "  \"finite_leases\": " << c.finite_leases << ",\n"
-     << "  \"leases_expired\": " << c.leases_expired << ",\n"
-     << "  \"active_leases\": " << active_leases << ",\n"
-     << "  \"occupancy\": " << occupancy << "\n"
-     << "}\n";
+  obs::StreamSink sink(&os, nullptr);
+  emit_meta(sink, opt, graph);
+  obs::EpochTelemetry telemetry(&sink, {/*histogram_every=*/0,
+                                        /*wall_events=*/false});
+  telemetry.finish(metrics, active_leases, occupancy,
+                   /*wall_seconds=*/0.0, /*requests_per_second=*/0.0);
 }
 
 }  // namespace
@@ -286,6 +303,33 @@ int main(int argc, char** argv) {
 
     EpochEngine engine(scenario.graph, config);
 
+    // Live telemetry (DESIGN.md §11): per-epoch JSONL through the same
+    // serializer tufp_serve streams. `-` splits channels across
+    // stdout/stderr and replaces the table (two det formats interleaved
+    // on one stream would be byte-comparable to nothing).
+    std::ofstream telemetry_file;
+    std::unique_ptr<obs::StreamSink> telemetry_sink;
+    std::unique_ptr<obs::EpochTelemetry> telemetry;
+    const bool telemetry_to_stdout = opt.telemetry == "-";
+    if (!opt.telemetry.empty()) {
+      if (telemetry_to_stdout) {
+        telemetry_sink =
+            std::make_unique<obs::StreamSink>(&std::cout, &std::cerr);
+      } else {
+        telemetry_file.open(opt.telemetry);
+        if (!telemetry_file.good()) {
+          throw std::runtime_error("cannot open --telemetry path: " +
+                                   opt.telemetry);
+        }
+        telemetry_sink = std::make_unique<obs::StreamSink>(&telemetry_file,
+                                                           &telemetry_file);
+      }
+      emit_meta(*telemetry_sink, opt, *scenario.graph);
+      telemetry = std::make_unique<obs::EpochTelemetry>(
+          telemetry_sink.get(),
+          obs::TelemetryConfig{opt.hist_every, /*wall_events=*/true});
+    }
+
     // The lease columns appear only under a finite duration profile, so
     // the default (permanent-lease) table stays byte-identical to the
     // pre-temporal engine — the committed golden traces pin this.
@@ -300,6 +344,7 @@ int main(int argc, char** argv) {
     series.set_precision(2);
     const EngineSummary summary =
         engine.run(*stream, [&](const AdmissionReport& r) {
+      if (telemetry) telemetry->on_epoch(r, engine.metrics());
       auto row = series.row();
       row.cell(r.epoch)
           .cell(r.batch_size)
@@ -320,7 +365,7 @@ int main(int argc, char** argv) {
         });
 
     // Deterministic channel: epoch series + load summary.
-    if (!opt.quiet) {
+    if (!opt.quiet && !telemetry_to_stdout) {
       if (opt.csv) {
         series.write_csv(std::cout);
       } else {
@@ -334,20 +379,42 @@ int main(int argc, char** argv) {
     // state). Makes the steady state inspectable after a finite stream.
     if (opt.horizon > 0.0) {
       const int reclaimed = engine.reclaim_expired(opt.horizon);
-      std::cout << "horizon=" << Table::format_double(opt.horizon, 2)
-                << " reclaimed=" << reclaimed << " active_leases="
-                << (engine.lease_ledger() != nullptr
-                        ? engine.lease_ledger()->active_count()
-                        : 0)
-                << "\n";
+      const std::int64_t active =
+          engine.lease_ledger() != nullptr
+              ? engine.lease_ledger()->active_count()
+              : 0;
+      if (telemetry) {
+        JsonObject obj;
+        obj.field("event", "drain")
+            .field("chan", "det")
+            .field("t", opt.horizon)
+            .field("reclaimed", reclaimed)
+            .field("active_leases", active)
+            .field("occupancy", engine.metrics().occupancy());
+        telemetry_sink->emit(obs::Channel::kDeterministic, obj.str());
+      }
+      if (!telemetry_to_stdout) {
+        std::cout << "horizon=" << Table::format_double(opt.horizon, 2)
+                  << " reclaimed=" << reclaimed << " active_leases=" << active
+                  << "\n";
+      }
     }
 
-    std::cout << "=== AdmissionReport summary ===\n"
-              << engine.metrics().summary(/*include_wall_clock=*/false);
+    if (telemetry) {
+      const auto* ledger = engine.lease_ledger();
+      telemetry->finish(engine.metrics(),
+                        ledger != nullptr ? ledger->active_count() : 0,
+                        engine.metrics().occupancy(), summary.wall_seconds,
+                        summary.requests_per_second);
+    }
+    if (!telemetry_to_stdout) {
+      std::cout << "=== AdmissionReport summary ===\n"
+                << engine.metrics().summary(/*include_wall_clock=*/false);
+    }
 
     if (!opt.json_path.empty()) {
       const auto* ledger = engine.lease_ledger();
-      write_json(opt.json_path, opt, engine.metrics(),
+      write_json(opt.json_path, opt, *scenario.graph, engine.metrics(),
                  ledger != nullptr ? ledger->active_count() : 0,
                  engine.metrics().occupancy());
       std::cerr << "wrote " << opt.json_path << "\n";
