@@ -5,37 +5,41 @@
 #include <span>
 
 #include "tufp/ufp/detail/sp_cache.hpp"
+#include "tufp/ufp/detail/substrate.hpp"
+#include "tufp/ufp/detail/workspace_access.hpp"
 #include "tufp/util/assert.hpp"
 #include "tufp/util/math.hpp"
 
 namespace tufp {
 
-BkvResult bkv_ufp(const UfpInstance& instance, const BoundedUfpConfig& config) {
+namespace {
+
+BkvResult run_bkv(const detail::Substrate& sub, const BoundedUfpConfig& config,
+                  detail::SpCache& cache, bool warm_start) {
   TUFP_REQUIRE(config.epsilon > 0.0 && config.epsilon <= 1.0,
                "epsilon outside (0,1]");
-  TUFP_REQUIRE(instance.is_normalized(), "demands must be in (0,1]");
-  const Graph& g = instance.graph();
-  const double B = instance.bound_B();
+  TUFP_REQUIRE(sub.num_active > 0, "BKV needs at least one active edge");
+  const double B = sub.B;
   TUFP_REQUIRE(B >= 1.0, "B must be >= 1");
   const double eps = config.epsilon;
   TUFP_REQUIRE(eps * B <= kMaxSafeExponent, "eps*B too large");
   TUFP_REQUIRE(!config.run_to_saturation || config.capacity_guard,
                "run_to_saturation requires the capacity guard");
 
-  const int m = g.num_edges();
-  const int R = instance.num_requests();
+  const int R = static_cast<int>(sub.requests.size());
 
   BkvResult result{UfpSolution(R)};
   result.coarse_upper_bound = kInf;
   result.tight_upper_bound = kInf;
 
-  std::vector<double> y(static_cast<std::size_t>(m));
-  for (EdgeId e = 0; e < m; ++e) y[static_cast<std::size_t>(e)] = 1.0 / g.capacity(e);
-  double dual_sum = static_cast<double>(m);
+  std::vector<double> y;
+  double dual_sum = 0.0;
+  WeightProfile profile;
+  detail::init_duals(sub, &y, &dual_sum, &profile);
   const double threshold = std::exp(eps * (B - 1.0));
 
-  std::vector<double> residual(g.capacities().begin(), g.capacities().end());
-  std::vector<std::int64_t> edge_stamp(static_cast<std::size_t>(m), 0);
+  std::vector<double> residual(sub.capacities.begin(), sub.capacities.end());
+  std::vector<std::int64_t> edge_stamp(sub.capacities.size(), 0);
   std::int64_t now = 0;
 
   // The coarse certificate needs shortest paths for *every* request each
@@ -44,9 +48,6 @@ BkvResult bkv_ufp(const UfpInstance& instance, const BoundedUfpConfig& config) {
   for (int r = 0; r < R; ++r) all[static_cast<std::size_t>(r)] = r;
   std::vector<bool> selected(static_cast<std::size_t>(R), false);
 
-  detail::SpCache cache(instance, config.parallel, config.num_threads,
-                        config.sp_kernel);
-  WeightProfile profile = WeightProfile::scan(y);
   const std::span<const double> guard_residual =
       config.capacity_guard ? std::span<const double>(residual)
                             : std::span<const double>();
@@ -61,7 +62,8 @@ BkvResult bkv_ufp(const UfpInstance& instance, const BoundedUfpConfig& config) {
     }
     ++now;
     cache.refresh(y, edge_stamp, now, all, config.lazy_shortest_paths,
-                  guard_residual, &profile);
+                  guard_residual, &profile, sub.blocked,
+                  /*epoch_start=*/warm_start && now == 1);
 
     int best = -1;
     double best_priority = kInf;
@@ -70,7 +72,7 @@ BkvResult bkv_ufp(const UfpInstance& instance, const BoundedUfpConfig& config) {
     for (int r = 0; r < R; ++r) {
       const auto& entry = cache.entry(r);
       if (!entry.reachable) continue;
-      const Request& req = instance.request(r);
+      const Request& req = sub.requests[static_cast<std::size_t>(r)];
       const double priority = req.demand / req.value * entry.length;
       alpha_all = std::min(alpha_all, priority);
       if (selected[static_cast<std::size_t>(r)]) continue;
@@ -96,11 +98,11 @@ BkvResult bkv_ufp(const UfpInstance& instance, const BoundedUfpConfig& config) {
 
     if (best < 0) break;
 
-    const Request& req = instance.request(best);
+    const Request& req = sub.requests[static_cast<std::size_t>(best)];
     const auto& entry = cache.entry(best);
     for (EdgeId e : entry.path) {
       const auto ei = static_cast<std::size_t>(e);
-      const double cap = g.capacity(e);
+      const double cap = sub.capacities[ei];
       const double old_y = y[ei];
       y[ei] = old_y * std::exp(eps * B * req.demand / cap);
       dual_sum += cap * (y[ei] - old_y);
@@ -119,6 +121,31 @@ BkvResult bkv_ufp(const UfpInstance& instance, const BoundedUfpConfig& config) {
     result.tight_upper_bound = std::min(result.tight_upper_bound, primal_value);
   }
   return result;
+}
+
+}  // namespace
+
+BkvResult bkv_ufp(const UfpInstance& instance, const BoundedUfpConfig& config) {
+  TUFP_REQUIRE(instance.is_normalized(), "demands must be in (0,1]");
+  const detail::Substrate sub = detail::substrate_of(instance);
+  detail::SpCache cache(instance, config.parallel, config.num_threads,
+                        config.sp_kernel);
+  return run_bkv(sub, config, cache, /*warm_start=*/false);
+}
+
+BkvResult bkv_ufp(const ResidualView& view, std::span<const Request> requests,
+                  const BoundedUfpConfig& config, UfpWorkspace* workspace) {
+  const detail::Substrate sub = detail::substrate_of(view, requests);
+  detail::validate_requests(sub);
+  if (workspace != nullptr) {
+    detail::SpCache& cache = detail::WorkspaceAccess::bind_cache(
+        *workspace, view.owner(), requests, config.parallel,
+        config.num_threads, config.sp_kernel);
+    return run_bkv(sub, config, cache, /*warm_start=*/true);
+  }
+  detail::SpCache cache(view.base(), requests, config.parallel,
+                        config.num_threads, config.sp_kernel);
+  return run_bkv(sub, config, cache, /*warm_start=*/false);
 }
 
 }  // namespace tufp

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <optional>
 #include <utility>
 
 #include "tufp/mechanism/allocation_rule.hpp"
@@ -28,6 +29,11 @@ EpochEngine::EpochEngine(std::shared_ptr<const Graph> base_graph,
                "is unsound on infeasible epoch outputs");
   residual_.assign(base_->capacities().begin(), base_->capacities().end());
   for (const double c : base_->capacities()) total_capacity_ += c;
+  if (config_.persistent_residual) {
+    rgraph_ =
+        std::make_unique<ResidualGraph>(base_, config_.min_usable_capacity);
+    workspace_ = std::make_unique<UfpWorkspace>();
+  }
   if (config_.track_leases) {
     ledger_ = std::make_unique<temporal::LeaseLedger>(
         base_->num_edges(),
@@ -37,6 +43,12 @@ EpochEngine::EpochEngine(std::shared_ptr<const Graph> base_graph,
 
 void EpochEngine::reset() {
   residual_.assign(base_->capacities().begin(), base_->capacities().end());
+  if (rgraph_) {
+    rgraph_->reset();
+    // The stamp clock restarted: every cached tree's computed_clock is
+    // now meaningless, so the workspace must be dropped wholesale.
+    workspace_->clear();
+  }
   metrics_ = EngineMetrics();
   if (ledger_) ledger_->clear();
   epoch_ = 0;
@@ -55,24 +67,37 @@ int EpochEngine::reclaim_expired(double now) {
   // The ledger clock never runs backwards; a stale `now` (e.g. an
   // explicit run_epoch() with an older batch) reclaims at the frontier.
   const double effective = std::max(now, ledger_->now());
+  const std::span<double> residual =
+      rgraph_ ? rgraph_->mutable_residual() : std::span<double>(residual_);
   int expired = 0;
-  if (config_.inject_reclaim_leak > 0.0) {
-    // Oracle-bite fault (see the config field): after the ledger returns
-    // an expired lease's capacity — snap rule included — "lose" a
-    // fraction of it again on every edge the lease crossed. Conservation
-    // (leased + residual == capacity) now fails, which is exactly what
-    // the in-service sanity checks must catch.
+  // The persistent store needs the drained leases back: every edge a
+  // reclaim touched must be stamped (and last_decrease bumped) or the
+  // cross-epoch tree cache could serve a path priced before the capacity
+  // returned (residual_csr.hpp).
+  if (config_.inject_reclaim_leak > 0.0 || rgraph_) {
     std::vector<temporal::Lease> drained;
-    expired = ledger_->reclaim_until(effective, base_->capacities(),
-                                     residual_, &drained);
-    for (const temporal::Lease& lease : drained) {
-      for (const EdgeId e : lease.edges) {
-        auto& r = residual_[static_cast<std::size_t>(e)];
-        r = std::max(0.0, r - config_.inject_reclaim_leak * lease.demand);
+    expired = ledger_->reclaim_until(effective, base_->capacities(), residual,
+                                     &drained);
+    if (config_.inject_reclaim_leak > 0.0) {
+      // Oracle-bite fault (see the config field): after the ledger returns
+      // an expired lease's capacity — snap rule included — "lose" a
+      // fraction of it again on every edge the lease crossed. Conservation
+      // (leased + residual == capacity) now fails, which is exactly what
+      // the in-service sanity checks must catch.
+      for (const temporal::Lease& lease : drained) {
+        for (const EdgeId e : lease.edges) {
+          auto& r = residual[static_cast<std::size_t>(e)];
+          r = std::max(0.0, r - config_.inject_reclaim_leak * lease.demand);
+        }
+      }
+    }
+    if (rgraph_) {
+      for (const temporal::Lease& lease : drained) {
+        rgraph_->note_reclaimed(lease.edges);
       }
     }
   } else {
-    expired = ledger_->reclaim_until(effective, base_->capacities(), residual_);
+    expired = ledger_->reclaim_until(effective, base_->capacities(), residual);
   }
   if (expired > 0) {
     metrics_.counters().leases_expired += expired;
@@ -239,14 +264,29 @@ AdmissionReport EpochEngine::clear_epoch(const std::vector<TimedRequest>& batch,
   }
   metrics_.counters().offered_value += report.offered_value;
 
-  const GraphSnapshot snapshot =
-      GraphSnapshot::compile(base_, residual_, config_.min_usable_capacity);
-  report.active_edges = snapshot.num_active_edges();
-  report.saturated_edges = snapshot.num_saturated_edges();
-  report.min_residual =
-      snapshot.num_active_edges() > 0 ? snapshot.min_residual() : 0.0;
+  // Epoch residual view. Persistent mode rescans the activity mask in
+  // place (O(m), no allocation); snapshot mode compiles the legacy
+  // value-copy subgraph. Both report identical active/saturated/min
+  // fields: the active sets coincide (residual >= floor) and min over
+  // the same set of doubles is exact.
+  const bool persistent = rgraph_ != nullptr;
+  std::optional<GraphSnapshot> snapshot;
+  if (persistent) {
+    rgraph_->open_epoch();
+    report.active_edges = rgraph_->num_active();
+    report.saturated_edges = rgraph_->num_saturated();
+    report.min_residual =
+        rgraph_->num_active() > 0 ? rgraph_->min_residual() : 0.0;
+  } else {
+    snapshot.emplace(
+        GraphSnapshot::compile(base_, residual_, config_.min_usable_capacity));
+    report.active_edges = snapshot->num_active_edges();
+    report.saturated_edges = snapshot->num_saturated_edges();
+    report.min_residual =
+        snapshot->num_active_edges() > 0 ? snapshot->min_residual() : 0.0;
+  }
 
-  if (requests.empty() || snapshot.num_active_edges() == 0) {
+  if (requests.empty() || report.active_edges == 0) {
     // Fully saturated network (or nothing valid to clear): every valid bid
     // is rejected without an auction. Lease gauges still report — on a
     // churning workload a saturated epoch is exactly when occupancy is
@@ -261,18 +301,32 @@ AdmissionReport EpochEngine::clear_epoch(const std::vector<TimedRequest>& batch,
     return report;
   }
 
-  const UfpInstance instance(snapshot.graph(), std::move(requests));
-
   // Keep the weight exponent in double range whatever the epoch bound B
   // is; epsilon only trades approximation quality, not feasibility.
   BoundedUfpConfig solver_cfg = config_.solver;
-  const double B = snapshot.min_residual();
+  const double B =
+      persistent ? rgraph_->min_residual() : snapshot->min_residual();
   solver_cfg.epsilon = std::min(solver_cfg.epsilon, kMaxSafeExponent / B);
+  // The engine never reads the final duals; skipping the export keeps a
+  // clean epoch (nothing admitted) free of O(m) work in both modes.
+  solver_cfg.export_duals = false;
   if (config_.payments == PaymentPolicy::kDualPrice) {
     solver_cfg.record_trace = true;  // admission-time alpha per winner
   }
 
-  const BoundedUfpResult run = bounded_ufp(instance, solver_cfg);
+  // Persistent mode solves over the residual view (base edge ids, warm
+  // workspace); snapshot mode over the compiled epoch instance. Same
+  // algorithm, byte-identical output — the residual-differential oracle
+  // pins this.
+  std::optional<UfpInstance> instance;
+  const BoundedUfpResult run = [&]() -> BoundedUfpResult {
+    if (persistent) {
+      return bounded_ufp(rgraph_->view(), requests, solver_cfg,
+                         workspace_.get());
+    }
+    instance.emplace(snapshot->graph(), requests);
+    return bounded_ufp(*instance, solver_cfg);
+  }();
   report.solver_iterations = run.iterations;
   report.sp_computations = run.sp_computations;
   report.sp_tree_runs = run.sp_tree_runs;
@@ -281,25 +335,32 @@ AdmissionReport EpochEngine::clear_epoch(const std::vector<TimedRequest>& batch,
   metrics_.counters().sp_computations += run.sp_computations;
   metrics_.counters().sp_tree_runs += run.sp_tree_runs;
 
-  std::vector<double> payments(
-      static_cast<std::size_t>(instance.num_requests()), 0.0);
-  apply_payments(instance, run, solver_cfg, &payments);
+  std::vector<double> payments(requests.size(), 0.0);
+  apply_payments(requests, instance ? &*instance : nullptr, run, solver_cfg,
+                 &payments);
 
-  for (int r = 0; r < instance.num_requests(); ++r) {
+  for (int r = 0; r < static_cast<int>(requests.size()); ++r) {
     if (!run.solution.is_selected(r)) {
       ++metrics_.counters().rejected;
       continue;
     }
     const Path& path = *run.solution.path_of(r);
-    const double demand = instance.request(r).demand;
+    const double demand = requests[static_cast<std::size_t>(r)].demand;
     std::vector<EdgeId> base_edges;
     if (ledger_) base_edges.reserve(path.size());
-    for (EdgeId e : path) {
-      const auto base_e = static_cast<std::size_t>(snapshot.base_edge(e));
-      residual_[base_e] = std::max(0.0, residual_[base_e] - demand);
-      if (ledger_) base_edges.push_back(static_cast<EdgeId>(base_e));
+    if (persistent) {
+      // The solver already speaks base edge ids: commit the decrement +
+      // stamp in place, no translation.
+      rgraph_->commit_admission(path, demand);
+      if (ledger_) base_edges.assign(path.begin(), path.end());
+    } else {
+      for (EdgeId e : path) {
+        const auto base_e = static_cast<std::size_t>(snapshot->base_edge(e));
+        residual_[base_e] = std::max(0.0, residual_[base_e] - demand);
+        if (ledger_) base_edges.push_back(static_cast<EdgeId>(base_e));
+      }
     }
-    const double bid = instance.request(r).value;
+    const double bid = requests[static_cast<std::size_t>(r)].value;
     const int bi = batch_index[static_cast<std::size_t>(r)];
     const TimedRequest& timed = batch[static_cast<std::size_t>(bi)];
     if (ledger_) {
@@ -336,7 +397,8 @@ AdmissionReport EpochEngine::clear_epoch(const std::vector<TimedRequest>& batch,
   return report;
 }
 
-void EpochEngine::apply_payments(const UfpInstance& instance,
+void EpochEngine::apply_payments(std::span<const Request> requests,
+                                 const UfpInstance* instance,
                                  const BoundedUfpResult& run,
                                  const BoundedUfpConfig& solver_cfg,
                                  std::vector<double>* payments) {
@@ -348,13 +410,28 @@ void EpochEngine::apply_payments(const UfpInstance& instance,
       // trace. pay = v * min(1, alpha): the congestion price of the
       // admitted path, capped at the bid for individual rationality.
       for (const IterationRecord& it : run.trace) {
-        const double bid = instance.request(it.request).value;
+        const double bid = requests[static_cast<std::size_t>(it.request)].value;
         (*payments)[static_cast<std::size_t>(it.request)] =
             bid * std::min(1.0, it.alpha);
       }
       return;
     }
     case PaymentPolicy::kCritical: {
+      // The bisection probes need an epoch instance. Persistent mode has
+      // none — compile it here from the frozen epoch-start residuals
+      // (live residuals are untouched until the winner loop below, so
+      // this is bit-for-bit the snapshot the legacy path would have
+      // built, and with it the payments are byte-identical too). The
+      // critical path is documented as the expensive policy; one compile
+      // per *paying* epoch keeps the no-payment hot path allocation-free.
+      std::optional<UfpInstance> local;
+      if (instance == nullptr) {
+        const GraphSnapshot snap = GraphSnapshot::compile(
+            base_, rgraph_->epoch_capacities(), config_.min_usable_capacity);
+        local.emplace(snap.graph(),
+                      std::vector<Request>(requests.begin(), requests.end()));
+        instance = &*local;
+      }
       // Winner shard of the epoch clear: each winner's critical-value
       // bisection is an independent re-solve against the same immutable
       // epoch instance, so winners fan out across OpenMP threads and the
@@ -368,14 +445,14 @@ void EpochEngine::apply_payments(const UfpInstance& instance,
       probe_cfg.parallel = false;
       const UfpRule rule = make_bounded_ufp_rule(probe_cfg);
       std::vector<int> winners;
-      for (int r = 0; r < instance.num_requests(); ++r) {
+      for (int r = 0; r < instance->num_requests(); ++r) {
         if (run.solution.is_selected(r)) winners.push_back(r);
       }
       const auto price_winner = [&](int r) {
         const double critical =
-            ufp_critical_value(instance, rule, r, config_.payment_options);
+            ufp_critical_value(*instance, rule, r, config_.payment_options);
         (*payments)[static_cast<std::size_t>(r)] =
-            std::min(critical, instance.request(r).value);
+            std::min(critical, instance->request(r).value);
       };
 #if defined(TUFP_HAVE_OPENMP)
       if (config_.solver.parallel && winners.size() > 1) {

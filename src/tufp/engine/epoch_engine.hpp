@@ -46,9 +46,11 @@
 #include "tufp/engine/metrics.hpp"
 #include "tufp/engine/request_stream.hpp"
 #include "tufp/engine/snapshot.hpp"
+#include "tufp/graph/residual_csr.hpp"
 #include "tufp/mechanism/critical_payment.hpp"
 #include "tufp/temporal/lease_ledger.hpp"
 #include "tufp/ufp/bounded_ufp.hpp"
+#include "tufp/ufp/workspace.hpp"
 
 namespace tufp {
 
@@ -97,6 +99,18 @@ struct EpochEngineConfig {
   // Timer-wheel tick (virtual seconds). Performance knob only; expiry
   // comparisons stay exact at any tick.
   double lease_tick_seconds = 0.05;
+
+  // Persistent residual graph (DESIGN.md §12). On (the default) the
+  // engine keeps ONE struct-of-arrays residual store for the life of the
+  // world and clears each epoch against it through the ResidualView hot
+  // path: open_epoch() rescans the activity mask in place, the solver
+  // reads base edge ids directly (no snapshot compile, no edge-id
+  // translation), and a cross-epoch UfpWorkspace carries the sp_cache's
+  // engine pool, shard plan and stamp-validated shortest-path trees
+  // between epochs. Off: the legacy GraphSnapshot-per-epoch path, kept
+  // as the differential baseline — the residual-differential sim oracle
+  // proves both modes byte-identical.
+  bool persistent_residual = true;
 
   // Keep per-request AdmissionRecords in each report (tests, small runs).
   bool record_allocations = false;
@@ -187,8 +201,12 @@ class EpochEngine {
   AdmissionReport run_epoch(const std::vector<TimedRequest>& batch,
                             double close_time);
 
-  // Current residual capacity per base EdgeId.
-  std::span<const double> residual() const { return residual_; }
+  // Current residual capacity per base EdgeId (whichever store is live:
+  // the persistent graph or the legacy vector).
+  std::span<const double> residual() const {
+    return rgraph_ ? rgraph_->residual()
+                   : std::span<const double>(residual_);
+  }
   const Graph& base_graph() const { return *base_; }
   const EngineMetrics& metrics() const { return metrics_; }
   const EpochEngineConfig& config() const { return config_; }
@@ -204,6 +222,11 @@ class EpochEngine {
 
   // The lease ledger, or nullptr without track_leases.
   const temporal::LeaseLedger* lease_ledger() const { return ledger_.get(); }
+
+  // The persistent residual store / cross-epoch solver workspace, or
+  // nullptr when persistent_residual is off (tests, telemetry).
+  const ResidualGraph* residual_graph() const { return rgraph_.get(); }
+  const UfpWorkspace* workspace() const { return workspace_.get(); }
 
   // Stream-level ingestion counters for external drivers (tufp_serve)
   // that batch their own queue instead of going through run(): requests
@@ -222,14 +245,19 @@ class EpochEngine {
  private:
   AdmissionReport clear_epoch(const std::vector<TimedRequest>& batch,
                               double close_time);
-  void apply_payments(const UfpInstance& instance, const BoundedUfpResult& run,
+  // `instance` is the epoch instance in snapshot mode, nullptr in
+  // persistent mode (kCritical compiles one lazily — see the .cpp).
+  void apply_payments(std::span<const Request> requests,
+                      const UfpInstance* instance, const BoundedUfpResult& run,
                       const BoundedUfpConfig& solver_cfg,
                       std::vector<double>* payments);
   void refresh_lease_gauges();
 
   std::shared_ptr<const Graph> base_;
   EpochEngineConfig config_;
-  std::vector<double> residual_;
+  std::vector<double> residual_;  // legacy-mode store; unused when rgraph_
+  std::unique_ptr<ResidualGraph> rgraph_;
+  std::unique_ptr<UfpWorkspace> workspace_;
   std::unique_ptr<temporal::LeaseLedger> ledger_;
   double total_capacity_ = 0.0;
   EngineMetrics metrics_;

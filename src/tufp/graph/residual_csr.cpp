@@ -1,0 +1,231 @@
+#include "tufp/graph/residual_csr.hpp"
+
+#include <algorithm>
+
+#include "tufp/util/assert.hpp"
+
+namespace tufp {
+
+const Graph& ResidualView::base() const { return rg_->base(); }
+
+const std::shared_ptr<const Graph>& ResidualView::base_shared() const {
+  return rg_->base_shared();
+}
+
+std::span<const double> ResidualView::capacities() const {
+  return rg_->epoch_capacities();
+}
+
+std::span<const double> ResidualView::residual() const {
+  return rg_->residual();
+}
+
+std::span<const std::uint8_t> ResidualView::blocked() const {
+  return rg_->blocked();
+}
+
+std::span<const std::int64_t> ResidualView::stamps() const {
+  return rg_->stamps();
+}
+
+int ResidualView::num_active() const { return rg_->num_active(); }
+
+double ResidualView::bound_B() const { return rg_->min_residual(); }
+
+std::int64_t ResidualView::clock() const { return rg_->clock(); }
+
+std::int64_t ResidualView::last_decrease() const {
+  return rg_->last_decrease();
+}
+
+void ResidualView::commit_admission(std::span<const EdgeId> path,
+                                    double demand) const {
+  rg_->commit_admission(path, demand);
+}
+
+UfpInstance ResidualView::make_instance(
+    std::span<const Request> requests) const {
+  TUFP_REQUIRE(rg_->num_active() == rg_->base().num_edges(),
+               "make_instance requires every edge active: a UfpInstance "
+               "cannot express the blocked mask");
+  return UfpInstance(rg_->base_shared(),
+                     std::vector<Request>(requests.begin(), requests.end()));
+}
+
+ResidualGraph::ResidualGraph(std::shared_ptr<const Graph> base,
+                             double min_usable_capacity)
+    : base_(std::move(base)), floor_(min_usable_capacity) {
+  TUFP_REQUIRE(base_ != nullptr, "residual graph needs a base graph");
+  TUFP_REQUIRE(base_->finalized(), "base graph must be finalized");
+  TUFP_REQUIRE(floor_ > 0.0, "min usable capacity must be positive");
+  const auto m = static_cast<std::size_t>(base_->num_edges());
+  residual_.assign(base_->capacities().begin(), base_->capacities().end());
+  epoch_capacity_.assign(m, 0.0);
+  blocked_.assign(m, 0);
+  stamp_.assign(m, 0);
+  open_epoch();
+}
+
+void ResidualGraph::open_epoch() {
+  // Clean epoch: no stamp tick since the last rescan means no residual
+  // moved, so the mask, frozen capacities, count and min are all exact.
+  if (opened_at_clock_ == clock_) return;
+  const auto m = static_cast<std::size_t>(base_->num_edges());
+  num_active_ = 0;
+  min_residual_ = kInf;
+  for (std::size_t e = 0; e < m; ++e) {
+    const double r = residual_[e];
+    epoch_capacity_[e] = r;
+    if (r >= floor_) {
+      blocked_[e] = 0;
+      ++num_active_;
+      min_residual_ = std::min(min_residual_, r);
+    } else {
+      blocked_[e] = 1;
+    }
+  }
+  opened_at_clock_ = clock_;
+}
+
+void ResidualGraph::commit_admission(std::span<const EdgeId> path,
+                                     double demand) {
+  TUFP_REQUIRE(demand > 0.0, "admitted demand must be positive");
+  ++clock_;
+  for (const EdgeId e : path) {
+    const auto idx = static_cast<std::size_t>(e);
+    TUFP_REQUIRE(idx < residual_.size(), "path edge out of range");
+    residual_[idx] = std::max(0.0, residual_[idx] - demand);
+    stamp_[idx] = clock_;
+  }
+}
+
+void ResidualGraph::note_reclaimed(std::span<const EdgeId> edges) {
+  if (edges.empty()) return;
+  ++clock_;
+  for (const EdgeId e : edges) {
+    const auto idx = static_cast<std::size_t>(e);
+    TUFP_REQUIRE(idx < residual_.size(), "reclaimed edge out of range");
+    stamp_[idx] = clock_;
+  }
+  last_decrease_ = clock_;
+}
+
+void ResidualGraph::reset() {
+  std::copy(base_->capacities().begin(), base_->capacities().end(),
+            residual_.begin());
+  std::fill(stamp_.begin(), stamp_.end(), 0);
+  clock_ = 0;
+  last_decrease_ = 0;
+  opened_at_clock_ = -1;  // the clock restarted; the fast path must not fire
+  open_epoch();
+}
+
+int SourceTreeCache::Tree::index_of(VertexId v) const {
+  const auto it = std::lower_bound(vertices.begin(), vertices.end(), v);
+  if (it == vertices.end() || *it != v) return -1;
+  return static_cast<int>(it - vertices.begin());
+}
+
+SourceTreeCache::SourceTreeCache() : SourceTreeCache(Limits()) {}
+
+SourceTreeCache::SourceTreeCache(Limits limits) : limits_(limits) {
+  TUFP_REQUIRE(limits_.max_trees > 0, "tree cache needs room for a tree");
+}
+
+const SourceTreeCache::Tree* SourceTreeCache::lookup(VertexId source) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = by_source_.find(source);
+  if (it == by_source_.end()) return nullptr;
+  return &trees_[it->second];
+}
+
+void SourceTreeCache::store(VertexId source, const ShortestPathEngine& engine,
+                            std::int64_t computed_clock) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const double radius = engine.settled_radius();
+  // The bucket kernel drains its final bucket past the last target;
+  // filtering at the radius keeps the stored set kernel-invariant.
+  scratch_.clear();
+  for (const VertexId v : engine.settled_vertices()) {
+    if (engine.settled_dist(v) <= radius) scratch_.push_back(v);
+  }
+  std::sort(scratch_.begin(), scratch_.end());
+
+  const std::size_t bytes_needed =
+      scratch_.size() *
+      (sizeof(VertexId) * 2 + sizeof(double) + sizeof(EdgeId));
+  if (trees_.size() >= static_cast<std::size_t>(limits_.max_trees) ||
+      arena_.bytes_allocated() + bytes_needed > limits_.max_bytes) {
+    // Wholesale generation-reset eviction: rewind the arena, drop every
+    // tree, and start a new generation (no per-tree free path exists).
+    clear_locked();
+    ++evictions_;
+  }
+
+  const std::size_t k = scratch_.size();
+  auto vertices = arena_.allocate<VertexId>(k);
+  auto dist = arena_.allocate<double>(k);
+  auto parent_vertex = arena_.allocate<VertexId>(k);
+  auto parent_edge = arena_.allocate<EdgeId>(k);
+  for (std::size_t i = 0; i < k; ++i) {
+    const VertexId v = scratch_[i];
+    vertices[i] = v;
+    dist[i] = engine.settled_dist(v);
+    parent_vertex[i] = engine.settled_parent_vertex(v);
+    parent_edge[i] = engine.settled_parent_edge(v);
+  }
+
+  Tree tree;
+  tree.source = source;
+  tree.computed_clock = computed_clock;
+  tree.radius = radius;
+  tree.vertices = vertices;
+  tree.dist = dist;
+  tree.parent_vertex = parent_vertex;
+  tree.parent_edge = parent_edge;
+
+  const auto it = by_source_.find(source);
+  if (it != by_source_.end()) {
+    // Replace in place; the old record block stays allocated in the
+    // arena until the next generation reset (bounded by max_bytes).
+    trees_[it->second] = tree;
+  } else {
+    by_source_.emplace(source, trees_.size());
+    trees_.push_back(tree);
+  }
+  ++stores_;
+}
+
+void SourceTreeCache::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  clear_locked();
+}
+
+void SourceTreeCache::clear_locked() {
+  trees_.clear();
+  by_source_.clear();
+  arena_.reset();
+  ++generation_;
+}
+
+std::int64_t SourceTreeCache::generation() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return generation_;
+}
+
+std::int64_t SourceTreeCache::stores() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stores_;
+}
+
+std::int64_t SourceTreeCache::evictions() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return evictions_;
+}
+
+std::size_t SourceTreeCache::num_trees() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return trees_.size();
+}
+
+}  // namespace tufp

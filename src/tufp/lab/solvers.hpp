@@ -20,6 +20,7 @@
 #include <span>
 #include <string>
 
+#include "tufp/graph/residual_csr.hpp"
 #include "tufp/ufp/instance.hpp"
 #include "tufp/ufp/solution.hpp"
 
@@ -32,6 +33,10 @@ struct LabSolveConfig {
   // the claim36 certifying run, which uses the identical configuration.
   double epsilon = 1.0 / 6.0;
   std::uint64_t rounding_seed = 0xd1ce;
+  // Shortest-path queue for the primal-dual members (bounded, bkv, and
+  // the sweep's certifying run). Kernel choice never changes results —
+  // the thread/kernel-diff oracles pin that — only the wall clock.
+  SpKernel sp_kernel = SpKernel::kAuto;
   // Gates for the enumeration-backed members.
   int exact_max_requests = 14;
   int rounding_max_requests = 14;
@@ -47,7 +52,15 @@ struct LabSolve {
   std::string note;  // deterministic diagnostics (gating reason, ...)
 };
 
-using LabSolverFn = LabSolve (*)(const UfpInstance&, const LabSolveConfig&);
+// Lab solvers run over the redesigned hot-path surface: a ResidualView
+// plus the request batch (graph/residual_csr.hpp). The primal-dual
+// members (bounded, bkv) solve on the view directly; enumeration-backed
+// members materialize a UfpInstance via view.make_instance(), which
+// requires every edge active — the lab always wraps a fresh, fully
+// usable world, so the blocked mask is empty by construction.
+using LabSolverFn = LabSolve (*)(const ResidualView&,
+                                 std::span<const Request>,
+                                 const LabSolveConfig&);
 
 struct LabSolverEntry {
   const char* name;
@@ -61,5 +74,13 @@ std::span<const LabSolverEntry> solver_catalogue();
 
 // nullptr on an unknown name.
 const LabSolverEntry* find_solver(const std::string& name);
+
+// Runs `entry` over a standalone instance by wrapping its graph in a
+// throwaway ResidualGraph with every edge active (the activity floor is
+// dropped to the graph's min capacity, so nothing is blocked). The
+// one-off ad-hoc path; sweeps keep a ResidualGraph per world instead.
+LabSolve run_solver_on_instance(const LabSolverEntry& entry,
+                                const UfpInstance& instance,
+                                const LabSolveConfig& config);
 
 }  // namespace tufp::lab

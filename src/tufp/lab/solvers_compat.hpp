@@ -1,0 +1,28 @@
+// Transitional shim for pre-ResidualView lab call sites.
+//
+// PR "million-request serving core" moved the solver registry from
+// LabSolve(const UfpInstance&, const LabSolveConfig&) to the hot-path
+// signature LabSolve(const ResidualView&, std::span<const Request>,
+// const LabSolveConfig&). Old call sites that still hold a bare
+// UfpInstance keep compiling through this header: the wrapper builds a
+// throwaway all-edges-active ResidualGraph around the instance's graph
+// and forwards. It is deliberately [[deprecated]] — migrate to
+// run_solver_on_instance (one-off solves) or keep a ResidualGraph per
+// world (sweeps, engines) and call entry.fn(view, requests, config)
+// directly; this header will be removed once no caller needs it.
+#pragma once
+
+#include "tufp/lab/solvers.hpp"
+
+namespace tufp::lab {
+
+[[deprecated(
+    "lab solvers take (ResidualView, requests, config) now; wrap the "
+    "instance in a ResidualGraph or call run_solver_on_instance")]]
+inline LabSolve run_solver(const LabSolverEntry& entry,
+                           const UfpInstance& instance,
+                           const LabSolveConfig& config) {
+  return run_solver_on_instance(entry, instance, config);
+}
+
+}  // namespace tufp::lab

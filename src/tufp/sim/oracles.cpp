@@ -64,8 +64,15 @@ std::string selection_diff(const UfpSolution& a, const UfpSolution& b) {
 struct EpochDigest {
   int epoch = 0;
   int batch_size = 0;
+  int admitted = 0;
   double revenue = 0.0;
   double admitted_value = 0.0;
+  // Solver effort counters: the persistent-vs-snapshot differential pins
+  // these too (the cross-epoch warm path must not change what the
+  // reports print — golden counter parity, sp_cache.hpp).
+  int solver_iterations = 0;
+  std::int64_t sp_computations = 0;
+  std::int64_t sp_tree_runs = 0;
   // (global request id, bid, payment, path_edges) per winner, epoch order.
   std::vector<AdmissionRecord> allocations;
 };
@@ -82,13 +89,17 @@ struct EngineRun {
 // `temporal_path` selects the lease-ledger code path with every duration
 // left infinite — the same workload through the temporal machinery, which
 // the temporal-infinite oracle diffs byte-for-byte against the default
-// lease-free path.
+// lease-free path. `persistent` selects the ResidualGraph hot path
+// (the engine default); the residual-differential oracle runs both and
+// diffs them, every other oracle exercises the default.
 EngineRun run_world_engine(const SimWorld& world, PaymentPolicy payments,
-                           int num_threads, bool temporal_path = false) {
+                           int num_threads, bool temporal_path = false,
+                           bool persistent = true) {
   EpochEngineConfig config;
   config.max_batch = world.max_batch;
   config.payments = payments;
   config.record_allocations = true;
+  config.persistent_residual = persistent;
   // The pre-temporal oracle suite replays every world under hold-forever
   // semantics: leases off keeps this the frozen legacy baseline.
   config.track_leases = temporal_path;
@@ -112,8 +123,10 @@ EngineRun run_world_engine(const SimWorld& world, PaymentPolicy payments,
       continue;
     }
     const AdmissionReport report = engine.run_epoch(batch);
-    run.epochs.push_back({report.epoch, report.batch_size, report.revenue,
-                          report.admitted_value, report.allocations});
+    run.epochs.push_back({report.epoch, report.batch_size, report.admitted,
+                          report.revenue, report.admitted_value,
+                          report.solver_iterations, report.sp_computations,
+                          report.sp_tree_runs, report.allocations});
     const auto residual = engine.residual();
     for (EdgeId e = 0; e < base.num_edges(); ++e) {
       const double res = residual[static_cast<std::size_t>(e)];
@@ -157,13 +170,14 @@ struct TemporalRun {
 // horizon beyond the last possible expiry (admissions happen at epoch
 // close <= last_close, so last_close + max finite duration bounds every
 // expiry).
-TemporalRun run_world_engine_temporal(const SimWorld& world,
-                                      int num_threads) {
+TemporalRun run_world_engine_temporal(const SimWorld& world, int num_threads,
+                                      bool persistent = true) {
   EpochEngineConfig config;
   config.max_batch = world.max_batch;
   config.payments = PaymentPolicy::kNone;
   config.record_allocations = true;
   config.track_leases = true;
+  config.persistent_residual = persistent;
   config.solver = world.solver;
   config.solver.capacity_guard = true;
   config.solver.num_threads = num_threads;
@@ -226,10 +240,15 @@ std::string engine_run_diff(const EngineRun& a, const EngineRun& b) {
   for (std::size_t i = 0; i < a.epochs.size(); ++i) {
     const EpochDigest& x = a.epochs[i];
     const EpochDigest& y = b.epochs[i];
-    if (x.batch_size != y.batch_size || x.revenue != y.revenue ||
-        x.admitted_value != y.admitted_value ||
+    if (x.batch_size != y.batch_size || x.admitted != y.admitted ||
+        x.revenue != y.revenue || x.admitted_value != y.admitted_value ||
         x.allocations.size() != y.allocations.size()) {
       return "epoch " + std::to_string(x.epoch) + " digest mismatch";
+    }
+    if (x.solver_iterations != y.solver_iterations ||
+        x.sp_computations != y.sp_computations ||
+        x.sp_tree_runs != y.sp_tree_runs) {
+      return "epoch " + std::to_string(x.epoch) + " solver counter mismatch";
     }
     for (std::size_t j = 0; j < x.allocations.size(); ++j) {
       if (x.allocations[j].sequence != y.allocations[j].sequence ||
@@ -240,6 +259,62 @@ std::string engine_run_diff(const EngineRun& a, const EngineRun& b) {
     }
   }
   if (a.residual != b.residual) return "final residual mismatch";
+  return {};
+}
+
+// Byte-exact diff of two temporal replays: per-epoch reports, residual
+// and ledger views, and the drained-horizon final state. The operator==
+// here are deliberate — the persistent and snapshot paths promise
+// bitwise-identical histories, not merely close ones.
+std::string temporal_run_diff(const TemporalRun& a, const TemporalRun& b) {
+  if (a.epochs.size() != b.epochs.size()) {
+    return "epoch-count mismatch " + std::to_string(a.epochs.size()) +
+           " vs " + std::to_string(b.epochs.size());
+  }
+  for (std::size_t i = 0; i < a.epochs.size(); ++i) {
+    const AdmissionReport& x = a.epochs[i].report;
+    const AdmissionReport& y = b.epochs[i].report;
+    if (x.batch_size != y.batch_size || x.admitted != y.admitted ||
+        x.admitted_value != y.admitted_value || x.revenue != y.revenue ||
+        x.close_time != y.close_time ||
+        x.expired_leases != y.expired_leases ||
+        x.active_leases != y.active_leases || x.occupancy != y.occupancy) {
+      return "epoch " + std::to_string(x.epoch) + " report mismatch";
+    }
+    if (x.solver_iterations != y.solver_iterations ||
+        x.sp_computations != y.sp_computations ||
+        x.sp_tree_runs != y.sp_tree_runs) {
+      return "epoch " + std::to_string(x.epoch) + " solver counter mismatch";
+    }
+    if (x.allocations.size() != y.allocations.size()) {
+      return "epoch " + std::to_string(x.epoch) + " winner-count mismatch";
+    }
+    for (std::size_t j = 0; j < x.allocations.size(); ++j) {
+      if (x.allocations[j].sequence != y.allocations[j].sequence ||
+          x.allocations[j].payment != y.allocations[j].payment ||
+          x.allocations[j].path_edges != y.allocations[j].path_edges) {
+        return "epoch " + std::to_string(x.epoch) + " winner " +
+               std::to_string(j) + " mismatch";
+      }
+    }
+    if (a.epochs[i].residual != b.epochs[i].residual) {
+      return "epoch " + std::to_string(x.epoch) + " residual mismatch";
+    }
+    if (a.epochs[i].leased != b.epochs[i].leased) {
+      return "epoch " + std::to_string(x.epoch) + " leased-demand mismatch";
+    }
+  }
+  if (a.reclaimed_at_horizon != b.reclaimed_at_horizon) {
+    return "horizon reclaim-count mismatch";
+  }
+  if (a.final_residual != b.final_residual) {
+    return "final residual mismatch";
+  }
+  if (a.final_leased != b.final_leased) return "final leased mismatch";
+  if (a.final_active_on_edge != b.final_active_on_edge) {
+    return "final per-edge lease-count mismatch";
+  }
+  if (a.final_active != b.final_active) return "final active-count mismatch";
   return {};
 }
 
@@ -794,6 +869,49 @@ std::vector<Violation> oracle_temporal_no_leak(OracleContext& ctx) {
   return out;
 }
 
+// The tentpole differential of the persistent-residual PR: the engine
+// with the in-place ResidualGraph + cross-epoch workspace against the
+// legacy snapshot-per-epoch engine, byte-for-byte — admissions,
+// payments, residuals, ledger views, solver counters — across both
+// shortest-path kernels and OpenMP thread counts, on the plain replay
+// AND the full admit->expire->re-admit churn replay. This is the oracle
+// that licenses shipping the persistent path as the default.
+std::vector<Violation> oracle_residual_differential(OracleContext& ctx) {
+  std::vector<Violation> out;
+  for (const SpKernel kernel : {SpKernel::kHeap, SpKernel::kBucket}) {
+    SimWorld world = ctx.world;
+    world.solver.sp_kernel = kernel;
+    const char* kname = kernel == SpKernel::kHeap ? "heap" : "bucket";
+    for (const int threads : {1, 4}) {
+      const std::string leg =
+          std::string(kname) + " t" + std::to_string(threads) + ": ";
+      const EngineRun persistent = run_world_engine(
+          world, PaymentPolicy::kDualPrice, threads,
+          /*temporal_path=*/false, /*persistent=*/true);
+      const EngineRun snapshot = run_world_engine(
+          world, PaymentPolicy::kDualPrice, threads,
+          /*temporal_path=*/false, /*persistent=*/false);
+      const std::string diff = engine_run_diff(persistent, snapshot);
+      if (!diff.empty()) {
+        add(&out, "residual-differential",
+            leg + "persistent vs snapshot engine: " + diff);
+      }
+      // Churn leg: finite durations live, expiries reclaim mid-run —
+      // the regime where the stamp/warm-tree machinery actually bites.
+      const TemporalRun tp =
+          run_world_engine_temporal(world, threads, /*persistent=*/true);
+      const TemporalRun ts =
+          run_world_engine_temporal(world, threads, /*persistent=*/false);
+      const std::string tdiff = temporal_run_diff(tp, ts);
+      if (!tdiff.empty()) {
+        add(&out, "residual-differential",
+            leg + "persistent vs snapshot temporal replay: " + tdiff);
+      }
+    }
+  }
+  return out;
+}
+
 constexpr OracleEntry kCatalogue[] = {
     {"feasible", "solver output exact and capacity-feasible", oracle_feasible},
     {"dual-bound", "admitted value within the Claim 3.6 dual bound",
@@ -829,6 +947,9 @@ constexpr OracleEntry kCatalogue[] = {
     {"temporal-no-leak",
      "residual returns to the empty-network baseline after expiry",
      oracle_temporal_no_leak},
+    {"residual-differential",
+     "persistent residual engine byte-identical to the snapshot engine",
+     oracle_residual_differential},
 };
 
 }  // namespace

@@ -14,6 +14,10 @@
 //   * temporal-infinite — the temporal engine path (lease ledger on,
 //                      every duration infinite) vs the lease-free legacy
 //                      path, byte-for-byte
+//   * residual-differential — the persistent ResidualGraph engine vs the
+//                      legacy snapshot-per-epoch engine, byte-for-byte,
+//                      plain and churn replays, across both shortest-path
+//                      kernels and 1 vs 4 threads (DESIGN.md §12)
 //
 // Metamorphic oracles perturb the world in a direction with a provable
 // consequence and check the consequence:

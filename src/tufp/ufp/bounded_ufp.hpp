@@ -14,11 +14,14 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "tufp/graph/dijkstra.hpp"
+#include "tufp/graph/residual_csr.hpp"
 #include "tufp/ufp/instance.hpp"
 #include "tufp/ufp/solution.hpp"
+#include "tufp/ufp/workspace.hpp"
 
 namespace tufp {
 
@@ -62,6 +65,11 @@ struct BoundedUfpConfig {
 
   // Record one IterationRecord per selection (tests/benches).
   bool record_trace = false;
+
+  // Populate result.y with the final dual weights. Only dual-certificate
+  // consumers need them; the epoch engine turns this off so a clean epoch
+  // (nothing admitted) costs no O(m) export. Never changes the solution.
+  bool export_duals = true;
 };
 
 struct IterationRecord {
@@ -109,5 +117,17 @@ struct BoundedUfpResult {
 // eps*B within safe double exponent range (util/math.hpp).
 BoundedUfpResult bounded_ufp(const UfpInstance& instance,
                              const BoundedUfpConfig& config = {});
+
+// Hot-path entry point: solves over a persistent residual view without
+// compiling a per-epoch instance. Edge ids are base-graph ids; blocked
+// edges are excluded from every search and carry y = 0 in result.y.
+// Preconditions as above with B = the view's min active residual and at
+// least one active edge. A non-null `workspace` reuses the shortest-path
+// cache, shard plan and cross-epoch settled trees across calls — results
+// are bitwise identical with or without it.
+BoundedUfpResult bounded_ufp(const ResidualView& view,
+                             std::span<const Request> requests,
+                             const BoundedUfpConfig& config = {},
+                             UfpWorkspace* workspace = nullptr);
 
 }  // namespace tufp

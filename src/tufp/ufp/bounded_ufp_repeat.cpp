@@ -5,45 +5,46 @@
 #include <span>
 
 #include "tufp/ufp/detail/sp_cache.hpp"
+#include "tufp/ufp/detail/substrate.hpp"
+#include "tufp/ufp/detail/workspace_access.hpp"
 #include "tufp/util/assert.hpp"
 #include "tufp/util/math.hpp"
 
 namespace tufp {
 
-BoundedUfpRepeatResult bounded_ufp_repeat(const UfpInstance& instance,
-                                          const BoundedUfpRepeatConfig& config) {
+namespace {
+
+BoundedUfpRepeatResult run_repeat(const detail::Substrate& sub,
+                                  const BoundedUfpRepeatConfig& config,
+                                  detail::SpCache& cache, bool warm_start) {
   TUFP_REQUIRE(config.epsilon > 0.0 && config.epsilon <= 1.0,
                "epsilon outside (0,1]");
-  TUFP_REQUIRE(instance.is_normalized(),
-               "Bounded-UFP-Repeat requires demands in (0,1]");
-  const Graph& g = instance.graph();
-  const double B = instance.bound_B();
+  TUFP_REQUIRE(sub.num_active > 0,
+               "Bounded-UFP-Repeat needs at least one active edge");
+  const double B = sub.B;
   TUFP_REQUIRE(B >= 1.0, "Bounded-UFP-Repeat requires B >= 1");
   const double eps = config.epsilon;
   TUFP_REQUIRE(eps * B <= kMaxSafeExponent,
                "eps*B too large for double-range weights");
 
-  const int m = g.num_edges();
-  const int R = instance.num_requests();
+  const int R = static_cast<int>(sub.requests.size());
 
   BoundedUfpRepeatResult result{UfpMultiSolution(R)};
   result.dual_upper_bound = kInf;
 
-  std::vector<double> y(static_cast<std::size_t>(m));
-  for (EdgeId e = 0; e < m; ++e) y[static_cast<std::size_t>(e)] = 1.0 / g.capacity(e);
-  double dual_sum = static_cast<double>(m);
+  std::vector<double> y;
+  double dual_sum = 0.0;
+  WeightProfile profile;
+  detail::init_duals(sub, &y, &dual_sum, &profile);
   const double threshold = std::exp(eps * (B - 1.0));
 
-  std::vector<double> residual(g.capacities().begin(), g.capacities().end());
-  std::vector<std::int64_t> edge_stamp(static_cast<std::size_t>(m), 0);
+  std::vector<double> residual(sub.capacities.begin(), sub.capacities.end());
+  std::vector<std::int64_t> edge_stamp(sub.capacities.size(), 0);
   std::int64_t now = 0;
 
   std::vector<int> live(static_cast<std::size_t>(R));
   for (int r = 0; r < R; ++r) live[static_cast<std::size_t>(r)] = r;
 
-  detail::SpCache cache(instance, config.parallel, config.num_threads,
-                        config.sp_kernel);
-  WeightProfile profile = WeightProfile::scan(y);
   const std::span<const double> guard_residual =
       config.capacity_guard ? std::span<const double>(residual)
                             : std::span<const double>();
@@ -58,7 +59,8 @@ BoundedUfpRepeatResult bounded_ufp_repeat(const UfpInstance& instance,
     }
     ++now;
     cache.refresh(y, edge_stamp, now, live, config.lazy_shortest_paths,
-                  guard_residual, &profile);
+                  guard_residual, &profile, sub.blocked,
+                  /*epoch_start=*/warm_start && now == 1);
     result.sp_computations +=
         static_cast<std::int64_t>(cache.recomputed_last_refresh());
 
@@ -68,7 +70,7 @@ BoundedUfpRepeatResult bounded_ufp_repeat(const UfpInstance& instance,
     for (int r : live) {
       const auto& entry = cache.entry(r);
       if (!entry.reachable) continue;
-      const Request& req = instance.request(r);
+      const Request& req = sub.requests[static_cast<std::size_t>(r)];
       const double priority = req.demand / req.value * entry.length;
       alpha_cert = std::min(alpha_cert, priority);
       // Cached guard verdict: sound while residual is monotone non-
@@ -91,12 +93,12 @@ BoundedUfpRepeatResult bounded_ufp_repeat(const UfpInstance& instance,
 
     if (best < 0) break;  // no routable request at all
 
-    const Request& req = instance.request(best);
+    const Request& req = sub.requests[static_cast<std::size_t>(best)];
     const auto& entry = cache.entry(best);
     const double dual_before = dual_sum;
     for (EdgeId e : entry.path) {
       const auto ei = static_cast<std::size_t>(e);
-      const double cap = g.capacity(e);
+      const double cap = sub.capacities[ei];
       const double old_y = y[ei];
       y[ei] = old_y * std::exp(eps * B * req.demand / cap);
       dual_sum += cap * (y[ei] - old_y);
@@ -116,6 +118,35 @@ BoundedUfpRepeatResult bounded_ufp_repeat(const UfpInstance& instance,
   result.final_dual_sum = dual_sum;
   result.y = std::move(y);
   return result;
+}
+
+}  // namespace
+
+BoundedUfpRepeatResult bounded_ufp_repeat(const UfpInstance& instance,
+                                          const BoundedUfpRepeatConfig& config) {
+  TUFP_REQUIRE(instance.is_normalized(),
+               "Bounded-UFP-Repeat requires demands in (0,1]");
+  const detail::Substrate sub = detail::substrate_of(instance);
+  detail::SpCache cache(instance, config.parallel, config.num_threads,
+                        config.sp_kernel);
+  return run_repeat(sub, config, cache, /*warm_start=*/false);
+}
+
+BoundedUfpRepeatResult bounded_ufp_repeat(const ResidualView& view,
+                                          std::span<const Request> requests,
+                                          const BoundedUfpRepeatConfig& config,
+                                          UfpWorkspace* workspace) {
+  const detail::Substrate sub = detail::substrate_of(view, requests);
+  detail::validate_requests(sub);
+  if (workspace != nullptr) {
+    detail::SpCache& cache = detail::WorkspaceAccess::bind_cache(
+        *workspace, view.owner(), requests, config.parallel,
+        config.num_threads, config.sp_kernel);
+    return run_repeat(sub, config, cache, /*warm_start=*/true);
+  }
+  detail::SpCache cache(view.base(), requests, config.parallel,
+                        config.num_threads, config.sp_kernel);
+  return run_repeat(sub, config, cache, /*warm_start=*/false);
 }
 
 }  // namespace tufp

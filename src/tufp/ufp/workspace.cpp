@@ -1,0 +1,37 @@
+#include "tufp/ufp/workspace.hpp"
+
+#include "tufp/ufp/detail/workspace_access.hpp"
+
+namespace tufp {
+
+UfpWorkspace::UfpWorkspace() : impl_(std::make_unique<Impl>()) {}
+
+UfpWorkspace::~UfpWorkspace() = default;
+
+UfpWorkspace::UfpWorkspace(UfpWorkspace&&) noexcept = default;
+
+UfpWorkspace& UfpWorkspace::operator=(UfpWorkspace&&) noexcept = default;
+
+void UfpWorkspace::clear() { impl_ = std::make_unique<Impl>(); }
+
+std::int64_t UfpWorkspace::warm_tree_hits() const {
+  return impl_->retired_warm_trees +
+         (impl_->cache ? impl_->cache->warm_trees_served() : 0);
+}
+
+std::int64_t UfpWorkspace::warm_entries_served() const {
+  return impl_->retired_warm_entries +
+         (impl_->cache ? impl_->cache->warm_entries_served() : 0);
+}
+
+std::int64_t UfpWorkspace::shard_plan_builds() const {
+  return impl_->retired_plan_builds +
+         (impl_->cache ? impl_->cache->plan_builds() : 0);
+}
+
+std::int64_t UfpWorkspace::shard_plan_reuses() const {
+  return impl_->retired_plan_reuses +
+         (impl_->cache ? impl_->cache->plan_reuses() : 0);
+}
+
+}  // namespace tufp

@@ -20,19 +20,29 @@ RequestSampler::RequestSampler(const Graph& graph,
                "bad demand range");
   TUFP_REQUIRE(config.value_min > 0.0 && config.value_min <= config.value_max,
                "bad value range");
+  TUFP_REQUIRE(!config.assume_connected ||
+                   config.value_model != ValueModel::kProportional,
+               "assume_connected drops the hop distance kProportional needs");
+  TUFP_REQUIRE(config.source_pool >= 0 &&
+                   config.source_pool <= graph.num_vertices(),
+               "source_pool exceeds the vertex set");
 }
 
 Request RequestSampler::sample(Rng& rng) {
   const auto n = static_cast<std::uint64_t>(graph_->num_vertices());
+  const auto pool = config_.source_pool > 0
+                        ? static_cast<std::uint64_t>(config_.source_pool)
+                        : n;
   Request req;
   double hops = kInf;
   int retries = 0;
   do {
     TUFP_REQUIRE(retries++ < config_.max_pair_retries,
                  "could not sample a connected terminal pair");
-    req.source = static_cast<VertexId>(rng.next_below(n));
+    req.source = static_cast<VertexId>(rng.next_below(pool));
     req.target = static_cast<VertexId>(rng.next_below(n));
     if (req.source == req.target) continue;
+    if (config_.assume_connected) break;  // reachability declared, not probed
     hops = engine_.shortest_path(unit_weights_, req.source, req.target);
   } while (hops >= kInf);
 

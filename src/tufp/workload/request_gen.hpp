@@ -27,6 +27,17 @@ struct RequestGenConfig {
   // Resample terminal pairs until the target is reachable from the source
   // (bounded retries; throws if the graph is too disconnected).
   int max_pair_retries = 200;
+  // Skip the per-request reachability probe entirely. Required at the
+  // scale tier (10^6 requests over 10^5-vertex worlds), where one unit
+  // Dijkstra per sample would dominate the benchmark it feeds; legal
+  // only on worlds known strongly connected (grids, telecom meshes).
+  // Incompatible with kProportional, whose value needs the hop distance.
+  bool assume_connected = false;
+  // When > 0, sources are drawn from vertices [0, source_pool) instead
+  // of the whole vertex set — the hub-locality workload that gives the
+  // cross-epoch tree cache repeated sources to warm against. Targets
+  // still range over all vertices.
+  int source_pool = 0;
 };
 
 // Incremental form of generate_requests(): owns the reachability engine

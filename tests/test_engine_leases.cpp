@@ -165,6 +165,34 @@ TEST(EngineLeases, TemporalOraclesPassOnChurningWorlds) {
   }
 }
 
+TEST(EngineLeases, PersistentResidualByteIdenticalUnderChurnOnAllFamilies) {
+  // Acceptance (DESIGN.md §12): the persistent ResidualGraph engine must
+  // replay admit → expire → re-admit churn byte-for-byte against the
+  // legacy snapshot-per-epoch engine. The residual-differential oracle
+  // runs both the plain and the temporal engine through persistent and
+  // snapshot modes under heap and bucket kernels at 1 and 4 threads and
+  // diffs every per-epoch field exactly (==, no tolerance), including
+  // the solver iteration / shortest-path counters.
+  for (const sim::WorldFamily family : sim::kAllFamilies) {
+    for (const DurationProfile profile :
+         {DurationProfile::kExponential, DurationProfile::kHeavyTailed}) {
+      sim::WorldSpec spec;
+      spec.family = family;
+      spec.seed = 41 + static_cast<std::uint64_t>(profile);
+      spec.durations = profile;
+      const sim::SimWorld world = sim::generate_world(spec);
+      ASSERT_FALSE(world.durations.empty());
+      const std::vector<std::string> only{"residual-differential"};
+      const auto violations =
+          sim::run_oracle_suite(world, sim::OracleOptions{}, only);
+      EXPECT_TRUE(violations.empty())
+          << sim::family_name(family) << "/"
+          << duration_profile_name(profile) << ": "
+          << (violations.empty() ? "" : violations.front().detail);
+    }
+  }
+}
+
 TEST(EngineLeases, LeakInjectionIsCaughtByTheConservationOracle) {
   // Harness-bites check, temporal edition: the sim-side lease replay with
   // the 5% leak must be flagged on a world where expiries occur mid-run.

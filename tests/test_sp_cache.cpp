@@ -219,6 +219,121 @@ TEST(SpCache, SharedSourcesRefreshFromOneTree) {
   EXPECT_EQ(cache.tree_runs_last_refresh(), 2);  // sources {0, 1}
 }
 
+TEST(SpCache, RebindReusesShardPlanAcrossEpochs) {
+  // The cross-epoch regression this PR fixes: rebind() used to re-shard
+  // the batch by source on every call, paying O(batch) plan construction
+  // per epoch even when a resident driver replays the same source
+  // sequence. The plan must be reused whenever the new batch's sources
+  // match the previous batch position-for-position, and rebuilt whenever
+  // they do not.
+  const UfpInstance inst = diamond_instance();
+  detail::SpCache cache(inst.graph(), inst.requests(), /*parallel=*/false, 0);
+  EXPECT_EQ(cache.plan_builds(), 1);
+  EXPECT_EQ(cache.plan_reuses(), 0);
+
+  // Same source sequence in a different span: plan reused, no rebuild.
+  const std::vector<Request> same_sources{
+      {0, 3, 0.5, 9.0}, {0, 3, 0.5, 9.0}, {1, 0, 0.5, 9.0}};
+  cache.rebind(same_sources);
+  EXPECT_EQ(cache.plan_builds(), 1);
+  EXPECT_EQ(cache.plan_reuses(), 1);
+  cache.rebind(same_sources);
+  EXPECT_EQ(cache.plan_builds(), 1);
+  EXPECT_EQ(cache.plan_reuses(), 2);
+
+  // A different source sequence (same length) must rebuild.
+  const std::vector<Request> new_sources{
+      {2, 3, 0.5, 9.0}, {0, 3, 0.5, 9.0}, {1, 0, 0.5, 9.0}};
+  cache.rebind(new_sources);
+  EXPECT_EQ(cache.plan_builds(), 2);
+  EXPECT_EQ(cache.plan_reuses(), 2);
+
+  // So must a different batch size.
+  const std::vector<Request> shorter{{2, 3, 0.5, 9.0}};
+  cache.rebind(shorter);
+  EXPECT_EQ(cache.plan_builds(), 3);
+}
+
+TEST(SpCache, RebindResetsEntriesEvenWhenThePlanIsReused) {
+  // Computation stamps and fit verdicts are epoch-local (the blocked
+  // mask they were judged under changes between epochs); a reused plan
+  // must never carry a reused entry with it.
+  const UfpInstance inst = diamond_instance();
+  detail::SpCache cache(inst.graph(), inst.requests(), false, 0);
+  const std::vector<double> y{1.0, 1.0, 2.0, 2.0};
+  const std::vector<std::int64_t> stamps(4, 0);
+  cache.refresh(y, stamps, 1, std::vector<int>{0, 1}, true);
+  ASSERT_GE(cache.entry(0).computed_at, 0);
+
+  cache.rebind(inst.requests());
+  EXPECT_EQ(cache.plan_reuses(), 1);
+  EXPECT_EQ(cache.entry(0).computed_at, -1);  // stale by construction
+  cache.refresh(y, stamps, 1, std::vector<int>{0, 1}, true);
+  EXPECT_EQ(cache.recomputed_last_refresh(), 2u);
+}
+
+TEST(SpCache, WarmTreesServeEpochStartRefreshesBitwiseIdentically) {
+  // Cross-epoch warm start (DESIGN.md §12): the first refresh of epoch
+  // k+1 may serve a shard from a tree stored at epoch k when no path
+  // edge was stamped since — and the served entries must be bitwise
+  // identical to a fresh search (checked here against a cold cache).
+  Graph g = Graph::directed(4);
+  g.add_edge(0, 1, 5.0);
+  g.add_edge(1, 3, 5.0);
+  g.add_edge(0, 2, 5.0);
+  g.add_edge(2, 3, 5.0);
+  g.finalize();
+  auto base = std::make_shared<const Graph>(std::move(g));
+  const std::vector<Request> reqs{{0, 3, 1.0, 1.0}, {0, 1, 1.0, 1.0}};
+
+  ResidualGraph rgraph(base, 1.0);
+  SourceTreeCache trees;
+  detail::SpCache warm_cache(*base, reqs, false, 0);
+  warm_cache.set_warm_context(&rgraph, &trees);
+
+  const std::vector<double> y{1.0, 1.0, 2.0, 2.0};
+  const WeightProfile profile = WeightProfile::scan(y);
+  ASSERT_TRUE(profile.all_positive);
+
+  // Epoch 0's first refresh: a miss, computed fresh and stored.
+  warm_cache.refresh(y, rgraph.stamps(), 1, std::vector<int>{0, 1}, true,
+                     rgraph.residual(), &profile, rgraph.blocked(),
+                     /*epoch_start=*/true);
+  EXPECT_EQ(warm_cache.warm_trees_last_refresh(), 0);
+  ASSERT_EQ(trees.num_trees(), 1u);
+
+  // Epoch 1: no edge touched, same sources. The whole shard is served
+  // from the stored tree without a search.
+  rgraph.open_epoch();
+  warm_cache.rebind(reqs);
+  warm_cache.refresh(y, rgraph.stamps(), 1, std::vector<int>{0, 1}, true,
+                     rgraph.residual(), &profile, rgraph.blocked(),
+                     /*epoch_start=*/true);
+  EXPECT_EQ(warm_cache.warm_trees_last_refresh(), 1);
+  EXPECT_EQ(warm_cache.warm_entries_served(), 2);
+  // Counter parity: the warm-served shard still accounts as a tree run.
+  EXPECT_EQ(warm_cache.tree_runs_last_refresh(), 1);
+
+  detail::SpCache cold_cache(*base, reqs, false, 0);
+  cold_cache.refresh(y, rgraph.stamps(), 1, std::vector<int>{0, 1}, true,
+                     rgraph.residual(), &profile, rgraph.blocked(), true);
+  for (int r = 0; r < 2; ++r) {
+    EXPECT_EQ(warm_cache.entry(r).path, cold_cache.entry(r).path);
+    EXPECT_EQ(warm_cache.entry(r).length, cold_cache.entry(r).length);  // ==
+    EXPECT_EQ(warm_cache.entry(r).fits, cold_cache.entry(r).fits);
+  }
+
+  // An admission stamps edge 0; the stored tree fails validation at the
+  // next epoch start and the shard recomputes fresh.
+  const std::vector<EdgeId> path{0};
+  rgraph.commit_admission(path, 1.0);
+  rgraph.open_epoch();
+  warm_cache.rebind(reqs);
+  warm_cache.refresh(y, rgraph.stamps(), 1, std::vector<int>{0, 1}, true,
+                     rgraph.residual(), &profile, rgraph.blocked(), true);
+  EXPECT_EQ(warm_cache.warm_trees_last_refresh(), 0);
+}
+
 TEST(SpCache, SolverCountersShowLazySavings) {
   // Jittered capacities keep shortest paths unique (lazy and eager runs
   // are provably identical only up to shortest-path ties).

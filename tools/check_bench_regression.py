@@ -19,6 +19,13 @@ than --threshold (default 20%). Two formats are recognized by shape:
 Usage:
   check_bench_regression.py BASELINE CURRENT [--threshold 0.20]
   check_bench_regression.py --update BASELINE CURRENT   # refresh baseline
+  check_bench_regression.py BASELINE CURRENT \
+      --min-ratio scale-grid316-persistent/scale-grid316-snapshot=5
+
+--min-ratio asserts a throughput ratio between two cases of the CURRENT
+run (repeatable). It gates *relative* claims — e.g. the serving-core
+acceptance "persistent clears >= 5x the snapshot baseline" — which stay
+meaningful across machine classes where absolute numbers do not.
 
 Caveat (documented in README.md): absolute numbers are machine-class
 specific. The committed baseline is meaningful on runners comparable to
@@ -82,7 +89,21 @@ def main():
                         help="max tolerated fractional throughput drop")
     parser.add_argument("--update", action="store_true",
                         help="overwrite BASELINE with CURRENT and exit")
+    parser.add_argument("--min-ratio", action="append", default=[],
+                        metavar="NUM_CASE/DEN_CASE=X",
+                        help="fail unless current[NUM]/current[DEN] >= X; "
+                             "repeatable")
     args = parser.parse_args()
+
+    ratio_gates = []
+    for spec in args.min_ratio:
+        try:
+            cases, bound = spec.rsplit("=", 1)
+            numerator, denominator = cases.split("/", 1)
+            ratio_gates.append((numerator, denominator, float(bound)))
+        except ValueError:
+            parser.error(f"--min-ratio expects NUM_CASE/DEN_CASE=X, got "
+                         f"{spec!r}")
 
     if args.update:
         shutil.copyfile(args.current, args.baseline)
@@ -122,14 +143,36 @@ def main():
               f"baseline, skipped: {', '.join(unbaselined)}; refresh with "
               f"--update", file=sys.stderr)
 
-    if regressions:
-        worst = min(regressions, key=lambda r: r[1])
-        print(f"\nFAIL: {len(regressions)} benchmark(s) regressed more than "
-              f"{args.threshold:.0%} (worst: {worst[0]} at {worst[1]:.2f}x)",
-              file=sys.stderr)
+    ratio_failures = []
+    for numerator, denominator, bound in ratio_gates:
+        # A ratio gate names its cases explicitly: a missing case is a
+        # broken gate, not a skippable row, so it fails loudly.
+        missing_cases = [c for c in (numerator, denominator) if c not in current]
+        if missing_cases:
+            print(f"error: --min-ratio case(s) absent from the current run: "
+                  f"{', '.join(missing_cases)}", file=sys.stderr)
+            return 2
+        ratio = (current[numerator] / current[denominator]
+                 if current[denominator] > 0 else float("inf"))
+        ok = ratio >= bound
+        print(f"ratio gate: {numerator}/{denominator} = {ratio:.2f}x "
+              f"(required >= {bound:g}x) {'OK' if ok else '<< FAIL'}")
+        if not ok:
+            ratio_failures.append((numerator, denominator, ratio, bound))
+
+    if regressions or ratio_failures:
+        if regressions:
+            worst = min(regressions, key=lambda r: r[1])
+            print(f"\nFAIL: {len(regressions)} benchmark(s) regressed more "
+                  f"than {args.threshold:.0%} (worst: {worst[0]} at "
+                  f"{worst[1]:.2f}x)", file=sys.stderr)
+        for numerator, denominator, ratio, bound in ratio_failures:
+            print(f"FAIL: {numerator}/{denominator} = {ratio:.2f}x, "
+                  f"required >= {bound:g}x", file=sys.stderr)
         return 1
     print(f"\nOK: no benchmark regressed more than {args.threshold:.0%} "
-          f"across {len(shared)} compared")
+          f"across {len(shared)} compared"
+          + (f"; {len(ratio_gates)} ratio gate(s) held" if ratio_gates else ""))
     return 0
 
 

@@ -3,9 +3,14 @@
 // must not live in a tool translation unit.
 #pragma once
 
+#include <cstdlib>
+#include <iostream>
 #include <sstream>
 #include <string>
 #include <vector>
+
+#include "tufp/graph/dijkstra.hpp"
+#include "tufp/util/parallel.hpp"
 
 namespace tufp::cli {
 
@@ -18,6 +23,33 @@ inline std::vector<std::string> split_csv(const std::string& csv) {
     if (!item.empty()) out.push_back(item);
   }
   return out;
+}
+
+// The shared --sp-kernel vocabulary. Every tool that exposes the flag
+// parses it here so the names — and the rejection text — cannot drift
+// apart between binaries. Unknown names are a usage error: exit 2 with
+// one canonical message.
+inline SpKernel parse_sp_kernel(const std::string& tool,
+                                const std::string& name) {
+  if (name == "auto") return SpKernel::kAuto;
+  if (name == "heap") return SpKernel::kHeap;
+  if (name == "bucket") return SpKernel::kBucket;
+  std::cerr << tool << ": unknown --sp-kernel '" << name
+            << "' (expected auto|heap|bucket)\n";
+  std::exit(2);
+}
+
+// The shared --threads contract: an explicit positive thread count in a
+// build without OpenMP is refused (deterministic output would be
+// identical either way, but wall-clock numbers would not mean what the
+// caller asked for). Identical message and exit code in every tool.
+inline void require_threads_supported(const std::string& tool, int threads) {
+  if (threads > 0 && !openmp_available()) {
+    std::cerr << tool << ": --threads " << threads
+              << " requires an OpenMP build (rebuild with an OpenMP-capable "
+                 "toolchain, or drop --threads)\n";
+    std::exit(2);
+  }
 }
 
 }  // namespace tufp::cli

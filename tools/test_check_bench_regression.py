@@ -114,5 +114,41 @@ class SharedSetStillGated(Harness):
         self.assertIn("bm_gone", out)
 
 
+class RatioGates(Harness):
+    BASELINE = [{"case": "w-persistent", "clear_requests_per_second": 5e4},
+                {"case": "w-snapshot", "clear_requests_per_second": 5e3}]
+
+    def test_holding_ratio_passes(self):
+        current = [{"case": "w-persistent", "clear_requests_per_second": 5.2e4},
+                   {"case": "w-snapshot", "clear_requests_per_second": 5e3}]
+        rc, out, err = self.run_gate(
+            self.BASELINE, current,
+            argv=["--min-ratio", "w-persistent/w-snapshot=5"])
+        self.assertEqual(rc, 0, msg=out + err)
+        self.assertIn("ratio gate", out)
+        self.assertIn("1 ratio gate(s) held", out)
+
+    def test_broken_ratio_fails(self):
+        # Absolute throughput fine (no regression) but the persistent
+        # core lost its relative edge: exactly what the ratio gate is for.
+        current = [{"case": "w-persistent", "clear_requests_per_second": 1.8e4},
+                   {"case": "w-snapshot", "clear_requests_per_second": 6e3}]
+        rc, out, err = self.run_gate(
+            self.BASELINE, current,
+            argv=["--threshold", "0.8",
+                  "--min-ratio", "w-persistent/w-snapshot=5"])
+        self.assertEqual(rc, 1, msg=out + err)
+        self.assertIn("required >= 5x", err)
+
+    def test_missing_ratio_case_is_a_hard_error(self):
+        current = [{"case": "w-persistent", "clear_requests_per_second": 5e4},
+                   {"case": "w-snapshot", "clear_requests_per_second": 5e3}]
+        rc, out, err = self.run_gate(
+            self.BASELINE, current,
+            argv=["--min-ratio", "w-persistent/w-gone=5"])
+        self.assertEqual(rc, 2, msg=out + err)
+        self.assertIn("w-gone", err)
+
+
 if __name__ == "__main__":
     unittest.main()

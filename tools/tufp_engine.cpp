@@ -64,6 +64,7 @@
 #include <string>
 #include <vector>
 
+#include "cli_util.hpp"
 #include "tufp/engine/epoch_engine.hpp"
 #include "tufp/engine/request_stream.hpp"
 #include "tufp/obs/telemetry.hpp"
@@ -189,13 +190,6 @@ PaymentPolicy parse_payments(const std::string& name) {
   usage();
 }
 
-SpKernel parse_sp_kernel(const std::string& name) {
-  if (name == "auto") return SpKernel::kAuto;
-  if (name == "heap") return SpKernel::kHeap;
-  if (name == "bucket") return SpKernel::kBucket;
-  usage();
-}
-
 DurationProfile parse_duration_profile(const std::string& name) {
   if (name == "none") return DurationProfile::kInfinite;  // CLI alias
   try {
@@ -247,15 +241,7 @@ void write_json(const std::string& path, const Options& opt,
 
 int main(int argc, char** argv) {
   const Options opt = parse(argc, argv);
-  if (opt.threads > 0 && !openmp_available()) {
-    // Deterministic output would be identical either way, but wall-clock
-    // numbers would not mean what the caller asked for: refuse instead of
-    // silently serializing.
-    std::cerr << "tufp_engine: --threads " << opt.threads
-              << " requested but this build has no OpenMP (configure with "
-                 "an OpenMP-capable toolchain, or drop --threads)\n";
-    return 2;
-  }
+  cli::require_threads_supported("tufp_engine", opt.threads);
   try {
     if (opt.scenario != "grid" && opt.scenario != "random") usage();
     const ValueModel value_model = parse_value_model(opt.value_model);
@@ -299,7 +285,7 @@ int main(int argc, char** argv) {
     config.payments = parse_payments(opt.payments);
     config.solver.epsilon = opt.eps;
     config.solver.num_threads = opt.threads;
-    config.solver.sp_kernel = parse_sp_kernel(opt.sp_kernel);
+    config.solver.sp_kernel = cli::parse_sp_kernel("tufp_engine", opt.sp_kernel);
 
     EpochEngine engine(scenario.graph, config);
 

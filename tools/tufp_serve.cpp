@@ -85,6 +85,7 @@
 #include <sys/un.h>
 #include <unistd.h>
 
+#include "cli_util.hpp"
 #include "tufp/engine/epoch_engine.hpp"
 #include "tufp/engine/request_stream.hpp"
 #include "tufp/obs/sanity.hpp"
@@ -198,13 +199,6 @@ PaymentPolicy parse_payments(const std::string& name) {
   if (name == "none") return PaymentPolicy::kNone;
   if (name == "dual") return PaymentPolicy::kDualPrice;
   if (name == "critical") return PaymentPolicy::kCritical;
-  usage();
-}
-
-SpKernel parse_sp_kernel(const std::string& name) {
-  if (name == "auto") return SpKernel::kAuto;
-  if (name == "heap") return SpKernel::kHeap;
-  if (name == "bucket") return SpKernel::kBucket;
   usage();
 }
 
@@ -337,7 +331,7 @@ class ServeSession {
     config.payments = parse_payments(opt.payments);
     config.solver.epsilon = opt.eps;
     config.solver.num_threads = opt.threads;
-    config.solver.sp_kernel = parse_sp_kernel(opt.sp_kernel);
+    config.solver.sp_kernel = cli::parse_sp_kernel("tufp_serve", opt.sp_kernel);
     if (opt.inject == "leak-expired-capacity") {
       config.inject_reclaim_leak = 0.05;
     }
@@ -598,11 +592,7 @@ class ServeSession {
 
 int main(int argc, char** argv) {
   const Options opt = parse(argc, argv);
-  if (opt.threads > 0 && !openmp_available()) {
-    std::cerr << "tufp_serve: --threads " << opt.threads
-              << " requested but this build has no OpenMP\n";
-    return 2;
-  }
+  cli::require_threads_supported("tufp_serve", opt.threads);
   try {
     // Topology + (for --workload) the synthesized session script.
     std::shared_ptr<const Graph> graph;
