@@ -92,8 +92,26 @@ int EpochEngine::reclaim_expired(double now) {
       }
     }
     if (rgraph_) {
+      reclaimed_scratch_.clear();
       for (const temporal::Lease& lease : drained) {
         rgraph_->note_reclaimed(lease.edges);
+        reclaimed_scratch_.insert(reclaimed_scratch_.end(),
+                                  lease.edges.begin(), lease.edges.end());
+      }
+      if (drained.empty()) {
+        // Nothing drained, but mutable_residual() was handed out above:
+        // close the dirty window explicitly (the contract's empty-span
+        // idiom; open_epoch() aborts the next solve otherwise).
+        rgraph_->note_reclaimed({});
+      } else if (workspace_) {
+        // Cache-cooperative reclaim: keep every cross-epoch tree the
+        // drained edges provably cannot touch (residual_csr.hpp survival
+        // criterion), validated through the post-reclaim clock.
+        const UfpWorkspace::ReclaimRevalidation r =
+            workspace_->revalidate_warm_trees(*base_, reclaimed_scratch_,
+                                              rgraph_->clock());
+        metrics_.counters().trees_kept_on_reclaim += r.kept;
+        metrics_.counters().trees_dropped_on_reclaim += r.dropped;
       }
     }
   } else {

@@ -67,6 +67,14 @@ ResidualGraph::ResidualGraph(std::shared_ptr<const Graph> base,
 }
 
 void ResidualGraph::open_epoch() {
+  // The mutable_residual() contract (DESIGN.md §10): a solve must never
+  // start while reclaimed-but-unstamped writes are pending, or cached
+  // fit verdicts silently outlive the capacity change they were judged
+  // under. The check is cheap enough to keep in every build.
+  TUFP_CHECK(!reclaim_window_open_,
+             "open_epoch() while a mutable_residual() write-back is pending: "
+             "the writer must call note_reclaimed() on the touched edges "
+             "(an empty span when none were) before the next solve");
   // Clean epoch: no stamp tick since the last rescan means no residual
   // moved, so the mask, frozen capacities, count and min are all exact.
   if (opened_at_clock_ == clock_) return;
@@ -100,6 +108,9 @@ void ResidualGraph::commit_admission(std::span<const EdgeId> path,
 }
 
 void ResidualGraph::note_reclaimed(std::span<const EdgeId> edges) {
+  // Closing the dirty window happens even for an empty span — that is
+  // how a writer that drained nothing reports "done, touched nothing".
+  reclaim_window_open_ = false;
   if (edges.empty()) return;
   ++clock_;
   for (const EdgeId e : edges) {
@@ -116,6 +127,7 @@ void ResidualGraph::reset() {
   std::fill(stamp_.begin(), stamp_.end(), 0);
   clock_ = 0;
   last_decrease_ = 0;
+  reclaim_window_open_ = false;
   opened_at_clock_ = -1;  // the clock restarted; the fast path must not fire
   open_epoch();
 }
@@ -151,17 +163,12 @@ void SourceTreeCache::store(VertexId source, const ShortestPathEngine& engine,
   }
   std::sort(scratch_.begin(), scratch_.end());
 
-  const std::size_t bytes_needed =
-      scratch_.size() *
-      (sizeof(VertexId) * 2 + sizeof(double) + sizeof(EdgeId));
-  if (trees_.size() >= static_cast<std::size_t>(limits_.max_trees) ||
-      arena_.bytes_allocated() + bytes_needed > limits_.max_bytes) {
-    // Wholesale generation-reset eviction: rewind the arena, drop every
-    // tree, and start a new generation (no per-tree free path exists).
-    clear_locked();
-    ++evictions_;
-  }
-
+  // No eviction here: store() runs on OpenMP refresh workers, and an
+  // eviction would make the surviving tree set a function of the thread
+  // schedule. The limits are enforced at the serial enforce_limits()
+  // point instead (sp_cache calls it at every warm epoch start), so the
+  // caps are soft within one refresh but the tree set stays
+  // deterministic for every thread count.
   const std::size_t k = scratch_.size();
   auto vertices = arena_.allocate<VertexId>(k);
   auto dist = arena_.allocate<double>(k);
@@ -178,6 +185,7 @@ void SourceTreeCache::store(VertexId source, const ShortestPathEngine& engine,
   Tree tree;
   tree.source = source;
   tree.computed_clock = computed_clock;
+  tree.validated_clock = computed_clock;
   tree.radius = radius;
   tree.vertices = vertices;
   tree.dist = dist;
@@ -194,6 +202,80 @@ void SourceTreeCache::store(VertexId source, const ShortestPathEngine& engine,
     trees_.push_back(tree);
   }
   ++stores_;
+}
+
+SourceTreeCache::ReclaimRevalidation SourceTreeCache::revalidate_after_reclaim(
+    const Graph& base, std::span<const EdgeId> reclaimed,
+    std::int64_t clock_after) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ReclaimRevalidation out;
+  if (trees_.empty() || reclaimed.empty()) return out;
+
+  // The usable endpoints of the reclaimed edges: the vertices from which
+  // a search could enter a decreased edge. Tails only for directed
+  // graphs; both endpoints for undirected ones, where the two arc
+  // orientations share one EdgeId.
+  scratch_.clear();
+  const bool directed = base.is_directed();
+  for (const EdgeId e : reclaimed) {
+    const auto [tail, head] = base.endpoints(e);
+    scratch_.push_back(tail);
+    if (!directed) scratch_.push_back(head);
+  }
+  std::sort(scratch_.begin(), scratch_.end());
+  scratch_.erase(std::unique(scratch_.begin(), scratch_.end()),
+                 scratch_.end());
+
+  // Keep a tree iff its settled set avoids every usable endpoint (the
+  // §12 survival criterion — see the class comment). Intersection test
+  // walks the smaller side, binary-searching the larger.
+  std::size_t write = 0;
+  for (std::size_t i = 0; i < trees_.size(); ++i) {
+    Tree& tree = trees_[i];
+    bool touched = false;
+    if (tree.vertices.size() <= scratch_.size()) {
+      for (const VertexId v : tree.vertices) {
+        if (std::binary_search(scratch_.begin(), scratch_.end(), v)) {
+          touched = true;
+          break;
+        }
+      }
+    } else {
+      for (const VertexId v : scratch_) {
+        if (tree.index_of(v) >= 0) {
+          touched = true;
+          break;
+        }
+      }
+    }
+    if (touched) {
+      // Drop: compact over the record (the arena block stays allocated
+      // until the next generation reset, like a store() replacement).
+      by_source_.erase(tree.source);
+      ++out.dropped;
+      continue;
+    }
+    tree.validated_clock = clock_after;
+    ++out.kept;
+    if (write != i) {
+      trees_[write] = tree;
+      by_source_[tree.source] = write;
+    }
+    ++write;
+  }
+  trees_.resize(write);
+  return out;
+}
+
+void SourceTreeCache::enforce_limits() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (trees_.size() > static_cast<std::size_t>(limits_.max_trees) ||
+      arena_.bytes_allocated() > limits_.max_bytes) {
+    // Wholesale generation-reset eviction: rewind the arena, drop every
+    // tree, and start a new generation (no per-tree free path exists).
+    clear_locked();
+    ++evictions_;
+  }
 }
 
 void SourceTreeCache::clear() {

@@ -32,9 +32,12 @@
 // are revalidated against base-edge stamps (the §12 argument: admissions
 // only increase dual weights, so an unstamped stored path is still the
 // canonical shortest path; any weight *decrease* — a reclaim — bumps
-// last_decrease() and invalidates every tree wholesale). Tree records
-// live in a BumpArena (util/arena.hpp) and are evicted by generation
-// reset, never freed piecemeal.
+// last_decrease()). Reclaims are cache-cooperative: instead of dropping
+// every tree, revalidate_after_reclaim() intersects each tree's settled
+// set with the reclaimed edges' endpoints and keeps the trees the reclaim
+// provably cannot touch (the §12 per-tree survival criterion). Tree
+// records live in a BumpArena (util/arena.hpp) and are evicted by
+// generation reset, never freed piecemeal.
 #pragma once
 
 #include <cstdint>
@@ -128,13 +131,23 @@ class ResidualGraph {
   // Records that `edges` changed by a reclaim (or any residual
   // *increase*): stamps them at a fresh tick and bumps last_decrease(),
   // since a residual increase is a dual-weight decrease — the one
-  // direction a stamped-path check cannot certify against (§12).
+  // direction a stamped-path check cannot certify against (§12). Also
+  // closes the mutable_residual() dirty window — even for an empty span,
+  // which is the idiom for "the writer is done and touched nothing".
   void note_reclaimed(std::span<const EdgeId> edges);
 
   // Raw residual array for the lease ledger's reclaim write-back. Any
   // writer other than commit_admission must follow up with
-  // note_reclaimed() on the touched edges.
-  std::span<double> mutable_residual() { return residual_; }
+  // note_reclaimed() on the touched edges (an empty span when none were).
+  // The contract is enforced, not advisory: taking the span opens a
+  // dirty window, and open_epoch() refuses to start a solve while it is
+  // still open — a driver that forgot the stamp would otherwise serve
+  // stale negative fit verdicts (the admit → expire → re-admit
+  // starvation of DESIGN.md §10).
+  std::span<double> mutable_residual() {
+    reclaim_window_open_ = true;
+    return residual_;
+  }
 
   std::span<const double> residual() const { return residual_; }
   std::span<const double> epoch_capacities() const { return epoch_capacity_; }
@@ -169,6 +182,9 @@ class ResidualGraph {
   std::int64_t opened_at_clock_ = -1;
   int num_active_ = 0;
   double min_residual_ = kInf;
+  // Dirty window of the mutable_residual() contract: opened by handing
+  // out the raw span, closed by note_reclaimed(). open_epoch() checks it.
+  bool reclaim_window_open_ = false;
 };
 
 // Cross-epoch settled-tree cache: the per-source shortest-path trees the
@@ -177,26 +193,45 @@ class ResidualGraph {
 //
 // Validity argument (DESIGN.md §12): a stored tree was computed under the
 // epoch-start weights y_e = 1/residual_e at clock C. Serving target t
-// from it is sound when (a) last_decrease() <= C — no weight anywhere has
-// decreased since — and (b) every edge on the stored s->t path has
-// stamp <= C. Then the stored path's edge weights are bitwise unchanged,
-// every alternative path's length only grew, and the canonical tie sets
-// can only have shrunk while still containing the stored parents — so a
-// fresh search would reproduce the stored path, lengths and tie-breaks
-// bitwise identical. An absent target in a radius-exhausted tree
-// (radius == kInf) certifies unreachability under (a) alone, because
-// unblocking an edge requires a residual increase.
+// from it is sound when (a) last_decrease() <= max(C, validated_clock) —
+// no weight the tree can see has decreased since — and (b) every edge on
+// the stored s->t path has stamp <= C. Then the stored path's edge
+// weights are bitwise unchanged, every alternative path's length only
+// grew, and the canonical tie sets can only have shrunk while still
+// containing the stored parents — so a fresh search would reproduce the
+// stored path, lengths and tie-breaks bitwise identical. An absent
+// target in a radius-exhausted tree (radius == kInf) certifies
+// unreachability under (a) alone, because unblocking an edge requires a
+// residual increase.
+//
+// Reclaim survival (§12): a reclaim decreases weights only on its own
+// edges. revalidate_after_reclaim() keeps a tree whose settled set is
+// disjoint from the reclaimed edges' usable endpoints (tails for
+// directed graphs, both endpoints for undirected — the two arcs share
+// one EdgeId): any path from the tree's source that uses a reclaimed
+// edge must first leave the settled set, and its prefix — over
+// non-decreased edges — is already strictly longer than every stored
+// distance, so neither stored paths nor stored unreachability verdicts
+// can change. Survivors get validated_clock bumped to the post-reclaim
+// clock so check (a) keeps passing.
 //
 // Storage: one record block per tree in a BumpArena, vertices sorted by
 // id for binary-search lookup. Eviction is wholesale — when the tree
-// count or arena high-water crosses its limit the cache resets the arena
-// and bumps its generation (the arena generation-reset rule); there is
-// no per-tree free path.
+// count or arena high-water crosses its limit, enforce_limits() resets
+// the arena and bumps its generation (the arena generation-reset rule);
+// there is no per-tree free path. store() itself NEVER evicts: it runs
+// on OpenMP refresh workers, and an eviction there would make the
+// surviving tree set depend on thread schedule. enforce_limits() must be
+// called from a serial point (sp_cache does, at each warm epoch start),
+// which keeps the tree set — and the reclaim-survival counters over it —
+// deterministic for every thread count.
 //
 // Thread contract: store() is internally locked and safe from the OpenMP
 // refresh workers; lookup() is locked too, but the returned pointer is
 // only stable until the next store() — callers consume it in the serial
 // classification pass before any store of the same refresh.
+// revalidate_after_reclaim() and enforce_limits() lock too, but callers
+// invoke them only from serial points (between solves / at epoch start).
 class SourceTreeCache {
  public:
   struct Limits {
@@ -207,6 +242,11 @@ class SourceTreeCache {
   struct Tree {
     VertexId source = kInvalidVertex;
     std::int64_t computed_clock = 0;
+    // Latest clock at which the tree was proven untouched by every
+    // weight decrease so far (== computed_clock until a reclaim
+    // revalidation keeps it). The serve condition checks
+    // last_decrease() <= max(computed_clock, validated_clock).
+    std::int64_t validated_clock = 0;
     double radius = 0.0;  // kInf when the tree exhausted the reachable set
     std::span<const VertexId> vertices;  // sorted ascending
     std::span<const double> dist;
@@ -217,19 +257,38 @@ class SourceTreeCache {
     int index_of(VertexId v) const;
   };
 
+  // Outcome of one reclaim revalidation pass, in trees.
+  struct ReclaimRevalidation {
+    std::int64_t kept = 0;
+    std::int64_t dropped = 0;
+  };
+
   SourceTreeCache();
   explicit SourceTreeCache(Limits limits);
 
   // Tree stored for `source`, or nullptr. Pointer stable until the next
-  // store()/clear().
+  // store()/clear()/revalidate_after_reclaim()/enforce_limits().
   const Tree* lookup(VertexId source) const;
 
   // Snapshots the engine's most recent query (set_record_settled must
   // have been on) as the tree for `source`, replacing any previous one.
   // Vertices past the query radius are dropped so the stored set is
-  // kernel-invariant. Thread-safe.
+  // kernel-invariant. Thread-safe; never evicts (see header comment).
   void store(VertexId source, const ShortestPathEngine& engine,
              std::int64_t computed_clock);
+
+  // Per-tree reclaim revalidation: drops every tree whose settled set
+  // meets a reclaimed edge's usable endpoints and bumps the survivors'
+  // validated_clock to `clock_after` (the residual graph's clock after
+  // the reclaim stamps). Serial point only.
+  ReclaimRevalidation revalidate_after_reclaim(
+      const Graph& base, std::span<const EdgeId> reclaimed,
+      std::int64_t clock_after);
+
+  // Generation-reset eviction when the limits are crossed; call from a
+  // serial point (the limits are soft within an epoch — store() defers
+  // to this).
+  void enforce_limits();
 
   // Drops every tree: arena reset + generation bump.
   void clear();

@@ -163,6 +163,12 @@ struct TemporalRun {
   std::vector<double> final_leased;
   std::vector<int> final_active_on_edge;
   std::int64_t final_active = 0;
+  // Warm-tree reclaim revalidation counters (persistent path only; the
+  // snapshot engine has no tree cache and reports zeros). Deterministic
+  // per world: the residual-differential oracle pins them equal across
+  // kernels and thread counts.
+  std::int64_t trees_kept_on_reclaim = 0;
+  std::int64_t trees_dropped_on_reclaim = 0;
 };
 
 // Replays the world through the lease-tracking engine with its sampled
@@ -229,6 +235,10 @@ TemporalRun run_world_engine_temporal(const SimWorld& world, int num_threads,
         ledger.active_on_edge(e);
   }
   run.final_active = ledger.active_count();
+  run.trees_kept_on_reclaim =
+      engine.metrics().counters().trees_kept_on_reclaim;
+  run.trees_dropped_on_reclaim =
+      engine.metrics().counters().trees_dropped_on_reclaim;
   return run;
 }
 
@@ -878,6 +888,11 @@ std::vector<Violation> oracle_temporal_no_leak(OracleContext& ctx) {
 // that licenses shipping the persistent path as the default.
 std::vector<Violation> oracle_residual_differential(OracleContext& ctx) {
   std::vector<Violation> out;
+  // Warm-tree reclaim revalidation verdicts of each persistent temporal
+  // leg: the surviving tree set is a pure function of the epoch history,
+  // so (kept, dropped) must agree across kernels and thread counts.
+  std::vector<std::pair<std::int64_t, std::int64_t>> reclaim_legs;
+  std::vector<std::string> leg_names;
   for (const SpKernel kernel : {SpKernel::kHeap, SpKernel::kBucket}) {
     SimWorld world = ctx.world;
     world.solver.sp_kernel = kernel;
@@ -907,6 +922,20 @@ std::vector<Violation> oracle_residual_differential(OracleContext& ctx) {
         add(&out, "residual-differential",
             leg + "persistent vs snapshot temporal replay: " + tdiff);
       }
+      reclaim_legs.emplace_back(tp.trees_kept_on_reclaim,
+                                tp.trees_dropped_on_reclaim);
+      leg_names.push_back(std::string(kname) + " t" +
+                          std::to_string(threads));
+    }
+  }
+  for (std::size_t i = 1; i < reclaim_legs.size(); ++i) {
+    if (reclaim_legs[i] != reclaim_legs[0]) {
+      add(&out, "residual-differential",
+          "warm-tree reclaim counters diverge across legs: " + leg_names[0] +
+              " kept/dropped " + std::to_string(reclaim_legs[0].first) + "/" +
+              std::to_string(reclaim_legs[0].second) + " vs " + leg_names[i] +
+              " " + std::to_string(reclaim_legs[i].first) + "/" +
+              std::to_string(reclaim_legs[i].second));
     }
   }
   return out;

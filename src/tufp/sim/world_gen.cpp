@@ -10,6 +10,7 @@
 #include "tufp/util/math.hpp"
 #include "tufp/util/rng.hpp"
 #include "tufp/workload/lower_bounds.hpp"
+#include "tufp/workload/request_gen.hpp"
 
 namespace tufp::sim {
 
@@ -308,6 +309,61 @@ SimWorld generate_world(const WorldSpec& spec) {
                                : spec.durations;
   world.durations =
       synth_durations(world.duration_profile, R, world.arrivals, drng);
+  return world;
+}
+
+SimWorld make_scale_churn_world(const ScaleChurnSpec& spec) {
+  TUFP_REQUIRE(spec.rows >= 2 && spec.cols >= 2, "churn grid too small");
+  TUFP_REQUIRE(spec.arrival_rate > 0.0, "churn arrival rate must be positive");
+  TUFP_REQUIRE(spec.durations != DurationProfile::kInfinite &&
+                   spec.durations != DurationProfile::kAuto,
+               "the churn tier needs a concrete finite duration profile");
+  Graph g = grid_graph(spec.rows, spec.cols, spec.capacity,
+                       /*directed=*/false);
+  const int n = g.num_vertices();
+
+  RequestGenConfig cfg;
+  cfg.num_requests = spec.num_requests;
+  cfg.source_pool = spec.source_pool;
+  cfg.source_stride = spec.source_stride > 0
+                          ? spec.source_stride
+                          : std::max(1, (n - 1) / std::max(1, spec.source_pool - 1));
+  cfg.target_radius = spec.target_radius;
+  Rng rng(spec.seed ^ 0xc4a7f00d5ca1e000ULL);
+  std::vector<Request> requests = generate_requests(g, cfg, rng);
+
+  BoundedUfpConfig solver;
+  solver.capacity_guard = true;
+  solver.run_to_saturation = true;
+
+  SimWorld world{WorldSpec{WorldFamily::kGrid, spec.seed, spec.durations},
+                 UfpInstance(std::move(g), std::move(requests)),
+                 {},
+                 {},
+                 spec.durations,
+                 std::max(1, spec.max_batch),
+                 solver};
+
+  // Poisson arrivals at the spec rate; the duration stream draws from a
+  // separate seed so tuning the arrival rate never reshuffles durations.
+  const int R = world.instance.num_requests();
+  world.arrivals.resize(static_cast<std::size_t>(R));
+  double clock = 0.0;
+  for (auto& t : world.arrivals) {
+    clock += -std::log1p(-rng.next_double()) / spec.arrival_rate;
+    t = clock;
+  }
+  DurationConfig dc;
+  dc.profile = spec.durations;
+  dc.mean = spec.duration_mean;
+  dc.period = spec.duration_period;
+  Rng drng(spec.seed ^ 0x5ca1ab1e0c472000ULL);
+  DurationSampler sampler(dc, drng());
+  world.durations.resize(static_cast<std::size_t>(R));
+  for (int i = 0; i < R; ++i) {
+    world.durations[static_cast<std::size_t>(i)] =
+        sampler.sample(world.arrivals[static_cast<std::size_t>(i)]);
+  }
   return world;
 }
 

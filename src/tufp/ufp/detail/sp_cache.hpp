@@ -51,11 +51,16 @@
 // SourceTreeCache: a stored settled tree whose path edges are unstamped
 // since it was computed (graph/residual_csr.hpp §12 argument) serves its
 // whole shard without a Dijkstra run, bitwise identical to a fresh
-// search. Warm consultation is restricted to the first refresh because
-// only there the duals are still the epoch-start weights y = 1/c_e the
-// trees were stored under.
+// search — reachable targets from the stored predecessor chain,
+// unreachable verdicts from an exhausted radius. Trees survive reclaims
+// when the engine's per-tree revalidation proves the reclaimed edges
+// cannot touch them (validated_clock; residual_csr.hpp survival
+// criterion). Warm consultation is restricted to the first refresh
+// because only there the duals are still the epoch-start weights
+// y = 1/c_e the trees were stored under.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <limits>
 #include <memory>
@@ -222,6 +227,12 @@ class SpCache {
                       profile->all_positive;
     miss_groups_.clear();
     if (warm) {
+      // Serial point for the tree cache's generation-reset eviction:
+      // store() itself never evicts (it runs on the OpenMP workers), so
+      // the limits are enforced here, where the tree set is a
+      // deterministic function of the epochs so far — identical for
+      // every thread count.
+      warm_trees_->enforce_limits();
       for (const int gi : touched_groups_) {
         if (serve_warm_group(groups_[static_cast<std::size_t>(gi)], residual,
                              now)) {
@@ -374,7 +385,17 @@ class SpCache {
                         std::int64_t now) {
     const SourceTreeCache::Tree* tree = warm_trees_->lookup(g.source);
     if (tree == nullptr) return false;
-    if (warm_graph_->last_decrease() > tree->computed_clock) return false;
+    // Weight decreases after max(computed, validated) are unaccounted
+    // for; a reclaim revalidation that kept this tree bumped
+    // validated_clock past the reclaim's last_decrease() tick
+    // (residual_csr.hpp survival criterion), so surviving trees keep
+    // serving. Per-edge stamp checks below stay against computed_clock:
+    // a kept tree contains no reclaimed edge, so any later stamp on a
+    // stored path edge is an admission — a weight increase the stored
+    // path cannot certify against.
+    const std::int64_t valid_through =
+        std::max(tree->computed_clock, tree->validated_clock);
+    if (warm_graph_->last_decrease() > valid_through) return false;
     const std::span<const std::int64_t> stamps = warm_graph_->stamps();
     for (const int r : g.stale) {
       Entry& entry = entries_[static_cast<std::size_t>(r)];

@@ -14,6 +14,14 @@ UfpWorkspace& UfpWorkspace::operator=(UfpWorkspace&&) noexcept = default;
 
 void UfpWorkspace::clear() { impl_ = std::make_unique<Impl>(); }
 
+UfpWorkspace::ReclaimRevalidation UfpWorkspace::revalidate_warm_trees(
+    const Graph& base, std::span<const EdgeId> reclaimed,
+    std::int64_t clock_after) {
+  const SourceTreeCache::ReclaimRevalidation r =
+      impl_->trees.revalidate_after_reclaim(base, reclaimed, clock_after);
+  return {r.kept, r.dropped};
+}
+
 std::int64_t UfpWorkspace::warm_tree_hits() const {
   return impl_->retired_warm_trees +
          (impl_->cache ? impl_->cache->warm_trees_served() : 0);

@@ -16,6 +16,9 @@
 
 #include <cstdint>
 #include <memory>
+#include <span>
+
+#include "tufp/graph/graph.hpp"
 
 namespace tufp {
 
@@ -35,6 +38,21 @@ class UfpWorkspace {
   // Drops all cached state (caches, trees, counters). Required whenever
   // the underlying residual graph is reset (its stamp clock restarts).
   void clear();
+
+  // Per-tree reclaim revalidation over the cross-epoch tree cache
+  // (graph/residual_csr.hpp survival criterion): drops the stored trees
+  // the reclaimed edges can touch, keeps the rest warm through the
+  // weight decrease. The engine calls this right after stamping a
+  // reclaim batch, with `clock_after` the residual graph's clock once
+  // every reclaim is stamped. Returns the kept/dropped tree counts for
+  // the deterministic telemetry channel.
+  struct ReclaimRevalidation {
+    std::int64_t kept = 0;
+    std::int64_t dropped = 0;
+  };
+  ReclaimRevalidation revalidate_warm_trees(const Graph& base,
+                                            std::span<const EdgeId> reclaimed,
+                                            std::int64_t clock_after);
 
   // Telemetry (monotone over the workspace lifetime, zeroed by clear()).
   std::int64_t warm_tree_hits() const;      // shards served from stored trees

@@ -116,7 +116,19 @@ class BumpArena {
   }
 
   // Bytes handed out since the last reset (live payload, not capacity).
+  // An order-independent sum over the outstanding allocations, so limit
+  // checks keyed on it are deterministic even when the allocations were
+  // made from differently-scheduled threads.
   std::size_t bytes_allocated() const { return allocated_bytes_; }
+
+  // Total chunk capacity currently held (survives reset(): the memory is
+  // kept for reuse). The high-water figure resident-memory telemetry
+  // wants, as opposed to the live payload above.
+  std::size_t bytes_reserved() const {
+    std::size_t total = 0;
+    for (const Chunk& c : chunks_) total += c.capacity;
+    return total;
+  }
 
  private:
   struct Chunk {

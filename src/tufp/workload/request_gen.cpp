@@ -26,6 +26,55 @@ RequestSampler::RequestSampler(const Graph& graph,
   TUFP_REQUIRE(config.source_pool >= 0 &&
                    config.source_pool <= graph.num_vertices(),
                "source_pool exceeds the vertex set");
+  TUFP_REQUIRE(config.source_stride >= 1, "source_stride must be positive");
+  TUFP_REQUIRE(config.source_stride == 1 || config.source_pool > 0,
+               "source_stride needs a source pool to spread");
+  TUFP_REQUIRE(config.source_pool == 0 ||
+                   static_cast<std::int64_t>(config.source_stride) *
+                           (config.source_pool - 1) <
+                       graph.num_vertices(),
+               "source_stride spreads the pool past the vertex set");
+  TUFP_REQUIRE(config.target_radius >= 0, "negative target_radius");
+  TUFP_REQUIRE(config.target_radius == 0 || config.source_pool > 0,
+               "target_radius needs pooled sources (balls are per source)");
+  TUFP_REQUIRE(config.target_radius == 0 ||
+                   config.value_model != ValueModel::kProportional,
+               "target_radius drops the hop distance kProportional needs");
+}
+
+const std::vector<VertexId>& RequestSampler::ball_of(VertexId source) {
+  const auto [it, inserted] = balls_.try_emplace(source);
+  std::vector<VertexId>& ball = it->second;
+  if (!inserted) return ball;
+  if (visited_.size() != static_cast<std::size_t>(graph_->num_vertices())) {
+    visited_.assign(static_cast<std::size_t>(graph_->num_vertices()), 0);
+  }
+  // Plain BFS to target_radius hops over the base adjacency: a pure
+  // function of the graph, so the ball — and with it the RNG-to-target
+  // mapping — is deterministic across runs and thread counts.
+  std::vector<VertexId> frontier{source};
+  std::vector<VertexId> next;
+  visited_[static_cast<std::size_t>(source)] = 1;
+  for (int depth = 0; depth < config_.target_radius && !frontier.empty();
+       ++depth) {
+    next.clear();
+    for (const VertexId u : frontier) {
+      for (const Arc& a : graph_->arcs_from(u)) {
+        auto& seen = visited_[static_cast<std::size_t>(a.to)];
+        if (seen) continue;
+        seen = 1;
+        ball.push_back(a.to);
+        next.push_back(a.to);
+      }
+    }
+    frontier.swap(next);
+  }
+  TUFP_REQUIRE(!ball.empty(),
+               "target_radius ball holds only the source itself");
+  visited_[static_cast<std::size_t>(source)] = 0;
+  for (const VertexId v : ball) visited_[static_cast<std::size_t>(v)] = 0;
+  std::sort(ball.begin(), ball.end());
+  return ball;
 }
 
 Request RequestSampler::sample(Rng& rng) {
@@ -39,7 +88,17 @@ Request RequestSampler::sample(Rng& rng) {
   do {
     TUFP_REQUIRE(retries++ < config_.max_pair_retries,
                  "could not sample a connected terminal pair");
-    req.source = static_cast<VertexId>(rng.next_below(pool));
+    req.source = static_cast<VertexId>(
+        static_cast<std::uint64_t>(config_.source_stride) *
+        rng.next_below(pool));
+    if (config_.target_radius > 0) {
+      // Local traffic: a uniform draw from the source's hop ball, which
+      // excludes the source and is reachable by construction.
+      const std::vector<VertexId>& ball = ball_of(req.source);
+      req.target = ball[static_cast<std::size_t>(
+          rng.next_below(static_cast<std::uint64_t>(ball.size())))];
+      break;
+    }
     req.target = static_cast<VertexId>(rng.next_below(n));
     if (req.source == req.target) continue;
     if (config_.assume_connected) break;  // reachability declared, not probed

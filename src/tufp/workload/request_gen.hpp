@@ -1,6 +1,8 @@
 // Random request workloads over arbitrary graphs.
 #pragma once
 
+#include <cstdint>
+#include <unordered_map>
 #include <vector>
 
 #include "tufp/graph/dijkstra.hpp"
@@ -38,6 +40,22 @@ struct RequestGenConfig {
   // cross-epoch tree cache repeated sources to warm against. Targets
   // still range over all vertices.
   int source_pool = 0;
+  // When > 1, the pooled sources are spread across the vertex set
+  // instead of clustered at its low end: source = stride * draw, draw in
+  // [0, source_pool). The churn tier uses this to place its hubs in
+  // distant graph regions, so one hub's reclaims cannot touch another
+  // hub's warm trees. Requires a source pool, with
+  // stride * (pool - 1) < num_vertices.
+  int source_stride = 1;
+  // When > 0, targets are drawn uniformly from the hop-limited BFS ball
+  // around the sampled source (excluding the source) instead of from the
+  // whole vertex set — local traffic, the knob that keeps warm trees
+  // small enough to survive remote reclaims. Balls are computed lazily
+  // once per source over the base adjacency (deterministic, sorted by
+  // vertex id), so a source pool is required; reachability holds by
+  // construction, making assume_connected unnecessary. Incompatible with
+  // kProportional (no hop distance is probed).
+  int target_radius = 0;
 };
 
 // Incremental form of generate_requests(): owns the reachability engine
@@ -55,11 +73,17 @@ class RequestSampler {
   const RequestGenConfig& config() const { return config_; }
 
  private:
+  // Hop-limited BFS ball around `source` (sorted, source excluded),
+  // computed on first use and memoized. target_radius > 0 only.
+  const std::vector<VertexId>& ball_of(VertexId source);
+
   const Graph* graph_;
   RequestGenConfig config_;
   ShortestPathEngine engine_;
   std::vector<double> unit_weights_;
   ZipfSampler zipf_;
+  std::unordered_map<VertexId, std::vector<VertexId>> balls_;
+  std::vector<std::uint8_t> visited_;  // ball_of scratch, zero between calls
 };
 
 std::vector<Request> generate_requests(const Graph& graph,

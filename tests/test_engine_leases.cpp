@@ -193,6 +193,81 @@ TEST(EngineLeases, PersistentResidualByteIdenticalUnderChurnOnAllFamilies) {
   }
 }
 
+TEST(EngineLeases, ScaleChurnWorldByteIdenticalAndKeepsWarmTrees) {
+  // The non-saturating churn tier at test scale (the bench runs the same
+  // shape at 10^6 requests): a 60x60 grid under hub-local traffic with
+  // exponential lease churn. The residual-differential oracle diffs the
+  // persistent engine against the snapshot engine on every report field
+  // at heap/bucket x 1/4 threads — including the cross-leg equality of
+  // the warm-tree reclaim counters — and a direct persistent run must
+  // show trees actually SURVIVING reclaims (kept > 0), the property the
+  // whole per-tree revalidation exists for.
+  sim::ScaleChurnSpec spec;
+  spec.num_requests = 1200;
+  spec.seed = 3;
+  const sim::SimWorld world = sim::make_scale_churn_world(spec);
+  ASSERT_FALSE(world.durations.empty());
+
+  const std::vector<std::string> only{"residual-differential"};
+  const auto violations =
+      sim::run_oracle_suite(world, sim::OracleOptions{}, only);
+  EXPECT_TRUE(violations.empty())
+      << (violations.empty() ? "" : violations.front().detail);
+
+  // Direct persistent churn replay: reclaims fire and warm trees survive
+  // them (hub-local traffic keeps most hubs away from any reclaimed
+  // edge).
+  EpochEngineConfig config;
+  config.max_batch = world.max_batch;
+  config.track_leases = true;
+  config.solver = world.solver;
+  config.solver.capacity_guard = true;
+  EpochEngine engine(world.instance.shared_graph(), config);
+  const auto& requests = world.instance.requests();
+  std::vector<TimedRequest> batch;
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    TimedRequest t;
+    t.arrival_time = world.arrivals[i];
+    t.sequence = static_cast<std::int64_t>(i);
+    t.duration = world.durations[i];
+    t.request = requests[i];
+    batch.push_back(t);
+    if (static_cast<int>(batch.size()) < world.max_batch &&
+        i + 1 < requests.size()) {
+      continue;
+    }
+    engine.run_epoch(batch);
+    batch.clear();
+  }
+  const EngineCounters& c = engine.metrics().counters();
+  EXPECT_GT(c.leases_expired, 0);
+  EXPECT_GT(c.trees_kept_on_reclaim, 0);
+  EXPECT_GT(c.trees_dropped_on_reclaim, 0);
+}
+
+TEST(EngineLeases, ScaleChurnFlashCrowdMatchesSnapshotEngine) {
+  // Flash-crowd durations release whole cohorts at once — the stress
+  // case for batched reclaim revalidation (many reclaimed edges in one
+  // epoch boundary). Smaller grid keeps the four-leg differential cheap.
+  sim::ScaleChurnSpec spec;
+  spec.rows = 30;
+  spec.cols = 30;
+  spec.num_requests = 800;
+  spec.source_pool = 12;
+  spec.target_radius = 5;
+  spec.durations = DurationProfile::kFlashCrowd;
+  spec.duration_mean = 0.04;
+  spec.duration_period = 0.3;
+  spec.seed = 11;
+  const sim::SimWorld world = sim::make_scale_churn_world(spec);
+  ASSERT_FALSE(world.durations.empty());
+  const std::vector<std::string> only{"residual-differential"};
+  const auto violations =
+      sim::run_oracle_suite(world, sim::OracleOptions{}, only);
+  EXPECT_TRUE(violations.empty())
+      << (violations.empty() ? "" : violations.front().detail);
+}
+
 TEST(EngineLeases, LeakInjectionIsCaughtByTheConservationOracle) {
   // Harness-bites check, temporal edition: the sim-side lease replay with
   // the 5% leak must be flagged on a world where expiries occur mid-run.

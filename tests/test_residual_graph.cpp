@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include <memory>
+#include <stdexcept>
 #include <vector>
 
 #include "tufp/engine/epoch_engine.hpp"
@@ -200,23 +201,112 @@ TEST(SourceTreeCache, StoreLookupAndGenerationEviction) {
   EXPECT_EQ(cache.num_trees(), 2u);
   const std::int64_t generation_before = cache.generation();
 
-  // ...and the third store triggers the wholesale generation-reset
-  // eviction: every old tree is gone, only the new one survives.
-  // (vertex 2 has no outgoing edges, so this tree records only its
-  // source — unreachable targets are a legal tree to cache.)
+  // ...and a third store exceeds it WITHOUT evicting: store() runs on
+  // the OpenMP refresh workers, where an eviction would make the
+  // surviving tree set thread-schedule dependent. The limits are soft
+  // until the serial enforce_limits() point. (Vertex 2 has no outgoing
+  // edges, so this tree records only its source — unreachable targets
+  // are a legal tree to cache.)
   std::vector<ShortestPathEngine::TreeTarget> from2{{0, 0.0, nullptr}};
   engine.shortest_tree(weights, 2, from2);
   cache.store(2, engine, 7);
+  EXPECT_EQ(cache.evictions(), 0);
+  EXPECT_EQ(cache.num_trees(), 3u);
+  EXPECT_EQ(cache.generation(), generation_before);
+  EXPECT_NE(cache.lookup(0), nullptr);
+  EXPECT_EQ(cache.stores(), 3);
+
+  // The serial point applies the wholesale generation-reset eviction:
+  // arena rewound, every tree gone, generation bumped.
+  cache.enforce_limits();
   EXPECT_EQ(cache.evictions(), 1);
   EXPECT_GT(cache.generation(), generation_before);
-  EXPECT_EQ(cache.num_trees(), 1u);
+  EXPECT_EQ(cache.num_trees(), 0u);
   EXPECT_EQ(cache.lookup(0), nullptr);
-  EXPECT_NE(cache.lookup(2), nullptr);
-  EXPECT_EQ(cache.stores(), 3);
+  EXPECT_EQ(cache.lookup(2), nullptr);
+
+  // Back under the limit nothing is evicted.
+  cache.enforce_limits();
+  EXPECT_EQ(cache.evictions(), 1);
 
   cache.clear();
   EXPECT_EQ(cache.num_trees(), 0u);
   EXPECT_EQ(cache.lookup(2), nullptr);
+}
+
+TEST(SourceTreeCache, ReclaimRevalidationOnlyDropsTouchedTrees) {
+  const std::shared_ptr<const Graph> base = make_diamond();
+  const std::vector<double> weights{1.0, 1.0, 3.0};
+
+  ShortestPathEngine engine(*base, SpKernel::kHeap);
+  engine.set_record_settled(true);
+  SourceTreeCache cache;
+
+  // Tree A from source 0 settles {0, 1, 2}; tree B from source 2 settles
+  // only {2} (no outgoing edges, radius-exhausted).
+  std::vector<ShortestPathEngine::TreeTarget> from0{{2, 0.0, nullptr}};
+  engine.shortest_tree(weights, 0, from0);
+  cache.store(0, engine, /*computed_clock=*/5);
+  std::vector<ShortestPathEngine::TreeTarget> from2{{0, 0.0, nullptr}};
+  engine.shortest_tree(weights, 2, from2);
+  cache.store(2, engine, 5);
+  ASSERT_EQ(cache.num_trees(), 2u);
+
+  // Reclaim edge 0 (0 -> 1): its usable endpoint (the tail, 0) lies in
+  // tree A's settled set but not in tree B's — exactly one tree must
+  // die. The old wholesale generation reset dropped both.
+  const std::vector<EdgeId> reclaimed{0};
+  const SourceTreeCache::ReclaimRevalidation out =
+      cache.revalidate_after_reclaim(*base, reclaimed, /*clock_after=*/9);
+  EXPECT_EQ(out.dropped, 1);
+  EXPECT_EQ(out.kept, 1);
+  EXPECT_EQ(cache.num_trees(), 1u);
+  EXPECT_EQ(cache.lookup(0), nullptr);
+
+  // The survivor is revalidated through the post-reclaim clock, so the
+  // warm path's last_decrease() check keeps passing for it.
+  const SourceTreeCache::Tree* survivor = cache.lookup(2);
+  ASSERT_NE(survivor, nullptr);
+  EXPECT_EQ(survivor->computed_clock, 5);
+  EXPECT_EQ(survivor->validated_clock, 9);
+
+  // An empty reclaim batch is a no-op: nothing counted, nothing dropped.
+  const SourceTreeCache::ReclaimRevalidation quiet =
+      cache.revalidate_after_reclaim(*base, {}, /*clock_after=*/11);
+  EXPECT_EQ(quiet.kept, 0);
+  EXPECT_EQ(quiet.dropped, 0);
+  EXPECT_EQ(cache.num_trees(), 1u);
+}
+
+TEST(ResidualGraph, OpenEpochEnforcesTheReclaimWriteBackContract) {
+  ResidualGraph rg(make_diamond(), 1.0);
+
+  // A compliant writer: take the span, write, declare the touched edges.
+  const std::vector<EdgeId> touched{0};
+  rg.mutable_residual()[0] = 3.0;
+  rg.note_reclaimed(touched);
+  EXPECT_NO_THROW(rg.open_epoch());
+
+  // The deliberately-broken driver: writes through mutable_residual()
+  // and forgets the stamp. The next epoch must refuse to solve instead
+  // of silently serving stale fit verdicts (DESIGN.md §10's admit →
+  // expire → re-admit starvation).
+  rg.mutable_residual()[0] = 4.0;
+  EXPECT_THROW(rg.open_epoch(), std::logic_error);
+
+  // Declaring the touched edges closes the window and service resumes.
+  rg.note_reclaimed(touched);
+  EXPECT_NO_THROW(rg.open_epoch());
+  EXPECT_EQ(rg.epoch_capacities()[0], 4.0);
+
+  // The empty-span idiom: a writer that took the span but drained
+  // nothing reports done with note_reclaimed({}) — no clock tick, no
+  // invalidation, window closed.
+  const std::int64_t clock_before = rg.clock();
+  (void)rg.mutable_residual();
+  rg.note_reclaimed({});
+  EXPECT_NO_THROW(rg.open_epoch());
+  EXPECT_EQ(rg.clock(), clock_before);
 }
 
 TEST(ResidualGraph, EngineExposesPersistentStateAndTelemetry) {

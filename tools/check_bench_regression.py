@@ -27,6 +27,17 @@ run (repeatable). It gates *relative* claims — e.g. the serving-core
 acceptance "persistent clears >= 5x the snapshot baseline" — which stay
 meaningful across machine classes where absolute numbers do not.
 
+NUM_CASE may contain a single ``*`` glob; it is matched against the
+current run's case names and whatever the ``*`` captured is substituted
+into DEN_CASE's ``*``, so one spec gates a whole family::
+
+    --min-ratio 'scale-churn-*-persistent/scale-churn-*-snapshot=2'
+
+A glob that matches nothing is a broken gate and fails hard (exit 2),
+like a missing named case. An exact (glob-free) spec naming the same
+NUM/DEN pair overrides the glob-derived bound, so a family default can
+carry per-case exceptions.
+
 Caveat (documented in README.md): absolute numbers are machine-class
 specific. The committed baseline is meaningful on runners comparable to
 the one that produced it; refresh it with --update (or by copying the CI
@@ -39,6 +50,40 @@ import shutil
 import sys
 
 MEDIAN_SUFFIX = "_median"
+
+
+def expand_ratio_gates(specs, current_cases):
+    """Expands --min-ratio specs against the current run's case names.
+
+    `specs` is a list of (num_pattern, den_pattern, bound) from the
+    parser; patterns either contain no ``*`` (exact) or exactly one
+    ``*`` in both positions (validated at parse time). Returns a sorted
+    list of concrete (num, den, bound) gates, or raises ValueError with
+    a message naming the glob when a pattern matches no current case.
+
+    Exact specs are applied last so they override a glob-derived gate
+    for the same (num, den) pair.
+    """
+    derived = {}
+    exact = {}
+    for num, den, bound in specs:
+        if "*" not in num:
+            exact[(num, den)] = bound
+            continue
+        prefix, suffix = num.split("*")
+        matched = False
+        for name in current_cases:
+            if (len(name) >= len(prefix) + len(suffix)
+                    and name.startswith(prefix) and name.endswith(suffix)):
+                capture = name[len(prefix):len(name) - len(suffix)]
+                derived[(name, den.replace("*", capture))] = bound
+                matched = True
+        if not matched:
+            raise ValueError(
+                f"--min-ratio glob {num!r} matched no case in the current "
+                f"run")
+    derived.update(exact)
+    return sorted((num, den, bound) for (num, den), bound in derived.items())
 
 
 def load_rows(path):
@@ -92,18 +137,25 @@ def main():
     parser.add_argument("--min-ratio", action="append", default=[],
                         metavar="NUM_CASE/DEN_CASE=X",
                         help="fail unless current[NUM]/current[DEN] >= X; "
-                             "repeatable")
+                             "repeatable; NUM may hold one '*' glob whose "
+                             "capture substitutes into DEN's '*'")
     args = parser.parse_args()
 
-    ratio_gates = []
+    ratio_specs = []
     for spec in args.min_ratio:
         try:
             cases, bound = spec.rsplit("=", 1)
             numerator, denominator = cases.split("/", 1)
-            ratio_gates.append((numerator, denominator, float(bound)))
+            ratio_specs.append((numerator, denominator, float(bound)))
         except ValueError:
             parser.error(f"--min-ratio expects NUM_CASE/DEN_CASE=X, got "
                          f"{spec!r}")
+        if "*" in numerator or "*" in denominator:
+            # One capture, one substitution site: anything else is
+            # ambiguous, so reject it at parse time.
+            if numerator.count("*") != 1 or denominator.count("*") != 1:
+                parser.error(f"--min-ratio glob needs exactly one '*' in "
+                             f"both NUM and DEN, got {spec!r}")
 
     if args.update:
         shutil.copyfile(args.current, args.baseline)
@@ -112,6 +164,11 @@ def main():
 
     baseline = load_rows(args.baseline)
     current = load_rows(args.current)
+    try:
+        ratio_gates = expand_ratio_gates(ratio_specs, sorted(current))
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     shared = sorted(set(baseline) & set(current))
     if not shared:
         print("error: no benchmarks in common between baseline and current",

@@ -150,5 +150,61 @@ class RatioGates(Harness):
         self.assertIn("w-gone", err)
 
 
+class GlobRatioGates(Harness):
+    # The churn-tier layout the glob syntax exists for: one spec gates
+    # every persistent/snapshot pair in the family at once.
+    BASELINE = [
+        {"case": "scale-churn-grid-exp-persistent",
+         "clear_requests_per_second": 4e4},
+        {"case": "scale-churn-grid-exp-snapshot",
+         "clear_requests_per_second": 1e4},
+        {"case": "scale-churn-tel-flash-persistent",
+         "clear_requests_per_second": 3e4},
+        {"case": "scale-churn-tel-flash-snapshot",
+         "clear_requests_per_second": 1e4},
+    ]
+    GLOB = "scale-churn-*-persistent/scale-churn-*-snapshot=2"
+
+    def test_glob_expands_to_every_pair_and_holds(self):
+        rc, out, err = self.run_gate(
+            self.BASELINE, self.BASELINE, argv=["--min-ratio", self.GLOB])
+        self.assertEqual(rc, 0, msg=out + err)
+        self.assertIn("scale-churn-grid-exp-persistent/"
+                      "scale-churn-grid-exp-snapshot", out)
+        self.assertIn("scale-churn-tel-flash-persistent/"
+                      "scale-churn-tel-flash-snapshot", out)
+        self.assertIn("2 ratio gate(s) held", out)
+
+    def test_one_pair_below_bound_fails(self):
+        current = [dict(row) for row in self.BASELINE]
+        current[2]["clear_requests_per_second"] = 1.5e4  # tel-flash: 1.5x
+        rc, out, err = self.run_gate(
+            self.BASELINE, current,
+            argv=["--threshold", "0.6", "--min-ratio", self.GLOB])
+        self.assertEqual(rc, 1, msg=out + err)
+        self.assertIn("scale-churn-tel-flash-persistent", err)
+        self.assertIn("required >= 2x", err)
+
+    def test_glob_matching_nothing_is_a_hard_error(self):
+        rc, out, err = self.run_gate(
+            self.BASELINE, self.BASELINE,
+            argv=["--min-ratio", "scale-churn-*-gone/scale-churn-*-snap=2"])
+        self.assertEqual(rc, 2, msg=out + err)
+        self.assertIn("matched no case", err)
+
+    def test_exact_spec_overrides_glob_for_its_pair(self):
+        current = [dict(row) for row in self.BASELINE]
+        current[2]["clear_requests_per_second"] = 1.5e4  # tel-flash: 1.5x
+        rc, out, err = self.run_gate(
+            self.BASELINE, current,
+            argv=["--threshold", "0.6",
+                  "--min-ratio", self.GLOB,
+                  "--min-ratio",
+                  "scale-churn-tel-flash-persistent/"
+                  "scale-churn-tel-flash-snapshot=1.2"])
+        self.assertEqual(rc, 0, msg=out + err)
+        self.assertIn("required >= 1.2x", out)
+
+
 if __name__ == "__main__":
     unittest.main()
