@@ -74,7 +74,7 @@ int EpochEngine::reclaim_expired(double now) {
   // reclaim touched must be stamped (and last_decrease bumped) or the
   // cross-epoch tree cache could serve a path priced before the capacity
   // returned (residual_csr.hpp).
-  if (config_.inject_reclaim_leak > 0.0 || rgraph_) {
+  if (config_.inject_reclaim_leak > 0.0 || rgraph_ || observer_ != nullptr) {
     std::vector<temporal::Lease> drained;
     expired = ledger_->reclaim_until(effective, base_->capacities(), residual,
                                      &drained);
@@ -113,6 +113,11 @@ int EpochEngine::reclaim_expired(double now) {
         metrics_.counters().trees_kept_on_reclaim += r.kept;
         metrics_.counters().trees_dropped_on_reclaim += r.dropped;
       }
+    }
+    // Observers see the drained leases in ledger drain order — the same
+    // serial event stream the residual restore above applied.
+    if (observer_ != nullptr && !drained.empty()) {
+      observer_->on_reclaimed(drained);
     }
   } else {
     expired = ledger_->reclaim_until(effective, base_->capacities(), residual);
@@ -233,6 +238,9 @@ AdmissionReport EpochEngine::clear_epoch(const std::vector<TimedRequest>& batch,
   report.close_time = close_time;
   ++metrics_.counters().epochs;
   metrics_.batch_sizes().add(static_cast<double>(batch.size()));
+  // Before the boundary reclaim, so the epoch's drains are attributed to
+  // the epoch whose clear triggered them.
+  if (observer_ != nullptr) observer_->on_epoch_start(report.epoch, close_time);
 
   // Epoch boundary: return expired leases' capacity *before* compiling
   // the residual snapshot, so this auction runs over the residual left by
@@ -316,6 +324,7 @@ AdmissionReport EpochEngine::clear_epoch(const std::vector<TimedRequest>& batch,
     }
     report.solve_seconds = timer.elapsed_seconds();
     metrics_.solve_seconds().record(report.solve_seconds);
+    if (observer_ != nullptr) observer_->on_epoch_end(report);
     return report;
   }
 
@@ -364,30 +373,44 @@ AdmissionReport EpochEngine::clear_epoch(const std::vector<TimedRequest>& batch,
     }
     const Path& path = *run.solution.path_of(r);
     const double demand = requests[static_cast<std::size_t>(r)].demand;
+    const double bid = requests[static_cast<std::size_t>(r)].value;
+    const int bi = batch_index[static_cast<std::size_t>(r)];
+    const TimedRequest& timed = batch[static_cast<std::size_t>(bi)];
+    // The lease starts at the epoch close (the decision instant), not
+    // the arrival: a request cannot hold capacity it was not yet
+    // granted. Permanent (kInf) leases are recorded for occupancy but
+    // never scheduled.
+    const double expires =
+        timed.duration < kInf ? close_time + timed.duration : kInf;
+    // Both the ledger and the observer speak base edge ids; in snapshot
+    // mode the path's snapshot ids are translated first.
     std::vector<EdgeId> base_edges;
-    if (ledger_) base_edges.reserve(path.size());
+    const bool need_base = ledger_ != nullptr || observer_ != nullptr;
+    if (need_base) {
+      base_edges.reserve(path.size());
+      if (persistent) {
+        base_edges.assign(path.begin(), path.end());
+      } else {
+        for (EdgeId e : path) base_edges.push_back(snapshot->base_edge(e));
+      }
+    }
+    // Reservation point: the observer sees the winner before its
+    // decrement lands (the reserve half of a two-phase protocol).
+    if (observer_ != nullptr) {
+      observer_->on_winner(timed.sequence, base_edges, demand, close_time,
+                           expires);
+    }
     if (persistent) {
       // The solver already speaks base edge ids: commit the decrement +
       // stamp in place, no translation.
       rgraph_->commit_admission(path, demand);
-      if (ledger_) base_edges.assign(path.begin(), path.end());
     } else {
       for (EdgeId e : path) {
         const auto base_e = static_cast<std::size_t>(snapshot->base_edge(e));
         residual_[base_e] = std::max(0.0, residual_[base_e] - demand);
-        if (ledger_) base_edges.push_back(static_cast<EdgeId>(base_e));
       }
     }
-    const double bid = requests[static_cast<std::size_t>(r)].value;
-    const int bi = batch_index[static_cast<std::size_t>(r)];
-    const TimedRequest& timed = batch[static_cast<std::size_t>(bi)];
     if (ledger_) {
-      // The lease starts at the epoch close (the decision instant), not
-      // the arrival: a request cannot hold capacity it was not yet
-      // granted. Permanent (kInf) leases are recorded for occupancy but
-      // never scheduled.
-      const double expires =
-          timed.duration < kInf ? close_time + timed.duration : kInf;
       ledger_->admit(timed.sequence, demand, std::move(base_edges),
                      close_time, expires);
       if (timed.duration < kInf) ++metrics_.counters().finite_leases;
@@ -412,6 +435,7 @@ AdmissionReport EpochEngine::clear_epoch(const std::vector<TimedRequest>& batch,
 
   report.solve_seconds = timer.elapsed_seconds();
   metrics_.solve_seconds().record(report.solve_seconds);
+  if (observer_ != nullptr) observer_->on_epoch_end(report);
   return report;
 }
 

@@ -169,6 +169,33 @@ struct AdmissionReport {
   std::vector<AdmissionRecord> allocations;  // when record_allocations
 };
 
+// Serial observation points on the engine's admission path, the hook
+// surface the sharded admission layer (engine/sharded_engine.hpp) builds
+// on. Every callback fires on the engine's single-threaded commit loop,
+// in canonical order — epochs in sequence, winners of an epoch in
+// request-index (lex-min tie-broken) order, reclaims in the ledger's
+// (expiry, lease id) drain order — so an observer's state is a pure
+// function of the admission history, independent of thread count and
+// kernel. Observers must not mutate the engine; the byte-identity
+// guarantee (sharded == single, residual-differential) depends on it.
+class AdmissionObserver {
+ public:
+  virtual ~AdmissionObserver() = default;
+  // Entry of every epoch clear, before the boundary reclaim.
+  virtual void on_epoch_start(int epoch, double close_time) = 0;
+  // One winner, immediately BEFORE its residual decrement is committed —
+  // the reservation point of a two-phase protocol. `base_edges` is the
+  // winning path in base edge ids (translated in snapshot mode);
+  // `expires_at` is kInf for permanent admissions.
+  virtual void on_winner(std::int64_t sequence,
+                         std::span<const EdgeId> base_edges, double demand,
+                         double close_time, double expires_at) = 0;
+  // Leases drained at a reclaim point, in drain order. Never empty.
+  virtual void on_reclaimed(std::span<const temporal::Lease> drained) = 0;
+  // Exit of every epoch clear, report complete.
+  virtual void on_epoch_end(const AdmissionReport& report) = 0;
+};
+
 // Lifetime aggregate returned by run().
 struct EngineSummary {
   EngineCounters counters;
@@ -238,6 +265,20 @@ class EpochEngine {
     metrics_.counters().queue_dropped += queue_dropped;
   }
 
+  // Wire-level malformed input shed by an external driver before it could
+  // become a request (framing errors: oversized or truncated lines).
+  // Folded into the same invalid_rejected counter the per-epoch bid
+  // validation feeds — invalid is invalid, whichever layer catches it.
+  void record_invalid(std::int64_t n) {
+    metrics_.counters().invalid_rejected += n;
+  }
+
+  // Attaches the admission observer (nullptr to detach). At most one;
+  // the engine does not own it.
+  void set_admission_observer(AdmissionObserver* observer) {
+    observer_ = observer;
+  }
+
   // Forgets all admissions: residual back to base capacities, metrics,
   // leases and epoch counter to zero.
   void reset();
@@ -264,6 +305,7 @@ class EpochEngine {
   std::unique_ptr<temporal::LeaseLedger> ledger_;
   double total_capacity_ = 0.0;
   EngineMetrics metrics_;
+  AdmissionObserver* observer_ = nullptr;
   int epoch_ = 0;
 };
 

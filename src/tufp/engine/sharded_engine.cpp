@@ -1,0 +1,196 @@
+#include "tufp/engine/sharded_engine.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "tufp/util/assert.hpp"
+
+namespace tufp {
+
+ShardedEpochEngine::ShardedEpochEngine(std::shared_ptr<const Graph> base_graph,
+                                       EpochEngineConfig config,
+                                       int num_shards)
+    : engine_(std::make_unique<EpochEngine>(base_graph, std::move(config))),
+      plan_(base_graph->num_edges(), num_shards) {
+  shards_.reserve(static_cast<std::size_t>(plan_.num_shards()));
+  for (int s = 0; s < plan_.num_shards(); ++s) {
+    shards_.emplace_back(s, plan_.window(s), base_graph->capacities());
+  }
+  shard_edges_.resize(static_cast<std::size_t>(plan_.num_shards()));
+  epoch_base_.resize(static_cast<std::size_t>(plan_.num_shards()));
+  engine_->set_admission_observer(this);
+}
+
+ShardedEpochEngine::~ShardedEpochEngine() {
+  engine_->set_admission_observer(nullptr);
+}
+
+shard::ShardCounters ShardedEpochEngine::totals() const {
+  shard::ShardCounters t;
+  for (const shard::ShardEngine& s : shards_) {
+    const shard::ShardCounters& c = s.counters();
+    t.reservations += c.reservations;
+    t.conflicts += c.conflicts;
+    t.aborts += c.aborts;
+    t.commits += c.commits;
+    t.releases += c.releases;
+    t.reclaims += c.reclaims;
+  }
+  return t;
+}
+
+void ShardedEpochEngine::split_by_shard(std::span<const EdgeId> base_edges) {
+  shard_seq_.clear();
+  for (const EdgeId e : base_edges) {
+    const int s = plan_.shard_of(e);
+    auto& bucket = shard_edges_[static_cast<std::size_t>(s)];
+    if (bucket.empty()) shard_seq_.push_back(s);
+    bucket.push_back(e);
+  }
+  // Canonical acquisition order: ascending shard id (the global lock
+  // order of the protocol), whatever order the path visits regions in.
+  std::sort(shard_seq_.begin(), shard_seq_.end());
+}
+
+bool ShardedEpochEngine::try_admit(std::int64_t epoch,
+                                   std::span<const EdgeId> base_edges,
+                                   double demand) {
+  split_by_shard(base_edges);
+  // Phase 1: reserve in canonical shard order.
+  for (std::size_t k = 0; k < shard_seq_.size(); ++k) {
+    const int s = shard_seq_[k];
+    shard::ShardEngine& eng = shards_[static_cast<std::size_t>(s)];
+    if (!eng.reserve(epoch, shard_edges_[static_cast<std::size_t>(s)],
+                     demand)) {
+      // Abort: release the acquired shards in reverse order, charge the
+      // refusing shard.
+      for (std::size_t j = k; j-- > 0;) {
+        const int r = shard_seq_[j];
+        shards_[static_cast<std::size_t>(r)].release(
+            shard_edges_[static_cast<std::size_t>(r)], demand);
+      }
+      eng.note_abort();
+      for (const int cleanup : shard_seq_) {
+        shard_edges_[static_cast<std::size_t>(cleanup)].clear();
+      }
+      return false;
+    }
+  }
+  // Phase 2: commit in the same order.
+  for (const int s : shard_seq_) {
+    shards_[static_cast<std::size_t>(s)].commit(
+        shard_edges_[static_cast<std::size_t>(s)], demand);
+  }
+  if (shard_seq_.size() > 1) ++epoch_cross_shard_winners_;
+  for (const int s : shard_seq_) {
+    shard_edges_[static_cast<std::size_t>(s)].clear();
+  }
+  return true;
+}
+
+void ShardedEpochEngine::on_epoch_start(int epoch, double /*close_time*/) {
+  current_epoch_ = epoch;
+  epoch_cross_shard_winners_ = 0;
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    epoch_base_[s] = shards_[s].counters();
+  }
+}
+
+void ShardedEpochEngine::on_winner(std::int64_t /*sequence*/,
+                                   std::span<const EdgeId> base_edges,
+                                   double demand, double /*close_time*/,
+                                   double /*expires_at*/) {
+  ++winners_;
+  const bool committed = try_admit(current_epoch_, base_edges, demand);
+  // A genuine solver winner set is jointly feasible (capacity guard), so
+  // a refusal here means shard state diverged from the decider's — fail
+  // loudly rather than serve inconsistent shards.
+  TUFP_CHECK(committed,
+             "two-phase admission aborted for a decider-selected winner");
+  if (shard_seq_.size() > 1) ++cross_shard_winners_;
+}
+
+void ShardedEpochEngine::on_reclaimed(
+    std::span<const temporal::Lease> drained) {
+  for (const temporal::Lease& lease : drained) {
+    split_by_shard(lease.edges);
+    for (const int s : shard_seq_) {
+      shards_[static_cast<std::size_t>(s)].drain(
+          lease.demand, shard_edges_[static_cast<std::size_t>(s)]);
+      shard_edges_[static_cast<std::size_t>(s)].clear();
+    }
+  }
+}
+
+void ShardedEpochEngine::on_epoch_end(const AdmissionReport& report) {
+  ShardEpochReport out;
+  out.epoch = report.epoch;
+  out.cross_shard_winners = epoch_cross_shard_winners_;
+  out.per_shard.resize(shards_.size());
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    const shard::ShardCounters& now = shards_[s].counters();
+    const shard::ShardCounters& base = epoch_base_[s];
+    shard::ShardCounters& d = out.per_shard[s];
+    d.reservations = now.reservations - base.reservations;
+    d.conflicts = now.conflicts - base.conflicts;
+    d.aborts = now.aborts - base.aborts;
+    d.commits = now.commits - base.commits;
+    d.releases = now.releases - base.releases;
+    d.reclaims = now.reclaims - base.reclaims;
+  }
+  epoch_reports_.push_back(std::move(out));
+}
+
+std::vector<std::string> ShardedEpochEngine::verify() const {
+  std::vector<std::string> out;
+  for (const shard::ShardEngine& s : shards_) {
+    s.verify_against(engine_->residual(), engine_->lease_ledger(), &out);
+  }
+  // Global conservation of the protocol counters: every admitted winner
+  // commits exactly once per shard its path touches, so the commit total
+  // is winners + cross-shard surplus; reservations can only exceed
+  // commits by released (aborted) acquisitions.
+  const shard::ShardCounters t = totals();
+  std::int64_t expected_commits = 0;
+  for (const ShardEpochReport& r : epoch_reports_) {
+    for (const shard::ShardCounters& c : r.per_shard) {
+      expected_commits += c.commits;
+    }
+  }
+  if (t.commits != expected_commits) {
+    out.push_back("commit total " + std::to_string(t.commits) +
+                  " != merged per-epoch total " +
+                  std::to_string(expected_commits));
+  }
+  // Each winner commits once per touched shard, so the surplus over one
+  // commit per winner is exactly the extra shards of cross-shard paths:
+  // at least one per cross-shard winner, zero when there are none.
+  const std::int64_t surplus = t.commits - winners_;
+  if (surplus < cross_shard_winners_ ||
+      (cross_shard_winners_ == 0 && surplus != 0)) {
+    out.push_back("commit total " + std::to_string(t.commits) +
+                  " inconsistent with winner accounting (winners " +
+                  std::to_string(winners_) + ", cross-shard " +
+                  std::to_string(cross_shard_winners_) + ")");
+  }
+  // Releases happen only on abort rollbacks.
+  if (t.aborts == 0 && t.releases != 0) {
+    out.push_back("releases " + std::to_string(t.releases) +
+                  " without any abort");
+  }
+  return out;
+}
+
+void ShardedEpochEngine::reset() {
+  engine_->reset();
+  for (shard::ShardEngine& s : shards_) s.reset();
+  for (auto& bucket : shard_edges_) bucket.clear();
+  epoch_reports_.clear();
+  for (shard::ShardCounters& c : epoch_base_) c = shard::ShardCounters();
+  current_epoch_ = -1;
+  winners_ = 0;
+  cross_shard_winners_ = 0;
+  epoch_cross_shard_winners_ = 0;
+}
+
+}  // namespace tufp

@@ -1,0 +1,133 @@
+// ShardedEpochEngine — N region shards behind one deterministic decider
+// (DESIGN.md §13).
+//
+// Architecture: the epoch clear stays a single global Bounded-UFP solve —
+// the decider — which fixes the winner set and its canonical order
+// exactly as the single-engine path does (same code, byte-identical
+// reports by construction; the sharded-differential oracle pins it). The
+// sharding is real at the state-of-record layer: the base edge space is
+// partitioned into contiguous CSR windows (shard/partition.hpp), each
+// owned by a ShardEngine holding its own residual store, change clock and
+// lease book, and every admission flows through a two-phase
+// reserve/commit protocol along the winner's shard sequence:
+//
+//   phase 1  reservations acquired shard-by-shard in ascending shard id
+//            (the canonical lock order — no deadlock, no
+//            interleaving-dependence); a second winner reserving an
+//            already-reserved edge is a counted CONFLICT, resolved by the
+//            decider's lex-min/value-density winner order;
+//   phase 2  commits applied in the same shard order; on any phase-1
+//            refusal the acquired shards release in reverse order and the
+//            round is a counted ABORT (provably dead for genuine winner
+//            sets — the capacity guard admits only jointly feasible sets
+//            — so the coordinator treats one as an invariant breach).
+//
+// The coordinator subscribes to the engine's AdmissionObserver hooks, all
+// of which fire on the serial commit loop in canonical order, so every
+// shard's state is a pure function of the admission history: independent
+// of thread count, SP kernel, and message interleaving. verify() audits
+// shard state against the global stores with exact (==) comparisons; the
+// shard-conserve oracle runs it every epoch.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "tufp/engine/epoch_engine.hpp"
+#include "tufp/shard/partition.hpp"
+#include "tufp/shard/shard_engine.hpp"
+
+namespace tufp {
+
+// One epoch's per-shard protocol activity: counter deltas over the
+// epoch, merged deterministically (ascending shard id) from the shard
+// engines when the epoch's report closes.
+struct ShardEpochReport {
+  int epoch = -1;
+  // Winners whose path crossed more than one shard this epoch.
+  std::int64_t cross_shard_winners = 0;
+  std::vector<shard::ShardCounters> per_shard;  // ascending shard id
+};
+
+class ShardedEpochEngine final : public AdmissionObserver {
+ public:
+  ShardedEpochEngine(std::shared_ptr<const Graph> base_graph,
+                     EpochEngineConfig config, int num_shards);
+  ~ShardedEpochEngine() override;
+
+  ShardedEpochEngine(const ShardedEpochEngine&) = delete;
+  ShardedEpochEngine& operator=(const ShardedEpochEngine&) = delete;
+
+  // The decider. Drive it exactly like a plain EpochEngine (run,
+  // run_epoch, reclaim_expired, metrics, ...); the shard layer observes
+  // every admission through the hooks regardless of entry point.
+  EpochEngine& engine() { return *engine_; }
+  const EpochEngine& engine() const { return *engine_; }
+
+  const shard::ShardPlan& plan() const { return plan_; }
+  int num_shards() const { return plan_.num_shards(); }
+  const shard::ShardEngine& shard(int s) const {
+    return shards_[static_cast<std::size_t>(s)];
+  }
+
+  // Lifetime totals across shards (sums of per-shard counters) plus
+  // coordinator-level winner accounting.
+  shard::ShardCounters totals() const;
+  std::int64_t winners() const { return winners_; }
+  std::int64_t cross_shard_winners() const { return cross_shard_winners_; }
+
+  // Per-epoch activity, one entry per cleared epoch, in epoch order.
+  const std::vector<ShardEpochReport>& epoch_reports() const {
+    return epoch_reports_;
+  }
+
+  // Runs one winner through the two-phase protocol against the current
+  // shard state. The engine hook calls this and requires success;
+  // exposed so the abort/release path can be exercised directly with an
+  // infeasible demand (tests only — a direct call advances shard state
+  // past the engine's).
+  bool try_admit(std::int64_t epoch, std::span<const EdgeId> base_edges,
+                 double demand);
+
+  // Exact (==) audit of every shard against the engine's residual store
+  // and lease ledger. Empty means consistent.
+  std::vector<std::string> verify() const;
+
+  // Resets the decider and every shard to the fresh-world state.
+  void reset();
+
+  // AdmissionObserver (engine-facing; do not call directly).
+  void on_epoch_start(int epoch, double close_time) override;
+  void on_winner(std::int64_t sequence, std::span<const EdgeId> base_edges,
+                 double demand, double close_time,
+                 double expires_at) override;
+  void on_reclaimed(std::span<const temporal::Lease> drained) override;
+  void on_epoch_end(const AdmissionReport& report) override;
+
+ private:
+  // Splits `base_edges` by owning shard into shard_edges_ scratch,
+  // filling shard_seq_ with the canonical (ascending, deduplicated)
+  // shard sequence.
+  void split_by_shard(std::span<const EdgeId> base_edges);
+
+  std::unique_ptr<EpochEngine> engine_;
+  shard::ShardPlan plan_;
+  std::vector<shard::ShardEngine> shards_;
+
+  // Scratch for one winner/lease: per-shard in-window edge lists (path
+  // order) and the canonical shard sequence. Reused across calls.
+  std::vector<std::vector<EdgeId>> shard_edges_;
+  std::vector<int> shard_seq_;
+
+  std::vector<ShardEpochReport> epoch_reports_;
+  std::vector<shard::ShardCounters> epoch_base_;  // totals at epoch start
+  std::int64_t current_epoch_ = -1;
+  std::int64_t winners_ = 0;
+  std::int64_t cross_shard_winners_ = 0;
+  std::int64_t epoch_cross_shard_winners_ = 0;
+};
+
+}  // namespace tufp

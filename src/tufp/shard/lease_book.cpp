@@ -1,0 +1,54 @@
+#include "tufp/shard/lease_book.hpp"
+
+#include <algorithm>
+
+#include "tufp/util/assert.hpp"
+
+namespace tufp::shard {
+
+ShardLeaseBook::ShardLeaseBook(ShardWindow window)
+    : window_(window),
+      leased_demand_(static_cast<std::size_t>(window.size()), 0.0),
+      active_on_edge_(static_cast<std::size_t>(window.size()), 0) {
+  TUFP_REQUIRE(window.size() >= 1, "a shard lease book needs a non-empty window");
+}
+
+void ShardLeaseBook::apply_admit(double demand,
+                                 std::span<const EdgeId> edges) {
+  TUFP_REQUIRE(!edges.empty(), "a shard admit must touch an in-window edge");
+  for (const EdgeId e : edges) {
+    TUFP_REQUIRE(window_.contains(e), "admit edge outside the shard window");
+    const std::size_t i = index(e);
+    leased_demand_[i] += demand;
+    ++active_on_edge_[i];
+  }
+  leased_capacity_ += demand * static_cast<double>(edges.size());
+  ++active_leases_;
+}
+
+void ShardLeaseBook::apply_drain(double demand,
+                                 std::span<const EdgeId> edges) {
+  TUFP_REQUIRE(!edges.empty(), "a shard drain must touch an in-window edge");
+  for (const EdgeId e : edges) {
+    TUFP_REQUIRE(window_.contains(e), "drain edge outside the shard window");
+    const std::size_t i = index(e);
+    leased_demand_[i] -= demand;
+    if (--active_on_edge_[i] == 0) {
+      // Exact-snap rule, bit-for-bit the ledger's: incremental +/- demand
+      // is not associative, the empty-edge baseline is.
+      leased_demand_[i] = 0.0;
+    }
+  }
+  leased_capacity_ -= demand * static_cast<double>(edges.size());
+  --active_leases_;
+  if (active_leases_ == 0) leased_capacity_ = 0.0;  // same snap, shard gauge
+}
+
+void ShardLeaseBook::clear() {
+  std::fill(leased_demand_.begin(), leased_demand_.end(), 0.0);
+  std::fill(active_on_edge_.begin(), active_on_edge_.end(), 0);
+  active_leases_ = 0;
+  leased_capacity_ = 0.0;
+}
+
+}  // namespace tufp::shard

@@ -1,0 +1,64 @@
+// Per-shard lease accounting: the shard-local slice of the global
+// LeaseLedger's gauges (temporal/lease_ledger.hpp).
+//
+// Each region shard keeps its own book of what is leased on the edges it
+// owns, driven by the same admit/drain event stream the global ledger
+// sees, in the same order, with bit-identical arithmetic — including the
+// exact-snap rule (leased_demand snaps to 0.0 when the last lease leaves
+// an edge; the no-leak guarantee is an == guarantee, not a tolerance).
+// Per-edge ops on distinct edges commute bitwise and each edge is owned
+// by exactly one shard, so after any prefix of the event stream every
+// in-window gauge equals the ledger's — the per-shard half of the
+// shard-conserve oracle (sim/oracles.cpp) checks exactly that, with ==.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "tufp/graph/graph.hpp"
+#include "tufp/shard/partition.hpp"
+
+namespace tufp::shard {
+
+class ShardLeaseBook {
+ public:
+  explicit ShardLeaseBook(ShardWindow window);
+
+  // One admitted lease crossing this shard. `edges` is the in-window
+  // subset of the lease's path, in path order; must be non-empty.
+  void apply_admit(double demand, std::span<const EdgeId> edges);
+
+  // The same lease leaving (ledger drain). Mirrors LeaseLedger's
+  // reclaim arithmetic on the gauges; the residual write-back lives in
+  // ShardEngine::drain (it owns the shard residual store).
+  void apply_drain(double demand, std::span<const EdgeId> edges);
+
+  const ShardWindow& window() const { return window_; }
+  // Gauges by base edge id (must be in-window).
+  double leased_demand(EdgeId e) const {
+    return leased_demand_[index(e)];
+  }
+  std::int32_t active_on_edge(EdgeId e) const {
+    return active_on_edge_[index(e)];
+  }
+  // Leases currently holding at least one in-window edge.
+  std::int64_t active_leases() const { return active_leases_; }
+  // Sum of demand * in-window edge count over active leases.
+  double leased_capacity() const { return leased_capacity_; }
+
+  void clear();
+
+ private:
+  std::size_t index(EdgeId e) const {
+    return static_cast<std::size_t>(e - window_.begin);
+  }
+
+  ShardWindow window_;
+  std::vector<double> leased_demand_;
+  std::vector<std::int32_t> active_on_edge_;
+  std::int64_t active_leases_ = 0;
+  double leased_capacity_ = 0.0;
+};
+
+}  // namespace tufp::shard

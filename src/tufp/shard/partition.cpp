@@ -1,0 +1,48 @@
+#include "tufp/shard/partition.hpp"
+
+#include <algorithm>
+
+#include "tufp/util/assert.hpp"
+
+namespace tufp::shard {
+
+ShardPlan::ShardPlan(int num_edges, int num_shards) : num_edges_(num_edges) {
+  TUFP_REQUIRE(num_edges >= 1, "shard plan needs a non-empty edge space");
+  TUFP_REQUIRE(num_shards >= 1, "shard plan needs at least one shard");
+  const int n = std::min(num_shards, num_edges);
+  windows_.reserve(static_cast<std::size_t>(n));
+  const auto m = static_cast<std::int64_t>(num_edges);
+  for (std::int64_t s = 0; s < n; ++s) {
+    ShardWindow w;
+    w.begin = static_cast<EdgeId>(s * m / n);
+    w.end = static_cast<EdgeId>((s + 1) * m / n);
+    windows_.push_back(w);
+  }
+}
+
+int ShardPlan::shard_of(EdgeId e) const {
+  TUFP_REQUIRE(e >= 0 && e < num_edges_, "edge id outside the shard plan");
+  // Invert the floor-division lattice: shard s owns [s*m/n, (s+1)*m/n),
+  // so the owner of e is floor(((e+1)*n - 1) / m) — the largest s with
+  // s*m/n <= e. Cheaper than a binary search and exactly consistent with
+  // the windows built above.
+  const auto m = static_cast<std::int64_t>(num_edges_);
+  const auto n = static_cast<std::int64_t>(windows_.size());
+  const auto s = ((static_cast<std::int64_t>(e) + 1) * n - 1) / m;
+  return static_cast<int>(s);
+}
+
+int ShardPlan::shards_of_path(std::span<const EdgeId> path,
+                              std::vector<int>* out) const {
+  out->clear();
+  for (const EdgeId e : path) {
+    const int s = shard_of(e);
+    if (std::find(out->begin(), out->end(), s) == out->end()) out->push_back(s);
+  }
+  // Canonical acquisition order: ascending shard id, independent of the
+  // order the path visits regions in.
+  std::sort(out->begin(), out->end());
+  return static_cast<int>(out->size());
+}
+
+}  // namespace tufp::shard

@@ -1,0 +1,65 @@
+// Deterministic region partitioner over the CSR edge layout.
+//
+// The shard layer (DESIGN.md §13) splits a world's edge space into N
+// contiguous windows of base EdgeIds. Because base edge ids are assigned
+// in CSR order — edges sorted by tail vertex, then by insertion order
+// within a vertex — a contiguous id window is a contiguous region of the
+// CSR arrays, i.e. a *region shard*: the grid generators emit edges
+// row-major, so windows are horizontal bands; layered DAGs shard by
+// layer; trees by subtree discovery order. No hashing, no RNG: the plan
+// is a pure function of (num_edges, num_shards), so every run — any
+// thread count, any message interleaving — agrees on which shard owns
+// which edge, which is the first link in the determinism argument for
+// the two-phase protocol (shard_engine.hpp).
+//
+// Windows are balanced to within one edge: shard s owns
+// [floor(s*m/N), floor((s+1)*m/N)). N is clamped to m so no shard is
+// empty — an empty shard could never witness a reservation and would
+// make per-shard conservation vacuous.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "tufp/graph/graph.hpp"
+
+namespace tufp::shard {
+
+struct ShardWindow {
+  EdgeId begin = 0;  // first base edge id owned by this shard
+  EdgeId end = 0;    // one past the last
+
+  int size() const { return static_cast<int>(end - begin); }
+  bool contains(EdgeId e) const { return e >= begin && e < end; }
+};
+
+class ShardPlan {
+ public:
+  // Builds the canonical plan for `num_edges` base edges. `num_shards`
+  // is clamped to [1, num_edges].
+  ShardPlan(int num_edges, int num_shards);
+
+  int num_shards() const { return static_cast<int>(windows_.size()); }
+  int num_edges() const { return num_edges_; }
+  const ShardWindow& window(int shard) const {
+    return windows_[static_cast<std::size_t>(shard)];
+  }
+
+  // Owning shard of a base edge id. O(1): windows are the floor-division
+  // lattice, so the owner is recoverable arithmetically.
+  int shard_of(EdgeId e) const;
+
+  // The canonical shard sequence of a path: every shard holding at least
+  // one path edge, ascending by shard id, deduplicated. Reservations are
+  // always acquired in exactly this order (two-phase protocol, §13), so
+  // the lock order is global and deadlock/interleaving-free by
+  // construction. Appends into `out` (cleared first); returns out->size().
+  int shards_of_path(std::span<const EdgeId> path, std::vector<int>* out) const;
+
+ private:
+  int num_edges_ = 0;
+  std::vector<ShardWindow> windows_;
+};
+
+}  // namespace tufp::shard

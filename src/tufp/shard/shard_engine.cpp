@@ -1,0 +1,141 @@
+#include "tufp/shard/shard_engine.hpp"
+
+#include <algorithm>
+
+#include "tufp/util/assert.hpp"
+#include "tufp/util/math.hpp"
+
+namespace tufp::shard {
+
+ShardEngine::ShardEngine(int shard_id, ShardWindow window,
+                         std::span<const double> base_capacities)
+    : shard_id_(shard_id), book_(window) {
+  TUFP_REQUIRE(window.begin >= 0 && window.end > window.begin &&
+                   static_cast<std::size_t>(window.end) <=
+                       base_capacities.size(),
+               "shard window outside the base edge space");
+  const auto n = static_cast<std::size_t>(window.size());
+  capacity_.assign(base_capacities.begin() + window.begin,
+                   base_capacities.begin() + window.end);
+  residual_ = capacity_;
+  stamp_.assign(n, 0);
+  reserved_demand_.assign(n, 0.0);
+  reserved_epoch_.assign(n, -1);
+}
+
+bool ShardEngine::reserve(std::int64_t epoch, std::span<const EdgeId> edges,
+                          double demand) {
+  for (std::size_t k = 0; k < edges.size(); ++k) {
+    const std::size_t i = index(edges[k]);
+    if (reserved_epoch_[i] == epoch && reserved_demand_[i] > 0.0) {
+      // An earlier winner of this epoch already holds a reservation here:
+      // the boundary-edge contention the protocol exists to serialize.
+      // The decider's canonical winner order already resolved it; count
+      // the event and stack the reservation.
+      ++counters_.conflicts;
+    }
+    if (demand > residual_[i]) {
+      // Defensive: a genuine solver winner set is jointly feasible
+      // (capacity guard), so this branch is dead in engine-driven runs
+      // and the coordinator checks it loudly. Roll back this call's
+      // partial acquisitions so a direct caller observes clean state.
+      release(edges.subspan(0, k), demand);
+      return false;
+    }
+    if (reserved_epoch_[i] != epoch) {
+      reserved_epoch_[i] = epoch;
+      reserved_demand_[i] = demand;
+    } else {
+      reserved_demand_[i] += demand;
+    }
+    ++counters_.reservations;
+  }
+  return true;
+}
+
+void ShardEngine::commit(std::span<const EdgeId> edges, double demand) {
+  TUFP_REQUIRE(!edges.empty(), "a shard commit must touch an in-window edge");
+  // One fresh tick per committed winner, every touched edge stamped at it
+  // — the ResidualGraph::commit_admission discipline, shard-local.
+  const std::int64_t tick = ++clock_;
+  for (const EdgeId e : edges) {
+    const std::size_t i = index(e);
+    // The engine's exact clamp rule; bit-identical to the global store.
+    residual_[i] = std::max(0.0, residual_[i] - demand);
+    stamp_[i] = tick;
+  }
+  book_.apply_admit(demand, edges);
+  ++counters_.commits;
+}
+
+void ShardEngine::release(std::span<const EdgeId> edges, double demand) {
+  for (const EdgeId e : edges) {
+    const std::size_t i = index(e);
+    reserved_demand_[i] -= demand;
+    if (reserved_demand_[i] <= 0.0) reserved_demand_[i] = 0.0;
+    ++counters_.releases;
+  }
+}
+
+void ShardEngine::drain(double demand, std::span<const EdgeId> edges) {
+  TUFP_REQUIRE(!edges.empty(), "a shard drain must touch an in-window edge");
+  const std::int64_t tick = ++clock_;
+  for (const EdgeId e : edges) {
+    const std::size_t i = index(e);
+    // The ledger's exact restore arithmetic (lease_ledger.cpp): the book
+    // holds the authoritative active count for the snap decision, and by
+    // induction it equals the ledger's on every in-window edge.
+    if (book_.active_on_edge(e) == 1) {
+      residual_[i] = capacity_[i];
+    } else {
+      residual_[i] = std::min(capacity_[i], residual_[i] + demand);
+    }
+    stamp_[i] = tick;
+  }
+  book_.apply_drain(demand, edges);
+  // A residual increase is a dual-weight decrease — the ResidualGraph
+  // note_reclaimed discipline, shard-local.
+  last_decrease_ = tick;
+  ++counters_.reclaims;
+}
+
+void ShardEngine::reset() {
+  residual_ = capacity_;
+  std::fill(stamp_.begin(), stamp_.end(), 0);
+  std::fill(reserved_demand_.begin(), reserved_demand_.end(), 0.0);
+  std::fill(reserved_epoch_.begin(), reserved_epoch_.end(), -1);
+  book_.clear();
+  counters_ = ShardCounters();
+  clock_ = 0;
+  last_decrease_ = 0;
+}
+
+void ShardEngine::verify_against(std::span<const double> global_residual,
+                                 const temporal::LeaseLedger* ledger,
+                                 std::vector<std::string>* out) const {
+  const ShardWindow& w = window();
+  for (EdgeId e = w.begin; e < w.end; ++e) {
+    const std::size_t i = index(e);
+    if (residual_[i] != global_residual[static_cast<std::size_t>(e)]) {
+      out->push_back("shard " + std::to_string(shard_id_) + " edge " +
+                     std::to_string(e) + ": shard residual " +
+                     std::to_string(residual_[i]) + " != global " +
+                     std::to_string(global_residual[static_cast<std::size_t>(e)]));
+    }
+    if (ledger == nullptr) continue;
+    if (book_.leased_demand(e) != ledger->leased_demand(e)) {
+      out->push_back("shard " + std::to_string(shard_id_) + " edge " +
+                     std::to_string(e) + ": book leased_demand " +
+                     std::to_string(book_.leased_demand(e)) + " != ledger " +
+                     std::to_string(ledger->leased_demand(e)));
+    }
+    if (static_cast<int>(book_.active_on_edge(e)) != ledger->active_on_edge(e)) {
+      out->push_back("shard " + std::to_string(shard_id_) + " edge " +
+                     std::to_string(e) + ": book active_on_edge " +
+                     std::to_string(book_.active_on_edge(e)) + " != ledger " +
+                     std::to_string(ledger->active_on_edge(e)));
+    }
+  }
+}
+
+}  // namespace tufp::shard

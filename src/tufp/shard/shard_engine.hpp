@@ -1,0 +1,132 @@
+// ShardEngine — one region shard's state of record and its half of the
+// two-phase cross-shard admission protocol (DESIGN.md §13).
+//
+// A shard owns a contiguous window of the base edge space (the ShardPlan
+// lattice) and maintains, independently of the global engine, everything
+// the global state holds on those edges:
+//
+//   residual_[i]  shard-local residual store — the per-shard ResidualGraph.
+//                 Commits apply the engine's exact clamp rule
+//                 max(0, r - d); drains apply the lease ledger's exact
+//                 restore-with-snap rule. Both are bit-identical to the
+//                 global arithmetic, so shard residual == global residual
+//                 on the window after any event prefix (checked with ==
+//                 by the shard-conserve oracle).
+//   stamp_/clock_ shard-local change clock, the per-shard analogue of
+//                 ResidualGraph's stamp discipline: commits and drains
+//                 both tick, drains bump last_decrease_.
+//   book_         the shard's lease gauges (lease_book.hpp).
+//
+// Two-phase protocol, this shard's half:
+//
+//   reserve(epoch, edges, d)  phase 1. Checks d fits the live shard
+//       residual on every in-window edge and records an epoch-scoped
+//       reservation. An edge already reserved this epoch by an earlier
+//       winner is a CONFLICT — counted, not refused: the decider already
+//       serialized the two winners, the count is the contention signal.
+//       A failed fit releases this call's partial reservations and
+//       returns false (the coordinator then releases the other shards in
+//       reverse order and counts an ABORT). For genuine solver winner
+//       sets the abort path is provably dead — the capacity guard admits
+//       only jointly feasible sets — so it is defensive, and exercised
+//       directly by the two-phase unit tests instead.
+//   commit(edges, d)          phase 2. Applies the residual decrement +
+//       stamp and posts the lease to the book.
+//   release(edges, d)         undo of phase 1 on abort.
+//
+// Determinism: every method is called from the engine's serial commit
+// loop, winners in canonical (request-index, i.e. lex-min tie-broken)
+// order, shards of one winner in ascending shard order (partition.hpp).
+// Shard state is therefore a pure function of the admission history —
+// independent of thread count, kernel, and message interleaving.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "tufp/graph/graph.hpp"
+#include "tufp/shard/lease_book.hpp"
+#include "tufp/shard/partition.hpp"
+#include "tufp/temporal/lease_ledger.hpp"
+
+namespace tufp::shard {
+
+// Per-shard protocol counters, reported on the deterministic telemetry
+// channel (obs/telemetry.hpp) — every field is a pure function of the
+// admission history.
+struct ShardCounters {
+  std::int64_t reservations = 0;  // per-edge phase-1 acquisitions
+  std::int64_t conflicts = 0;     // reservations on an already-reserved edge
+  std::int64_t aborts = 0;        // two-phase rounds rolled back at this shard
+  std::int64_t commits = 0;       // winners committed through this shard
+  std::int64_t releases = 0;      // per-edge reservations undone on abort
+  std::int64_t reclaims = 0;      // drained leases that touched this shard
+};
+
+class ShardEngine {
+ public:
+  ShardEngine(int shard_id, ShardWindow window,
+              std::span<const double> base_capacities);
+
+  int shard_id() const { return shard_id_; }
+  const ShardWindow& window() const { return book_.window(); }
+  const ShardLeaseBook& book() const { return book_; }
+  const ShardCounters& counters() const { return counters_; }
+
+  // Live shard residual / base capacity by base edge id (in-window).
+  double residual(EdgeId e) const { return residual_[index(e)]; }
+  double capacity(EdgeId e) const { return capacity_[index(e)]; }
+  std::int64_t clock() const { return clock_; }
+  std::int64_t last_decrease() const { return last_decrease_; }
+
+  // Phase 1: reserve `demand` on the in-window `edges` for one winner of
+  // `epoch`. Returns false (and releases this call's acquisitions) when
+  // an edge cannot fit the demand.
+  bool reserve(std::int64_t epoch, std::span<const EdgeId> edges,
+               double demand);
+  // Phase 2: apply the reserved winner.
+  void commit(std::span<const EdgeId> edges, double demand);
+  // Abort rollback of a phase-1 acquisition.
+  void release(std::span<const EdgeId> edges, double demand);
+  void note_abort() { ++counters_.aborts; }
+
+  // Ledger drain of one expired lease's in-window edges: restores the
+  // shard residual with the ledger's exact arithmetic and updates the
+  // book.
+  void drain(double demand, std::span<const EdgeId> edges);
+
+  // Forgets all admissions (engine reset): residual back to base
+  // capacities, book, counters and clocks to zero.
+  void reset();
+
+  // Appends human-readable mismatches between this shard's state and the
+  // global stores: `global_residual` is the engine's full residual span;
+  // `ledger` is optional (null without track_leases). Exact (==)
+  // comparisons throughout.
+  void verify_against(std::span<const double> global_residual,
+                      const temporal::LeaseLedger* ledger,
+                      std::vector<std::string>* out) const;
+
+ private:
+  std::size_t index(EdgeId e) const {
+    return static_cast<std::size_t>(e - window().begin);
+  }
+
+  int shard_id_;
+  std::vector<double> capacity_;  // base capacities, window slice
+  std::vector<double> residual_;
+  std::vector<std::int64_t> stamp_;
+  // Epoch-scoped reservation table: reserved_demand_ is live only where
+  // reserved_epoch_ matches the current epoch (lazy reset — no O(window)
+  // work per epoch).
+  std::vector<double> reserved_demand_;
+  std::vector<std::int64_t> reserved_epoch_;
+  ShardLeaseBook book_;
+  ShardCounters counters_;
+  std::int64_t clock_ = 0;
+  std::int64_t last_decrease_ = 0;
+};
+
+}  // namespace tufp::shard

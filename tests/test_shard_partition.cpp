@@ -1,0 +1,84 @@
+// Deterministic region partitioner (shard/partition.hpp, DESIGN.md §13):
+// the floor-division window lattice tiles the edge space exactly, the
+// arithmetic shard_of inverts the lattice, shard clamping forbids empty
+// shards, and shards_of_path returns the canonical (ascending,
+// deduplicated) acquisition order regardless of path direction.
+#include "tufp/shard/partition.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace tufp::shard {
+namespace {
+
+TEST(ShardPartition, WindowsTileTheEdgeSpaceExactly) {
+  for (int m : {1, 2, 7, 10, 316, 1024}) {
+    for (int n : {1, 2, 3, 4, 5, 16}) {
+      const ShardPlan plan(m, n);
+      ASSERT_GE(plan.num_shards(), 1) << "m=" << m << " n=" << n;
+      EXPECT_EQ(plan.window(0).begin, 0);
+      EXPECT_EQ(plan.window(plan.num_shards() - 1).end, m);
+      for (int s = 0; s + 1 < plan.num_shards(); ++s) {
+        EXPECT_EQ(plan.window(s).end, plan.window(s + 1).begin)
+            << "gap/overlap at shard " << s << " (m=" << m << " n=" << n
+            << ")";
+      }
+      // Balanced to within one edge, and never empty.
+      for (int s = 0; s < plan.num_shards(); ++s) {
+        EXPECT_GE(plan.window(s).size(), m / plan.num_shards());
+        EXPECT_LE(plan.window(s).size(), m / plan.num_shards() + 1);
+        EXPECT_GE(plan.window(s).size(), 1);
+      }
+    }
+  }
+}
+
+TEST(ShardPartition, ShardOfInvertsTheWindowLattice) {
+  for (int m : {1, 3, 10, 316, 1000}) {
+    for (int n : {1, 2, 3, 4, 7, 64}) {
+      const ShardPlan plan(m, n);
+      for (EdgeId e = 0; e < m; ++e) {
+        const int s = plan.shard_of(e);
+        EXPECT_TRUE(plan.window(s).contains(e))
+            << "edge " << e << " mapped to shard " << s << " (m=" << m
+            << " n=" << n << ")";
+      }
+    }
+  }
+}
+
+TEST(ShardPartition, ClampsShardCountToTheEdgeCount) {
+  const ShardPlan tiny(3, 16);
+  EXPECT_EQ(tiny.num_shards(), 3);  // no empty shards
+  EXPECT_ANY_THROW(ShardPlan(5, 0));  // zero shards is a caller bug
+}
+
+TEST(ShardPartition, PathShardsAreAscendingAndDeduplicated) {
+  const ShardPlan plan(12, 4);  // windows [0,3) [3,6) [6,9) [9,12)
+  std::vector<int> seq;
+  // A path crossing shards 3 → 1 → 0 → 1 in visit order.
+  EXPECT_EQ(plan.shards_of_path(std::vector<EdgeId>{10, 4, 1, 5}, &seq), 3);
+  EXPECT_EQ(seq, (std::vector<int>{0, 1, 3}));
+  // Single-shard path, repeated window hits collapse.
+  EXPECT_EQ(plan.shards_of_path(std::vector<EdgeId>{7, 8, 6}, &seq), 1);
+  EXPECT_EQ(seq, (std::vector<int>{2}));
+  // Empty path.
+  EXPECT_EQ(plan.shards_of_path({}, &seq), 0);
+  EXPECT_TRUE(seq.empty());
+}
+
+TEST(ShardPartition, PlanIsAPureFunctionOfItsInputs) {
+  // Same (m, N) must produce identical windows every time — the plan is
+  // the first link in the protocol's determinism argument.
+  const ShardPlan a(316, 4);
+  const ShardPlan b(316, 4);
+  ASSERT_EQ(a.num_shards(), b.num_shards());
+  for (int s = 0; s < a.num_shards(); ++s) {
+    EXPECT_EQ(a.window(s).begin, b.window(s).begin);
+    EXPECT_EQ(a.window(s).end, b.window(s).end);
+  }
+}
+
+}  // namespace
+}  // namespace tufp::shard

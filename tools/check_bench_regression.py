@@ -34,7 +34,10 @@ into DEN_CASE's ``*``, so one spec gates a whole family::
     --min-ratio 'scale-churn-*-persistent/scale-churn-*-snapshot=2'
 
 A glob that matches nothing is a broken gate and fails hard (exit 2),
-like a missing named case. An exact (glob-free) spec naming the same
+like a missing named case — and so is a gate case absent from the
+BASELINE (e.g. a glob that matched the persistent leg of a new pair
+whose rows were never baselined): the gate's absolute-regression leg
+would otherwise silently skip. An exact (glob-free) spec naming the same
 NUM/DEN pair overrides the glob-derived bound, so a family default can
 carry per-case exceptions.
 
@@ -168,6 +171,20 @@ def main():
         ratio_gates = expand_ratio_gates(ratio_specs, sorted(current))
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
+        return 2
+    # A ratio-gated case must exist in the BASELINE too. The gate names
+    # its cases as durable acceptance criteria, so a gate case absent
+    # from the committed baseline means the baseline predates the gate —
+    # a broken gate, exactly like a glob matching nothing. Without this
+    # check the case would fall into the generic "missing from the
+    # baseline" warning below and its absolute-regression leg would
+    # silently never run.
+    gate_cases = sorted({c for num, den, _ in ratio_gates for c in (num, den)})
+    stale = [c for c in gate_cases if c not in baseline]
+    if stale:
+        print(f"error: --min-ratio case(s) absent from the baseline: "
+              f"{', '.join(stale)}; refresh the baseline with --update",
+              file=sys.stderr)
         return 2
     shared = sorted(set(baseline) & set(current))
     if not shared:

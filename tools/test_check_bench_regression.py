@@ -150,6 +150,53 @@ class RatioGates(Harness):
         self.assertIn("w-gone", err)
 
 
+class RatioGateBaselineCoverage(Harness):
+    # A gate case present in the CURRENT run but absent from the BASELINE
+    # used to fall into the generic "missing from the baseline" warning
+    # and skip the gate case's absolute-regression leg silently. It is a
+    # broken gate (stale baseline) and must fail hard, like a glob that
+    # matches nothing.
+    CURRENT = [
+        {"case": "scale-grid316-persistent", "clear_requests_per_second": 4e4},
+        {"case": "scale-grid316-shard4-persistent",
+         "clear_requests_per_second": 3.5e4},
+    ]
+
+    def test_exact_gate_case_absent_from_baseline_is_a_hard_error(self):
+        baseline = [self.CURRENT[0]]  # shard4 rows never baselined
+        rc, out, err = self.run_gate(
+            baseline, self.CURRENT,
+            argv=["--min-ratio",
+                  "scale-grid316-shard4-persistent/"
+                  "scale-grid316-persistent=0.5"])
+        self.assertEqual(rc, 2, msg=out + err)
+        self.assertIn("absent from the baseline", err)
+        self.assertIn("scale-grid316-shard4-persistent", err)
+        self.assertIn("--update", err)
+
+    def test_glob_substituted_pair_absent_from_baseline_is_a_hard_error(self):
+        # The glob matches the persistent leg in the CURRENT run, so
+        # expansion succeeds — but the substituted pair was never
+        # baselined. This is the skip-with-warning bug pinned as exit 2.
+        baseline = [{"case": "unrelated", "clear_requests_per_second": 1.0},
+                    self.CURRENT[0]]
+        rc, out, err = self.run_gate(
+            baseline, self.CURRENT,
+            argv=["--min-ratio",
+                  "scale-grid316-shard4-*/scale-grid316-*=0.5"])
+        self.assertEqual(rc, 2, msg=out + err)
+        self.assertIn("absent from the baseline", err)
+
+    def test_fully_baselined_gate_still_passes(self):
+        rc, out, err = self.run_gate(
+            self.CURRENT, self.CURRENT,
+            argv=["--min-ratio",
+                  "scale-grid316-shard4-persistent/"
+                  "scale-grid316-persistent=0.5"])
+        self.assertEqual(rc, 0, msg=out + err)
+        self.assertIn("1 ratio gate(s) held", out)
+
+
 class GlobRatioGates(Harness):
     # The churn-tier layout the glob syntax exists for: one spec gates
     # every persistent/snapshot pair in the family at once.

@@ -29,6 +29,14 @@
 //                            explicit thread request
 //   --eps X                  solver accuracy parameter (default 1/6)
 //   --sp-kernel auto|heap|bucket  shortest-path queue  (default auto)
+//   --shards N               region shards behind the decider (default 1
+//                            = plain single engine). N > 1 runs every
+//                            admission through the two-phase
+//                            reserve/commit protocol (DESIGN.md §13);
+//                            stdout stays byte-identical to --shards 1 —
+//                            the protocol observes the decider, it never
+//                            changes outcomes. Per-shard activity goes to
+//                            --telemetry (shard_epoch events) and stderr.
 // Leases (DESIGN.md §10):
 //   --duration-profile none|fixed|exponential|heavy-tailed|diurnal|
 //                      flash-crowd                     (default none =
@@ -67,6 +75,7 @@
 #include "cli_util.hpp"
 #include "tufp/engine/epoch_engine.hpp"
 #include "tufp/engine/request_stream.hpp"
+#include "tufp/engine/sharded_engine.hpp"
 #include "tufp/obs/telemetry.hpp"
 #include "tufp/util/json.hpp"
 #include "tufp/util/parallel.hpp"
@@ -101,6 +110,7 @@ struct Options {
   int threads = 0;
   double eps = 1.0 / 6.0;
   std::string sp_kernel = "auto";
+  int shards = 1;
 
   std::string duration_profile = "none";
   double duration_mean = 1.0;
@@ -123,7 +133,7 @@ struct Options {
                "  [--burst-size N] [--burst-period X] [--seed S]\n"
                "  [--epochs N] [--epoch-duration X] [--queue N]\n"
                "  [--payments none|dual|critical] [--threads N] [--eps X]\n"
-               "  [--sp-kernel auto|heap|bucket]\n"
+               "  [--sp-kernel auto|heap|bucket] [--shards N]\n"
                "  [--duration-profile none|fixed|exponential|heavy-tailed|"
                "diurnal|flash-crowd]\n"
                "  [--duration-mean X] [--duration-period X] [--horizon X]\n"
@@ -161,6 +171,7 @@ Options parse(int argc, char** argv) {
     else if (a == "--threads") opt.threads = std::stoi(value(i));
     else if (a == "--eps") opt.eps = std::stod(value(i));
     else if (a == "--sp-kernel") opt.sp_kernel = value(i);
+    else if (a == "--shards") opt.shards = std::stoi(value(i));
     else if (a == "--duration-profile") opt.duration_profile = value(i);
     else if (a == "--duration-mean") opt.duration_mean = std::stod(value(i));
     else if (a == "--duration-period") opt.duration_period = std::stod(value(i));
@@ -172,7 +183,7 @@ Options parse(int argc, char** argv) {
     else if (a == "--hist-every") opt.hist_every = std::stoi(value(i));
     else usage();
   }
-  if (opt.epochs < 1 || opt.requests < 0) usage();
+  if (opt.epochs < 1 || opt.requests < 0 || opt.shards < 1) usage();
   return opt;
 }
 
@@ -287,7 +298,18 @@ int main(int argc, char** argv) {
     config.solver.num_threads = opt.threads;
     config.solver.sp_kernel = cli::parse_sp_kernel("tufp_engine", opt.sp_kernel);
 
-    EpochEngine engine(scenario.graph, config);
+    // --shards N>1 interposes the two-phase region-shard protocol behind
+    // the same decider; driving sharded->engine() keeps every stdout byte
+    // identical to the single-engine run (the CI smoke cmp's the two).
+    std::unique_ptr<ShardedEpochEngine> sharded;
+    std::unique_ptr<EpochEngine> single;
+    if (opt.shards > 1) {
+      sharded = std::make_unique<ShardedEpochEngine>(scenario.graph, config,
+                                                     opt.shards);
+    } else {
+      single = std::make_unique<EpochEngine>(scenario.graph, config);
+    }
+    EpochEngine& engine = sharded ? sharded->engine() : *single;
 
     // Live telemetry (DESIGN.md §11): per-epoch JSONL through the same
     // serializer tufp_serve streams. `-` splits channels across
@@ -330,7 +352,18 @@ int main(int argc, char** argv) {
     series.set_precision(2);
     const EngineSummary summary =
         engine.run(*stream, [&](const AdmissionReport& r) {
-      if (telemetry) telemetry->on_epoch(r, engine.metrics());
+      if (telemetry) {
+        telemetry->on_epoch(r, engine.metrics());
+        if (sharded && !sharded->epoch_reports().empty()) {
+          const ShardEpochReport& sr = sharded->epoch_reports().back();
+          for (std::size_t s = 0; s < sr.per_shard.size(); ++s) {
+            const shard::ShardCounters& c = sr.per_shard[s];
+            telemetry->on_shard_epoch(sr.epoch, static_cast<int>(s),
+                                      c.reservations, c.conflicts, c.aborts,
+                                      c.commits, c.reclaims);
+          }
+        }
+      }
       auto row = series.row();
       row.cell(r.epoch)
           .cell(r.batch_size)
@@ -404,6 +437,24 @@ int main(int argc, char** argv) {
                  ledger != nullptr ? ledger->active_count() : 0,
                  engine.metrics().occupancy());
       std::cerr << "wrote " << opt.json_path << "\n";
+    }
+
+    // Shard protocol audit + totals. Deterministic, but kept on stderr:
+    // stdout must stay byte-identical across --shards values.
+    if (sharded) {
+      const std::vector<std::string> violations = sharded->verify();
+      for (const std::string& v : violations) {
+        std::cerr << "tufp_engine: shard audit: " << v << "\n";
+      }
+      if (!violations.empty()) return 1;
+      const shard::ShardCounters t = sharded->totals();
+      std::cerr << "shards: n=" << sharded->num_shards()
+                << " winners=" << sharded->winners()
+                << " cross_shard=" << sharded->cross_shard_winners()
+                << " reservations=" << t.reservations
+                << " conflicts=" << t.conflicts << " aborts=" << t.aborts
+                << " commits=" << t.commits << " reclaims=" << t.reclaims
+                << "\n";
     }
 
     // Wall-clock channel (machine-dependent; kept off stdout so the

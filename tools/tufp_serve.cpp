@@ -34,8 +34,21 @@
 //   --queue N                bounded queue capacity (default 65536)
 //   --payments none|dual|critical                     (default dual)
 //   --threads N / --eps X / --sp-kernel auto|heap|bucket
+//   --shards N               region shards behind the decider (default 1).
+//                            N > 1 routes every admission through the
+//                            two-phase reserve/commit protocol
+//                            (DESIGN.md §13); the deterministic telemetry
+//                            stream stays byte-identical to --shards 1,
+//                            and --sanity audits the shard books against
+//                            the global stores on every sweep
 //   --horizon X              advance the clock to X at shutdown and
 //                            reclaim what expired (default 0)
+// Framing:
+//   --max-line BYTES         longest accepted request line (default
+//                            65536). An oversized line, or a partial line
+//                            at EOF / connection close, is shed into the
+//                            invalid_rejected counter with an `invalid`
+//                            det event — never parsed, never fatal
 // Telemetry:
 //   --telemetry PATH|-       JSONL events; `-` (default) sends the
 //                            deterministic channel to stdout and the
@@ -88,6 +101,7 @@
 #include "cli_util.hpp"
 #include "tufp/engine/epoch_engine.hpp"
 #include "tufp/engine/request_stream.hpp"
+#include "tufp/engine/sharded_engine.hpp"
 #include "tufp/obs/sanity.hpp"
 #include "tufp/obs/telemetry.hpp"
 #include "tufp/sim/world_gen.hpp"
@@ -122,7 +136,9 @@ struct Options {
   int threads = 0;
   double eps = 1.0 / 6.0;
   std::string sp_kernel = "auto";
+  int shards = 1;
   double horizon = 0.0;
+  std::size_t max_line = 65536;
 
   std::string telemetry = "-";
   bool det_only = false;
@@ -142,7 +158,8 @@ struct Options {
          "  [--vertices N] [--edges N] [--capacity X] [--seed S]\n"
          "  [--max-batch N] [--epoch-duration X] [--queue N]\n"
          "  [--payments none|dual|critical] [--threads N] [--eps X]\n"
-         "  [--sp-kernel auto|heap|bucket] [--horizon X]\n"
+         "  [--sp-kernel auto|heap|bucket] [--shards N] [--horizon X]\n"
+         "  [--max-line BYTES]\n"
          "  [--telemetry PATH|-] [--det-only] [--hist-every N]\n"
          "  [--sanity every-N] [--repro-dir DIR]\n"
          "  [--inject leak-expired-capacity]\n";
@@ -176,7 +193,9 @@ Options parse(int argc, char** argv) {
     else if (a == "--threads") opt.threads = std::stoi(value(i));
     else if (a == "--eps") opt.eps = std::stod(value(i));
     else if (a == "--sp-kernel") opt.sp_kernel = value(i);
+    else if (a == "--shards") opt.shards = std::stoi(value(i));
     else if (a == "--horizon") opt.horizon = std::stod(value(i));
+    else if (a == "--max-line") opt.max_line = std::stoull(value(i));
     else if (a == "--telemetry") opt.telemetry = value(i);
     else if (a == "--det-only") opt.det_only = true;
     else if (a == "--hist-every") opt.hist_every = std::stoi(value(i));
@@ -189,7 +208,10 @@ Options parse(int argc, char** argv) {
     else if (a == "--inject") opt.inject = value(i);
     else usage();
   }
-  if (opt.max_batch < 1 || opt.epoch_duration < 0.0) usage();
+  if (opt.max_batch < 1 || opt.epoch_duration < 0.0 || opt.shards < 1 ||
+      opt.max_line < 1) {
+    usage();
+  }
   if (!opt.inject.empty() && opt.inject != "leak-expired-capacity") usage();
   if (!opt.listen_path.empty() && !opt.workload.empty()) usage();
   return opt;
@@ -209,17 +231,29 @@ class LineSource {
   virtual ~LineSource() = default;
   // False at end of input. Lines arrive without the trailing newline.
   virtual bool next(std::string* line) = 0;
+  // Whether the line next() just returned actually ended with a newline
+  // on the wire. False means the peer stopped mid-line (EOF or connection
+  // close before the terminator): the fragment is a framing error and
+  // must be shed, never parsed as a command — a truncated `req` would
+  // otherwise admit a bid the client never finished sending.
+  virtual bool last_line_terminated() const { return true; }
 };
 
 class IstreamSource final : public LineSource {
  public:
   explicit IstreamSource(std::istream& is) : is_(is) {}
   bool next(std::string* line) override {
-    return static_cast<bool>(std::getline(is_, *line));
+    if (!std::getline(is_, *line)) return false;
+    // getline raises eofbit only when the stream ends *before* the
+    // delimiter — exactly the unterminated-final-line case.
+    terminated_ = !is_.eof();
+    return true;
   }
+  bool last_line_terminated() const override { return terminated_; }
 
  private:
   std::istream& is_;
+  bool terminated_ = true;
 };
 
 // Materialized command list (the --workload mode): a sim world's
@@ -281,18 +315,21 @@ class SocketSource final : public LineSource {
       if (nl != std::string::npos) {
         *line = buffer_.substr(0, nl);
         buffer_.erase(0, nl + 1);
+        terminated_ = true;
         return true;
       }
       char chunk[4096];
       const ssize_t n = ::read(conn_fd_, chunk, sizeof(chunk));
       if (n <= 0) {
-        // Connection closed: flush a trailing unterminated line, then
-        // wait for the next client.
+        // Connection closed: surface a trailing unterminated fragment
+        // (flagged, so the session sheds it instead of parsing a command
+        // the client never finished), then wait for the next client.
         ::close(conn_fd_);
         conn_fd_ = -1;
         if (!buffer_.empty()) {
           *line = std::move(buffer_);
           buffer_.clear();
+          terminated_ = false;
           return true;
         }
         continue;
@@ -301,11 +338,14 @@ class SocketSource final : public LineSource {
     }
   }
 
+  bool last_line_terminated() const override { return terminated_; }
+
  private:
   std::string path_;
   int listen_fd_ = -1;
   int conn_fd_ = -1;
   std::string buffer_;
+  bool terminated_ = true;
 };
 
 std::string render_req_line(const Request& req, double arrival,
@@ -335,7 +375,18 @@ class ServeSession {
     if (opt.inject == "leak-expired-capacity") {
       config.inject_reclaim_leak = 0.05;
     }
-    engine_ = std::make_unique<EpochEngine>(std::move(graph), config);
+    // --shards N>1 interposes the two-phase region-shard protocol
+    // (DESIGN.md §13) behind the same decider; the session keeps driving
+    // the inner engine, so the det telemetry stream stays byte-identical
+    // to the single-engine daemon.
+    if (opt.shards > 1) {
+      sharded_ = std::make_unique<ShardedEpochEngine>(std::move(graph),
+                                                      config, opt.shards);
+      engine_ = &sharded_->engine();
+    } else {
+      single_ = std::make_unique<EpochEngine>(std::move(graph), config);
+      engine_ = single_.get();
+    }
     if (opt.epoch_duration > 0.0) window_end_ = opt.epoch_duration;
   }
 
@@ -345,6 +396,18 @@ class ServeSession {
     std::string line;
     while (source.next(&line)) {
       transcript_.push_back(line);
+      // Framing errors are shed before command parsing: an unterminated
+      // fragment (EOF / connection close mid-line) or an oversized line
+      // is counted into invalid_rejected and never interpreted — a
+      // truncated `req` must not admit a bid the client never finished.
+      if (!source.last_line_terminated()) {
+        shed_invalid("unterminated", line);
+        continue;
+      }
+      if (line.size() > opt_.max_line) {
+        shed_invalid("oversized", line);
+        continue;
+      }
       if (!handle(line)) break;  // quit/shutdown or abort
       if (violated_) return 3;
     }
@@ -371,7 +434,7 @@ class ServeSession {
     if (tokens.empty()) return true;
     const std::string& cmd = tokens[0];
     try {
-      if (cmd == "req") return handle_req(tokens);
+      if (cmd == "req") return handle_req(line, tokens);
       if (cmd == "tick" && tokens.size() == 2) {
         advance_clock(std::stod(tokens[1]));
         return true;
@@ -392,16 +455,18 @@ class ServeSession {
         return false;
       }
     } catch (const std::exception&) {
-      // fall through to the protocol warning
+      // fall through to the protocol shed
     }
-    std::cerr << "tufp_serve: ignoring malformed line: " << line << "\n";
+    shed_invalid("malformed", line);
     return true;
   }
 
-  bool handle_req(const std::vector<std::string>& tokens) {
+  bool handle_req(const std::string& line,
+                  const std::vector<std::string>& tokens) {
     if (tokens.size() < 5 || tokens.size() > 7) {
-      std::cerr << "tufp_serve: ignoring malformed req (want: req <src> "
+      std::cerr << "tufp_serve: malformed req (want: req <src> "
                    "<dst> <demand> <value> [arrival] [duration])\n";
+      shed_invalid("malformed", line);
       return true;
     }
     TimedRequest timed;
@@ -422,6 +487,19 @@ class ServeSession {
     engine_->record_ingest(1, queued ? 0 : 1);
     if (queued) maybe_clear_on_occupancy();
     return !violated_;
+  }
+
+  // Wire-level shed: the line is counted as seen and folded into the
+  // same invalid_rejected counter the per-epoch bid validation uses,
+  // with a deterministic `invalid` telemetry event — a framing error is
+  // an observable fact about the session, not a silent stderr warning.
+  void shed_invalid(std::string_view reason, const std::string& line) {
+    engine_->record_ingest(1, 0);
+    engine_->record_invalid(1);
+    telemetry_.on_invalid(engine_->epochs_run(), reason,
+                          engine_->metrics().counters().invalid_rejected);
+    std::cerr << "tufp_serve: shedding " << reason << " line (" << line.size()
+              << " bytes)\n";
   }
 
   // Virtual-clock trigger: close every window boundary in (clock_, t].
@@ -467,6 +545,15 @@ class ServeSession {
     AdmissionReport report = engine_->run_epoch(batch, close_time);
     report.queue_depth = static_cast<std::int64_t>(queue_.size());
     telemetry_.on_epoch(report, engine_->metrics());
+    if (sharded_ && !sharded_->epoch_reports().empty()) {
+      const ShardEpochReport& sr = sharded_->epoch_reports().back();
+      for (std::size_t s = 0; s < sr.per_shard.size(); ++s) {
+        const shard::ShardCounters& c = sr.per_shard[s];
+        telemetry_.on_shard_epoch(sr.epoch, static_cast<int>(s),
+                                  c.reservations, c.conflicts, c.aborts,
+                                  c.commits, c.reclaims);
+      }
+    }
     clock_ = std::max(clock_, close_time);
     if (opt_.sanity_every > 0 &&
         engine_->epochs_run() % opt_.sanity_every == 0) {
@@ -494,10 +581,19 @@ class ServeSession {
   }
 
   void run_sanity() {
-    const std::vector<obs::SanityViolation> violations =
+    std::vector<obs::SanityViolation> violations =
         obs::run_sanity_checks(*engine_);
-    telemetry_.on_sanity(engine_->epochs_run(),
-                         obs::sanity_check_count(*engine_),
+    int checks = obs::sanity_check_count(*engine_);
+    // Sharded service: the per-shard residual stores and lease books are
+    // audited against the global state on the same sweep (exact ==, the
+    // shard-conserve invariant from the fuzzer, in service).
+    if (sharded_) {
+      ++checks;
+      for (std::string& detail : sharded_->verify()) {
+        violations.push_back({"shard-conserve", std::move(detail)});
+      }
+    }
+    telemetry_.on_sanity(engine_->epochs_run(), checks,
                          static_cast<int>(violations.size()));
     if (violations.empty()) return;
     violated_ = true;
@@ -576,7 +672,9 @@ class ServeSession {
   }
 
   const Options& opt_;
-  std::unique_ptr<EpochEngine> engine_;
+  std::unique_ptr<ShardedEpochEngine> sharded_;  // only when --shards > 1
+  std::unique_ptr<EpochEngine> single_;          // only when --shards == 1
+  EpochEngine* engine_ = nullptr;  // the decider, whichever owns it
   BoundedRequestQueue queue_;
   obs::TelemetrySink* sink_;
   obs::EpochTelemetry telemetry_;
