@@ -43,6 +43,7 @@
 #include "tufp/engine/epoch_engine.hpp"
 #include "tufp/engine/request_stream.hpp"
 #include "tufp/engine/sharded_engine.hpp"
+#include "tufp/obs/trace.hpp"
 #include "tufp/util/parallel.hpp"
 #include "tufp/util/stats.hpp"
 #include "tufp/util/table.hpp"
@@ -122,6 +123,14 @@ struct BenchRow {
   // that do NOT cost the cache its trees.
   std::int64_t trees_kept_on_reclaim = 0;
   std::int64_t trees_dropped_on_reclaim = 0;
+  // Per-phase wall time from the span profiler (obs/trace.hpp), total
+  // seconds inside each epoch phase across the run. Wall-channel data:
+  // recorded in the artifact for trend eyeballing, never exact-gated.
+  double span_reclaim_seconds = 0.0;
+  double span_snapshot_seconds = 0.0;
+  double span_solve_seconds = 0.0;
+  double span_payments_seconds = 0.0;
+  double span_commit_seconds = 0.0;
 };
 
 const char* payment_name(PaymentPolicy p) {
@@ -166,12 +175,15 @@ BenchRow run_case(const BenchCase& c) {
   std::int64_t active_max = 0;
   double last_close = 0.0;
   std::vector<double> reclaim_per_epoch;
+  obs::SpanProfiler profiler;
+  obs::SpanProfiler* previous = obs::install_span_profiler(&profiler);
   const EngineSummary summary =
       engine.run(stream, [&](const AdmissionReport& r) {
         active_max = std::max(active_max, r.active_leases);
         last_close = std::max(last_close, r.close_time);
         reclaim_per_epoch.push_back(r.reclaim_seconds);
       });
+  obs::install_span_profiler(previous);
 
   BenchRow row;
   row.config = c;
@@ -211,6 +223,11 @@ BenchRow run_case(const BenchCase& c) {
       engine.metrics().counters().trees_kept_on_reclaim;
   row.trees_dropped_on_reclaim =
       engine.metrics().counters().trees_dropped_on_reclaim;
+  row.span_reclaim_seconds = profiler.phase_seconds("reclaim");
+  row.span_snapshot_seconds = profiler.phase_seconds("snapshot");
+  row.span_solve_seconds = profiler.phase_seconds("solve");
+  row.span_payments_seconds = profiler.phase_seconds("payments");
+  row.span_commit_seconds = profiler.phase_seconds("commit");
   return row;
 }
 
@@ -252,6 +269,11 @@ void write_json(const std::vector<BenchRow>& rows, const std::string& path) {
        << ", \"reclaim_flat_ratio\": " << r.reclaim_flat_ratio
        << ", \"trees_kept_on_reclaim\": " << r.trees_kept_on_reclaim
        << ", \"trees_dropped_on_reclaim\": " << r.trees_dropped_on_reclaim
+       << ", \"span_reclaim_seconds\": " << r.span_reclaim_seconds
+       << ", \"span_snapshot_seconds\": " << r.span_snapshot_seconds
+       << ", \"span_solve_seconds\": " << r.span_solve_seconds
+       << ", \"span_payments_seconds\": " << r.span_payments_seconds
+       << ", \"span_commit_seconds\": " << r.span_commit_seconds
        << ", \"wall_seconds\": " << r.wall_seconds << "}"
        << (i + 1 < rows.size() ? "," : "") << "\n";
   }

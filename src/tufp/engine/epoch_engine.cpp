@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "tufp/mechanism/allocation_rule.hpp"
+#include "tufp/obs/trace.hpp"
 #include "tufp/util/assert.hpp"
 #include "tufp/util/math.hpp"
 #include "tufp/util/parallel.hpp"
@@ -13,9 +14,37 @@
 
 namespace tufp {
 
+namespace {
+
+// Canonical trace-lattice width: shard_conflict decision records name
+// the owner of the bottleneck edge under a fixed 8-way ShardPlan, never
+// the runtime --shards layout (DESIGN.md §14).
+constexpr int kTraceLatticeShards = 8;
+
+// Solver-exit reject reason -> wire outcome. kCapacityRace is the
+// cross-shard vocabulary: the request fit the epoch-start residual but
+// lost the intra-epoch capacity race to earlier winners.
+obs::DecisionOutcome outcome_of(RejectReason reason) {
+  switch (reason) {
+    case RejectReason::kNoPath: return obs::DecisionOutcome::kNoPath;
+    case RejectReason::kBlockedAtStart:
+      return obs::DecisionOutcome::kCapacityBlocked;
+    case RejectReason::kCapacityRace:
+      return obs::DecisionOutcome::kShardConflict;
+    case RejectReason::kLostAuction:
+      return obs::DecisionOutcome::kLostAuction;
+  }
+  return obs::DecisionOutcome::kLostAuction;
+}
+
+}  // namespace
+
 EpochEngine::EpochEngine(std::shared_ptr<const Graph> base_graph,
                          EpochEngineConfig config)
-    : base_(std::move(base_graph)), config_(std::move(config)) {
+    : base_(std::move(base_graph)),
+      config_(std::move(config)),
+      trace_lattice_(base_ != nullptr ? base_->num_edges() : 1,
+                     kTraceLatticeShards) {
   TUFP_REQUIRE(base_ != nullptr && base_->finalized(),
                "engine requires a finalized base graph");
   TUFP_REQUIRE(base_->num_edges() >= 1, "engine requires a non-empty graph");
@@ -54,6 +83,60 @@ void EpochEngine::reset() {
   epoch_ = 0;
 }
 
+const EpochEngine::BaseBfsTree& EpochEngine::base_bfs(VertexId source) {
+  const auto it = base_bfs_trees_.find(source);
+  if (it != base_bfs_trees_.end()) return it->second;
+  // Canonical parent tree: plain queue BFS in CSR arc order, a pure
+  // function of the topology — every run, kernel, thread count and shard
+  // layout walks the same route for a given terminal pair.
+  BaseBfsTree tree;
+  const auto n = static_cast<std::size_t>(base_->num_vertices());
+  tree.parent_vertex.assign(n, kInvalidVertex);
+  tree.parent_edge.assign(n, kInvalidEdge);
+  tree.parent_vertex[static_cast<std::size_t>(source)] = source;
+  std::vector<VertexId> queue;
+  queue.push_back(source);
+  for (std::size_t head = 0; head < queue.size(); ++head) {
+    const VertexId v = queue[head];
+    for (const Arc& arc : base_->arcs_from(v)) {
+      VertexId& parent = tree.parent_vertex[static_cast<std::size_t>(arc.to)];
+      if (parent != kInvalidVertex) continue;
+      parent = v;
+      tree.parent_edge[static_cast<std::size_t>(arc.to)] = arc.edge;
+      queue.push_back(arc.to);
+    }
+  }
+  return base_bfs_trees_.emplace(source, std::move(tree)).first->second;
+}
+
+EpochEngine::BaseRouteProbe EpochEngine::probe_base_route(VertexId source,
+                                                          VertexId target) {
+  BaseRouteProbe probe;
+  const BaseBfsTree& tree = base_bfs(source);
+  if (tree.parent_vertex[static_cast<std::size_t>(target)] == kInvalidVertex) {
+    return probe;  // disconnected in the base topology: a true no_path
+  }
+  probe.reachable = true;
+  // Reconstruct target -> source, then scan source -> target for the
+  // first edge the live residual holds below the usable floor. One must
+  // exist whenever the solver reported no path: a route entirely at or
+  // above the floor would have been in the epoch's active subgraph, and
+  // its shortest-path pass would have reached the target.
+  route_scratch_.clear();
+  for (VertexId v = target; v != source;
+       v = tree.parent_vertex[static_cast<std::size_t>(v)]) {
+    route_scratch_.push_back(tree.parent_edge[static_cast<std::size_t>(v)]);
+  }
+  const std::span<const double> res = residual();
+  for (auto it = route_scratch_.rbegin(); it != route_scratch_.rend(); ++it) {
+    if (res[static_cast<std::size_t>(*it)] < config_.min_usable_capacity) {
+      probe.bottleneck = *it;
+      break;
+    }
+  }
+  return probe;
+}
+
 void EpochEngine::refresh_lease_gauges() {
   if (!ledger_) return;
   metrics_.set_lease_gauges(
@@ -64,6 +147,7 @@ void EpochEngine::refresh_lease_gauges() {
 
 int EpochEngine::reclaim_expired(double now) {
   if (!ledger_) return 0;
+  TUFP_SPAN("reclaim");
   // The ledger clock never runs backwards; a stale `now` (e.g. an
   // explicit run_epoch() with an older batch) reclaims at the frontier.
   const double effective = std::max(now, ledger_->now());
@@ -74,7 +158,8 @@ int EpochEngine::reclaim_expired(double now) {
   // reclaim touched must be stamped (and last_decrease bumped) or the
   // cross-epoch tree cache could serve a path priced before the capacity
   // returned (residual_csr.hpp).
-  if (config_.inject_reclaim_leak > 0.0 || rgraph_ || observer_ != nullptr) {
+  if (config_.inject_reclaim_leak > 0.0 || rgraph_ || observer_ != nullptr ||
+      trace_ != nullptr) {
     std::vector<temporal::Lease> drained;
     expired = ledger_->reclaim_until(effective, base_->capacities(), residual,
                                      &drained);
@@ -118,6 +203,24 @@ int EpochEngine::reclaim_expired(double now) {
     // serial event stream the residual restore above applied.
     if (observer_ != nullptr && !drained.empty()) {
       observer_->on_reclaimed(drained);
+    }
+    if (trace_ != nullptr && !drained.empty()) {
+      // One lease_expired record per drained lease, in drain order,
+      // attributed to the epoch whose boundary (or horizon drain)
+      // triggered the reclaim.
+      const std::int64_t epoch = trace_epoch_ >= 0 ? trace_epoch_ : epoch_;
+      for (const temporal::Lease& lease : drained) {
+        obs::DecisionRecord rec;
+        rec.sequence = lease.sequence;
+        rec.epoch = epoch;
+        rec.outcome = obs::DecisionOutcome::kLeaseExpired;
+        rec.close_time = effective;
+        rec.demand = lease.demand;
+        rec.path.assign(lease.edges.begin(), lease.edges.end());
+        rec.admitted_at = lease.admitted_at;
+        rec.expires_at = lease.expires_at;
+        trace_->record(rec);
+      }
     }
   } else {
     expired = ledger_->reclaim_until(effective, base_->capacities(), residual);
@@ -231,9 +334,11 @@ AdmissionReport EpochEngine::run_epoch(const std::vector<TimedRequest>& batch,
 
 AdmissionReport EpochEngine::clear_epoch(const std::vector<TimedRequest>& batch,
                                          double close_time) {
+  TUFP_SPAN("epoch");
   WallTimer timer;
   AdmissionReport report;
   report.epoch = epoch_++;
+  trace_epoch_ = report.epoch;
   report.batch_size = static_cast<int>(batch.size());
   report.close_time = close_time;
   ++metrics_.counters().epochs;
@@ -264,29 +369,42 @@ AdmissionReport EpochEngine::clear_epoch(const std::vector<TimedRequest>& batch,
   requests.reserve(batch.size());
   batch_index.reserve(batch.size());
   const int n = base_->num_vertices();
-  for (std::size_t i = 0; i < batch.size(); ++i) {
-    const TimedRequest& t = batch[i];
-    const double delay = std::max(0.0, close_time - t.arrival_time);
-    metrics_.admission_delay().record(delay);
-    report.max_admission_delay = std::max(report.max_admission_delay, delay);
+  {
+    TUFP_SPAN("validate");
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      const TimedRequest& t = batch[i];
+      const double delay = std::max(0.0, close_time - t.arrival_time);
+      metrics_.admission_delay().record(delay);
+      report.max_admission_delay = std::max(report.max_admission_delay, delay);
 
-    const Request& req = t.request;
-    // Durations must be positive; kInf (permanent) is the default. A NaN
-    // or non-positive duration is a malformed bid like a zero value.
-    const bool valid = std::isfinite(req.demand) && std::isfinite(req.value) &&
-                       req.demand > 0.0 && req.demand <= 1.0 &&
-                       req.value > 0.0 && req.source >= 0 && req.source < n &&
-                       req.target >= 0 && req.target < n &&
-                       req.source != req.target && t.duration > 0.0 &&
-                       !std::isnan(t.duration);
-    if (!valid) {
-      ++report.invalid_rejected;
-      ++metrics_.counters().invalid_rejected;
-      continue;
+      const Request& req = t.request;
+      // Durations must be positive; kInf (permanent) is the default. A NaN
+      // or non-positive duration is a malformed bid like a zero value.
+      const bool valid =
+          std::isfinite(req.demand) && std::isfinite(req.value) &&
+          req.demand > 0.0 && req.demand <= 1.0 && req.value > 0.0 &&
+          req.source >= 0 && req.source < n && req.target >= 0 &&
+          req.target < n && req.source != req.target && t.duration > 0.0 &&
+          !std::isnan(t.duration);
+      if (!valid) {
+        ++report.invalid_rejected;
+        ++metrics_.counters().invalid_rejected;
+        if (trace_ != nullptr) {
+          obs::DecisionRecord rec;
+          rec.sequence = t.sequence;
+          rec.epoch = report.epoch;
+          rec.outcome = obs::DecisionOutcome::kInvalid;
+          rec.close_time = close_time;
+          rec.value = req.value;
+          rec.demand = req.demand;
+          trace_->record(rec);
+        }
+        continue;
+      }
+      report.offered_value += req.value;
+      requests.push_back(req);
+      batch_index.push_back(static_cast<int>(i));
     }
-    report.offered_value += req.value;
-    requests.push_back(req);
-    batch_index.push_back(static_cast<int>(i));
   }
   metrics_.counters().offered_value += report.offered_value;
 
@@ -297,19 +415,22 @@ AdmissionReport EpochEngine::clear_epoch(const std::vector<TimedRequest>& batch,
   // the same set of doubles is exact.
   const bool persistent = rgraph_ != nullptr;
   std::optional<GraphSnapshot> snapshot;
-  if (persistent) {
-    rgraph_->open_epoch();
-    report.active_edges = rgraph_->num_active();
-    report.saturated_edges = rgraph_->num_saturated();
-    report.min_residual =
-        rgraph_->num_active() > 0 ? rgraph_->min_residual() : 0.0;
-  } else {
-    snapshot.emplace(
-        GraphSnapshot::compile(base_, residual_, config_.min_usable_capacity));
-    report.active_edges = snapshot->num_active_edges();
-    report.saturated_edges = snapshot->num_saturated_edges();
-    report.min_residual =
-        snapshot->num_active_edges() > 0 ? snapshot->min_residual() : 0.0;
+  {
+    TUFP_SPAN("snapshot");
+    if (persistent) {
+      rgraph_->open_epoch();
+      report.active_edges = rgraph_->num_active();
+      report.saturated_edges = rgraph_->num_saturated();
+      report.min_residual =
+          rgraph_->num_active() > 0 ? rgraph_->min_residual() : 0.0;
+    } else {
+      snapshot.emplace(GraphSnapshot::compile(base_, residual_,
+                                              config_.min_usable_capacity));
+      report.active_edges = snapshot->num_active_edges();
+      report.saturated_edges = snapshot->num_saturated_edges();
+      report.min_residual =
+          snapshot->num_active_edges() > 0 ? snapshot->min_residual() : 0.0;
+    }
   }
 
   if (requests.empty() || report.active_edges == 0) {
@@ -318,12 +439,43 @@ AdmissionReport EpochEngine::clear_epoch(const std::vector<TimedRequest>& batch,
     // churning workload a saturated epoch is exactly when occupancy is
     // the number worth watching.
     metrics_.counters().rejected += static_cast<std::int64_t>(requests.size());
+    // No snapshot, no SP run: the whole network is below the usable
+    // floor. A bid whose terminals the base topology never connected is
+    // still a true no_path; every other one is capacity-blocked, with
+    // the first below-floor edge on its canonical base-BFS route as the
+    // bottleneck (here that is the route's first edge).
+    for (std::size_t r = 0; r < requests.size(); ++r) {
+      const Request& req = requests[r];
+      const BaseRouteProbe probe = probe_base_route(req.source, req.target);
+      if (probe.reachable) {
+        ++report.capacity_blocked;
+        ++metrics_.counters().capacity_blocked;
+      } else {
+        ++report.no_path;
+        ++metrics_.counters().no_path;
+      }
+      if (trace_ != nullptr) {
+        const TimedRequest& timed =
+            batch[static_cast<std::size_t>(batch_index[r])];
+        obs::DecisionRecord rec;
+        rec.sequence = timed.sequence;
+        rec.epoch = report.epoch;
+        rec.outcome = probe.reachable ? obs::DecisionOutcome::kCapacityBlocked
+                                      : obs::DecisionOutcome::kNoPath;
+        rec.close_time = close_time;
+        rec.value = requests[r].value;
+        rec.demand = requests[r].demand;
+        rec.bottleneck_edge = probe.bottleneck;
+        trace_->record(rec);
+      }
+    }
     if (ledger_) {
       report.active_leases = ledger_->active_count();
       report.occupancy = metrics_.occupancy();
     }
     report.solve_seconds = timer.elapsed_seconds();
     metrics_.solve_seconds().record(report.solve_seconds);
+    trace_epoch_ = -1;
     if (observer_ != nullptr) observer_->on_epoch_end(report);
     return report;
   }
@@ -340,6 +492,10 @@ AdmissionReport EpochEngine::clear_epoch(const std::vector<TimedRequest>& batch,
   if (config_.payments == PaymentPolicy::kDualPrice) {
     solver_cfg.record_trace = true;  // admission-time alpha per winner
   }
+  // Always on: the per-outcome counters (no_path/capacity_blocked/
+  // lost_auction/shard_conflict) feed the det telemetry whether or not
+  // a DecisionTrace is attached.
+  solver_cfg.classify_rejections = true;
 
   // Persistent mode solves over the residual view (base edge ids, warm
   // workspace); snapshot mode over the compiled epoch instance. Same
@@ -347,6 +503,7 @@ AdmissionReport EpochEngine::clear_epoch(const std::vector<TimedRequest>& batch,
   // pins this.
   std::optional<UfpInstance> instance;
   const BoundedUfpResult run = [&]() -> BoundedUfpResult {
+    TUFP_SPAN("solve");
     if (persistent) {
       return bounded_ufp(rgraph_->view(), requests, solver_cfg,
                          workspace_.get());
@@ -363,12 +520,91 @@ AdmissionReport EpochEngine::clear_epoch(const std::vector<TimedRequest>& batch,
   metrics_.counters().sp_tree_runs += run.sp_tree_runs;
 
   std::vector<double> payments(requests.size(), 0.0);
-  apply_payments(requests, instance ? &*instance : nullptr, run, solver_cfg,
-                 &payments);
+  {
+    TUFP_SPAN("payments");
+    apply_payments(requests, instance ? &*instance : nullptr, run, solver_cfg,
+                   &payments);
+  }
 
+  TUFP_SPAN("commit");
+  // run.rejections is ascending by request index, matching this loop:
+  // one cursor walks both sequences in lockstep.
+  std::size_t rej = 0;
   for (int r = 0; r < static_cast<int>(requests.size()); ++r) {
     if (!run.solution.is_selected(r)) {
       ++metrics_.counters().rejected;
+      while (rej < run.rejections.size() && run.rejections[rej].request < r) {
+        ++rej;
+      }
+      if (rej < run.rejections.size() && run.rejections[rej].request == r) {
+        const RejectionRecord& rr = run.rejections[rej];
+        obs::DecisionOutcome outcome = outcome_of(rr.reason);
+        // Bottlenecks are snapshot ids in legacy mode: translate to base
+        // ids so records are mode-invariant.
+        std::int64_t bottleneck =
+            rr.bottleneck >= 0
+                ? static_cast<std::int64_t>(
+                      persistent ? rr.bottleneck
+                                 : snapshot->base_edge(rr.bottleneck))
+                : -1;
+        if (outcome == obs::DecisionOutcome::kNoPath) {
+          // The solver's "no path" only means no route over edges above
+          // the residual floor. When the base topology still connects
+          // the terminals, the request was really capacity-blocked:
+          // saturation cut every route, and the first below-floor edge
+          // on the canonical base-BFS route names the cut.
+          const Request& req = requests[static_cast<std::size_t>(r)];
+          const BaseRouteProbe probe =
+              probe_base_route(req.source, req.target);
+          if (probe.reachable) {
+            outcome = obs::DecisionOutcome::kCapacityBlocked;
+            bottleneck = probe.bottleneck;
+          }
+        }
+        switch (outcome) {
+          case obs::DecisionOutcome::kNoPath:
+            ++report.no_path;
+            ++metrics_.counters().no_path;
+            break;
+          case obs::DecisionOutcome::kCapacityBlocked:
+            ++report.capacity_blocked;
+            ++metrics_.counters().capacity_blocked;
+            break;
+          case obs::DecisionOutcome::kShardConflict:
+            ++report.shard_conflict;
+            ++metrics_.counters().shard_conflict;
+            break;
+          default:
+            ++report.lost_auction;
+            ++metrics_.counters().lost_auction;
+            break;
+        }
+        if (trace_ != nullptr) {
+          const TimedRequest& timed =
+              batch[static_cast<std::size_t>(batch_index[r])];
+          obs::DecisionRecord rec;
+          rec.sequence = timed.sequence;
+          rec.epoch = report.epoch;
+          rec.outcome = outcome;
+          rec.close_time = close_time;
+          rec.value = requests[static_cast<std::size_t>(r)].value;
+          rec.demand = requests[static_cast<std::size_t>(r)].demand;
+          rec.density = rr.density;
+          rec.warm_tree = static_cast<std::size_t>(r) < run.warm.size() &&
+                          run.warm[static_cast<std::size_t>(r)] != 0;
+          rec.path.reserve(rr.path.size());
+          for (const EdgeId e : rr.path) {
+            rec.path.push_back(persistent ? e : snapshot->base_edge(e));
+          }
+          rec.bottleneck_edge = bottleneck;
+          if (outcome == obs::DecisionOutcome::kShardConflict &&
+              bottleneck >= 0) {
+            rec.conflict_shard =
+                trace_lattice_.shard_of(static_cast<EdgeId>(bottleneck));
+          }
+          trace_->record(rec);
+        }
+      }
       continue;
     }
     const Path& path = *run.solution.path_of(r);
@@ -385,7 +621,8 @@ AdmissionReport EpochEngine::clear_epoch(const std::vector<TimedRequest>& batch,
     // Both the ledger and the observer speak base edge ids; in snapshot
     // mode the path's snapshot ids are translated first.
     std::vector<EdgeId> base_edges;
-    const bool need_base = ledger_ != nullptr || observer_ != nullptr;
+    const bool need_base =
+        ledger_ != nullptr || observer_ != nullptr || trace_ != nullptr;
     if (need_base) {
       base_edges.reserve(path.size());
       if (persistent) {
@@ -399,6 +636,22 @@ AdmissionReport EpochEngine::clear_epoch(const std::vector<TimedRequest>& batch,
     if (observer_ != nullptr) {
       observer_->on_winner(timed.sequence, base_edges, demand, close_time,
                            expires);
+    }
+    if (trace_ != nullptr) {
+      obs::DecisionRecord rec;
+      rec.sequence = timed.sequence;
+      rec.epoch = report.epoch;
+      rec.outcome = obs::DecisionOutcome::kAdmitted;
+      rec.close_time = close_time;
+      rec.value = bid;
+      rec.demand = demand;
+      rec.path.assign(base_edges.begin(), base_edges.end());
+      rec.payment = payments[static_cast<std::size_t>(r)];
+      rec.warm_tree = static_cast<std::size_t>(r) < run.warm.size() &&
+                      run.warm[static_cast<std::size_t>(r)] != 0;
+      rec.admitted_at = close_time;
+      rec.expires_at = expires;
+      trace_->record(rec);
     }
     if (persistent) {
       // The solver already speaks base edge ids: commit the decrement +
@@ -435,6 +688,7 @@ AdmissionReport EpochEngine::clear_epoch(const std::vector<TimedRequest>& batch,
 
   report.solve_seconds = timer.elapsed_seconds();
   metrics_.solve_seconds().record(report.solve_seconds);
+  trace_epoch_ = -1;
   if (observer_ != nullptr) observer_->on_epoch_end(report);
   return report;
 }

@@ -39,6 +39,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <memory>
 #include <span>
 #include <vector>
@@ -48,11 +49,16 @@
 #include "tufp/engine/snapshot.hpp"
 #include "tufp/graph/residual_csr.hpp"
 #include "tufp/mechanism/critical_payment.hpp"
+#include "tufp/shard/partition.hpp"
 #include "tufp/temporal/lease_ledger.hpp"
 #include "tufp/ufp/bounded_ufp.hpp"
 #include "tufp/ufp/workspace.hpp"
 
 namespace tufp {
+
+namespace obs {
+class DecisionTrace;  // obs/trace.hpp
+}
 
 enum class PaymentPolicy { kNone, kDualPrice, kCritical };
 
@@ -142,6 +148,16 @@ struct AdmissionReport {
   // Malformed bids in this batch (non-positive value/demand, demand > 1,
   // bad endpoints): shed before the auction instead of poisoning it.
   int invalid_rejected = 0;
+  // Per-outcome rejection split (DESIGN.md §14): every rejected valid
+  // request lands in exactly one bucket, classified at the solver's
+  // serial exit (bounded_ufp.hpp RejectReason) — deterministic across
+  // kernels, thread counts and shard layouts, so telemetry gates on them
+  // exactly. no_path + capacity_blocked + lost_auction + shard_conflict
+  // == batch_size - invalid_rejected - admitted.
+  int no_path = 0;
+  int capacity_blocked = 0;
+  int lost_auction = 0;
+  int shard_conflict = 0;
   double close_time = 0.0;       // virtual clock at which the epoch cleared
   double offered_value = 0.0;
   double admitted_value = 0.0;
@@ -279,6 +295,14 @@ class EpochEngine {
     observer_ = observer;
   }
 
+  // Attaches a decision-provenance trace (obs/trace.hpp; nullptr to
+  // detach, not owned). Every request offered to the engine then
+  // terminates in exactly one DecisionRecord, emitted on the serial
+  // commit path in canonical order: reclaim drains first, then invalid
+  // sheds in batch order, then per-request outcomes in ascending request
+  // order. Per-outcome counters fill with or without a trace attached.
+  void set_decision_trace(obs::DecisionTrace* trace) { trace_ = trace; }
+
   // Forgets all admissions: residual back to base capacities, metrics,
   // leases and epoch counter to zero.
   void reset();
@@ -294,6 +318,25 @@ class EpochEngine {
                       std::vector<double>* payments);
   void refresh_lease_gauges();
 
+  // no_path -> capacity_blocked refinement (DESIGN.md §14). The solver's
+  // "no path" verdict means no route over edges above the residual floor;
+  // whether the terminals are connected AT ALL is a property of the base
+  // topology. probe_base_route() answers both: reachable == false is a
+  // true no_path (the terminals are disconnected however empty the
+  // network is), reachable == true reclassifies the rejection as
+  // capacity_blocked with the first edge on the canonical base-BFS route
+  // the live residual holds below the floor as its bottleneck.
+  struct BaseBfsTree {
+    std::vector<VertexId> parent_vertex;  // kInvalidVertex = unvisited
+    std::vector<EdgeId> parent_edge;
+  };
+  struct BaseRouteProbe {
+    bool reachable = false;        // in the base topology
+    std::int64_t bottleneck = -1;  // first edge below the usable floor
+  };
+  const BaseBfsTree& base_bfs(VertexId source);
+  BaseRouteProbe probe_base_route(VertexId source, VertexId target);
+
   std::shared_ptr<const Graph> base_;
   EpochEngineConfig config_;
   std::vector<double> residual_;  // legacy-mode store; unused when rgraph_
@@ -306,6 +349,22 @@ class EpochEngine {
   double total_capacity_ = 0.0;
   EngineMetrics metrics_;
   AdmissionObserver* observer_ = nullptr;
+  obs::DecisionTrace* trace_ = nullptr;
+  // Canonical trace lattice: shard_conflict records name the shard that
+  // owns the bottleneck edge under this FIXED 8-way partition of the
+  // base edge space — a pure function of the topology, deliberately
+  // independent of the runtime `--shards N` layout so decision records
+  // stay byte-identical across shard counts (DESIGN.md §14).
+  shard::ShardPlan trace_lattice_;
+  // Memoized base-topology BFS parent trees, one per distinct rejected
+  // source. The base graph is immutable, so trees never invalidate; only
+  // the bottleneck scan reads live residual state.
+  std::map<VertexId, BaseBfsTree> base_bfs_trees_;
+  std::vector<EdgeId> route_scratch_;  // probe path reconstruction
+  // Epoch id decision records are attributed to while clear_epoch is on
+  // the stack; -1 between epochs (an external reclaim_expired drain —
+  // the --horizon path — then attributes to the next epoch id).
+  std::int64_t trace_epoch_ = -1;
   int epoch_ = 0;
 };
 

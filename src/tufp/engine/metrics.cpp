@@ -62,6 +62,15 @@ double GeometricHistogram::percentile(double q) const {
 }
 
 std::string GeometricHistogram::to_json() const {
+  // Empty histograms short-circuit to a pinned literal: no bucket-edge
+  // arithmetic, no RunningStats reads — nothing that could push a nan or
+  // inf through the %.17g formatter into a det event
+  // (GeometricHistogram.EmptyHistogramSerializesCleanly).
+  if (total_ == 0) {
+    JsonObject empty;
+    empty.field("count", std::int64_t{0}).raw("buckets", "[]");
+    return empty.str();
+  }
   std::ostringstream buckets;
   buckets << '[';
   bool first = true;
@@ -97,6 +106,10 @@ std::string EngineMetrics::summary(bool include_wall_clock) const {
      << " queue_dropped=" << c.queue_dropped << " admitted=" << c.admitted
      << " rejected=" << c.rejected << " invalid=" << c.invalid_rejected
      << "\n"
+     << "rejects: no_path=" << c.no_path
+     << " capacity_blocked=" << c.capacity_blocked
+     << " lost_auction=" << c.lost_auction
+     << " shard_conflict=" << c.shard_conflict << "\n"
      << "admitted_fraction=" << Table::format_double(admitted_fraction(), 4)
      << " offered_value=" << Table::format_double(c.offered_value, 2)
      << " admitted_value=" << Table::format_double(c.admitted_value, 2)

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "tufp/obs/trace.hpp"
 #include "tufp/util/assert.hpp"
 
 namespace tufp {
@@ -55,6 +56,7 @@ void ShardedEpochEngine::split_by_shard(std::span<const EdgeId> base_edges) {
 bool ShardedEpochEngine::try_admit(std::int64_t epoch,
                                    std::span<const EdgeId> base_edges,
                                    double demand) {
+  TUFP_SPAN("shard_admit");
   split_by_shard(base_edges);
   // Phase 1: reserve in canonical shard order.
   for (std::size_t k = 0; k < shard_seq_.size(); ++k) {
@@ -112,6 +114,7 @@ void ShardedEpochEngine::on_winner(std::int64_t /*sequence*/,
 
 void ShardedEpochEngine::on_reclaimed(
     std::span<const temporal::Lease> drained) {
+  TUFP_SPAN("shard_reclaim");
   for (const temporal::Lease& lease : drained) {
     split_by_shard(lease.edges);
     for (const int s : shard_seq_) {

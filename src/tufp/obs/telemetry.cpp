@@ -52,6 +52,10 @@ void EpochTelemetry::on_epoch(const AdmissionReport& report,
       .field("batch", report.batch_size)
       .field("admitted", report.admitted)
       .field("invalid", report.invalid_rejected)
+      .field("no_path", report.no_path)
+      .field("capacity_blocked", report.capacity_blocked)
+      .field("lost_auction", report.lost_auction)
+      .field("shard_conflict", report.shard_conflict)
       .field("offered_value", report.offered_value)
       .field("admitted_value", report.admitted_value)
       .field("revenue", report.revenue)
@@ -146,6 +150,10 @@ void EpochTelemetry::finish(const EngineMetrics& metrics,
       .field("admitted", c.admitted)
       .field("rejected", c.rejected)
       .field("invalid", c.invalid_rejected)
+      .field("no_path", c.no_path)
+      .field("capacity_blocked", c.capacity_blocked)
+      .field("lost_auction", c.lost_auction)
+      .field("shard_conflict", c.shard_conflict)
       .field("admitted_fraction", metrics.admitted_fraction())
       .field("offered_value", c.offered_value)
       .field("admitted_value", c.admitted_value)

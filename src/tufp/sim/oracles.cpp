@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <memory>
 #include <optional>
 #include <sstream>
 #include <utility>
@@ -9,6 +10,8 @@
 #include "tufp/engine/epoch_engine.hpp"
 #include "tufp/engine/sharded_engine.hpp"
 #include "tufp/mechanism/allocation_rule.hpp"
+#include "tufp/obs/telemetry.hpp"
+#include "tufp/obs/trace.hpp"
 #include "tufp/mechanism/critical_payment.hpp"
 #include "tufp/ufp/dual_certificate.hpp"
 #include "tufp/util/assert.hpp"
@@ -1215,6 +1218,149 @@ std::vector<Violation> oracle_shard_conserve(OracleContext& ctx) {
   return out;
 }
 
+// --------------------------------------------------- decision trace legs
+
+// Captures the decision channel into memory: the trace-differential
+// oracle diffs raw rendered lines, so it must see exactly the bytes a
+// file sink would.
+class CapturingSink final : public obs::TelemetrySink {
+ public:
+  void emit(obs::Channel channel, std::string_view line) override {
+    if (channel == obs::Channel::kDeterministic) lines.emplace_back(line);
+  }
+  std::vector<std::string> lines;
+};
+
+// Replays the world with a DecisionTrace attached and returns the
+// rendered decision lines. `num_shards == 0` runs the bare engine;
+// otherwise the same replay goes through a ShardedEpochEngine observer
+// (which must not perturb the decision stream). `temporal_path` replays
+// with the sampled durations and drains to the post-run horizon, so
+// lease_expired records are part of the diffed history too.
+std::vector<std::string> run_world_trace(const SimWorld& world,
+                                         int num_threads, int num_shards,
+                                         bool temporal_path) {
+  EpochEngineConfig config;
+  config.max_batch = world.max_batch;
+  config.payments = PaymentPolicy::kDualPrice;
+  config.record_allocations = true;
+  config.persistent_residual = true;
+  config.track_leases = temporal_path;
+  config.solver = world.solver;
+  config.solver.capacity_guard = true;
+  config.solver.num_threads = num_threads;
+
+  CapturingSink sink;
+  obs::DecisionTrace trace(&sink);
+  std::unique_ptr<ShardedEpochEngine> sharded;
+  std::unique_ptr<EpochEngine> single;
+  EpochEngine* engine = nullptr;
+  if (num_shards > 0) {
+    sharded = std::make_unique<ShardedEpochEngine>(
+        world.instance.shared_graph(), config, num_shards);
+    engine = &sharded->engine();
+  } else {
+    single =
+        std::make_unique<EpochEngine>(world.instance.shared_graph(), config);
+    engine = single.get();
+  }
+  engine->set_decision_trace(&trace);
+
+  const auto& requests = world.instance.requests();
+  std::vector<TimedRequest> batch;
+  double last_close = 0.0;
+  double max_finite_duration = 0.0;
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    TimedRequest t;
+    t.arrival_time = i < world.arrivals.size() ? world.arrivals[i] : 0.0;
+    t.sequence = static_cast<std::int64_t>(i);
+    if (temporal_path) {
+      t.duration = i < world.durations.size() ? world.durations[i] : kInf;
+      if (t.duration < kInf) {
+        max_finite_duration = std::max(max_finite_duration, t.duration);
+      }
+    }
+    t.request = requests[i];
+    batch.push_back(t);
+    if (static_cast<int>(batch.size()) < world.max_batch &&
+        i + 1 < requests.size()) {
+      continue;
+    }
+    const AdmissionReport report = engine->run_epoch(batch);
+    last_close = std::max(last_close, report.close_time);
+    batch.clear();
+  }
+  if (temporal_path) {
+    (void)engine->reclaim_expired(last_close + max_finite_duration + 1.0);
+  }
+  engine->set_decision_trace(nullptr);
+  return std::move(sink.lines);
+}
+
+// The tentpole differential of the provenance PR: the rendered decision
+// stream — every outcome, density, bottleneck edge, conflict shard,
+// payment and warm/fresh provenance bit, as bytes — must be identical
+// across SP kernels, thread counts and shard layouts, on both the plain
+// and the churn replay. On top, the stream must satisfy the terminal-
+// decision contract: exactly one non-expiry record per offered request,
+// in ascending sequence order within each epoch.
+std::vector<Violation> oracle_trace_differential(OracleContext& ctx) {
+  std::vector<Violation> out;
+  for (const bool temporal_path : {false, true}) {
+    const char* mode = temporal_path ? "churn" : "plain";
+    std::vector<std::string> reference;
+    std::string reference_leg;
+    for (const SpKernel kernel : {SpKernel::kHeap, SpKernel::kBucket}) {
+      SimWorld world = ctx.world;
+      world.solver.sp_kernel = kernel;
+      const char* kname = kernel == SpKernel::kHeap ? "heap" : "bucket";
+      for (const int threads : {1, 4}) {
+        for (const int shards : {0, 4}) {
+          const std::string leg = std::string(mode) + " " + kname + " t" +
+                                  std::to_string(threads) +
+                                  (shards > 0
+                                       ? " shards" + std::to_string(shards)
+                                       : " unsharded");
+          std::vector<std::string> lines =
+              run_world_trace(world, threads, shards, temporal_path);
+          if (reference_leg.empty()) {
+            // One-decision-per-request audit on the reference leg only
+            // (equality transports it to every other leg).
+            std::int64_t decisions = 0;
+            for (const std::string& line : lines) {
+              if (line.find("\"outcome\":\"lease_expired\"") ==
+                  std::string::npos) {
+                ++decisions;
+              }
+            }
+            const auto offered =
+                static_cast<std::int64_t>(world.instance.requests().size());
+            if (decisions != offered) {
+              add(&out, "trace-differential",
+                  leg + ": " + std::to_string(decisions) +
+                      " terminal decisions for " + std::to_string(offered) +
+                      " offered requests");
+            }
+            reference = std::move(lines);
+            reference_leg = leg;
+            continue;
+          }
+          if (lines == reference) continue;
+          const std::size_t n = std::min(lines.size(), reference.size());
+          std::size_t k = 0;
+          while (k < n && lines[k] == reference[k]) ++k;
+          add(&out, "trace-differential",
+              leg + " diverges from " + reference_leg + " at record " +
+                  std::to_string(k) + ": " +
+                  (k < reference.size() ? reference[k] : "<end>") + " vs " +
+                  (k < lines.size() ? lines[k] : "<end>"));
+        }
+      }
+    }
+  }
+  return out;
+}
+
 constexpr OracleEntry kCatalogue[] = {
     {"feasible", "solver output exact and capacity-feasible", oracle_feasible},
     {"dual-bound", "admitted value within the Claim 3.6 dual bound",
@@ -1259,6 +1405,10 @@ constexpr OracleEntry kCatalogue[] = {
     {"shard-conserve",
      "per-shard residual and lease books reconstruct the global state",
      oracle_shard_conserve},
+    {"trace-differential",
+     "decision provenance stream byte-identical across kernels, threads "
+     "and shard layouts",
+     oracle_trace_differential},
 };
 
 }  // namespace

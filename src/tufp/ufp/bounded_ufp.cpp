@@ -159,6 +159,59 @@ BoundedUfpResult run_bounded_ufp(const detail::Substrate& sub,
     result.dual_upper_bound = std::min(result.dual_upper_bound, primal_value);
   }
 
+  if (config.classify_rejections) {
+    // Serial exit-state classification (DESIGN.md §14): every input here —
+    // cached entries, the live residual, the epoch-start capacities — is a
+    // deterministic function of the admission history, so the records are
+    // byte-identical across kernels, thread counts and shard layouts.
+    // Staleness is benign AND deterministic: in saturation mode the loop
+    // exits right after a refresh (entries fresh); under the faithful
+    // threshold any still-fitting request is lost_auction regardless of
+    // whether a late winner touched its path.
+    result.warm.resize(static_cast<std::size_t>(R));
+    for (int r = 0; r < R; ++r) {
+      result.warm[static_cast<std::size_t>(r)] =
+          cache.entry(r).warm ? 1 : 0;
+    }
+    result.rejections.reserve(remaining.size());
+    for (const int r : remaining) {  // ascending: erase() keeps the order
+      const auto& entry = cache.entry(r);
+      const Request& req = sub.requests[static_cast<std::size_t>(r)];
+      RejectionRecord rec;
+      rec.request = r;
+      if (!entry.reachable) {
+        rec.reason = RejectReason::kNoPath;
+      } else if (entry.length >= kInf) {
+        // Threshold crossed before the first refresh ever ran: nothing
+        // was computed, the request simply never got an auction round.
+        rec.reason = RejectReason::kLostAuction;
+      } else {
+        rec.density = req.demand / req.value * entry.length;
+        rec.path = entry.path;
+        if (detail::path_fits(entry.path, residual, req.demand)) {
+          rec.reason = RejectReason::kLostAuction;
+        } else {
+          const std::span<const double> at_start = sub.capacities;
+          rec.reason = detail::path_fits(entry.path, at_start, req.demand)
+                           ? RejectReason::kCapacityRace
+                           : RejectReason::kBlockedAtStart;
+          const std::span<const double> judged =
+              rec.reason == RejectReason::kCapacityRace
+                  ? std::span<const double>(residual)
+                  : at_start;
+          for (const EdgeId e : entry.path) {
+            if (judged[static_cast<std::size_t>(e)] + detail::kFitSlack <
+                req.demand) {
+              rec.bottleneck = e;
+              break;
+            }
+          }
+        }
+      }
+      result.rejections.push_back(std::move(rec));
+    }
+  }
+
   result.final_dual_sum = dual_sum;
   if (state != nullptr) {
     // Admissions mutated the arrays in place; only an untouched solve

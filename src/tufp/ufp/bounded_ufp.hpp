@@ -66,6 +66,15 @@ struct BoundedUfpConfig {
   // Record one IterationRecord per selection (tests/benches).
   bool record_trace = false;
 
+  // Classify every unselected request at loop exit (result.rejections)
+  // and export per-request warm-tree provenance (result.warm). The
+  // classification reads only the solver's own deterministic exit state —
+  // cached entries, the live residual, the epoch-start capacities — so
+  // records are identical across kernels, thread counts and shard
+  // layouts (the trace-differential oracle's contract, DESIGN.md §14).
+  // Cost: O(rejected × path length) once per solve.
+  bool classify_rejections = false;
+
   // Populate result.y with the final dual weights. Only dual-certificate
   // consumers need them; the epoch engine turns this off so a clean epoch
   // (nothing admitted) costs no O(m) export. Never changes the solution.
@@ -77,6 +86,31 @@ struct IterationRecord {
   double alpha = 0.0;       // normalized length of the selected path, alpha(i)
   double dual_sum = 0.0;    // D1(i) = sum_e c_e y_e before the update
   double primal_value = 0.0;  // P(i+1), value routed after this selection
+};
+
+// Why an unselected request lost, judged at loop exit (DESIGN.md §14).
+// The solver speaks capacity language only; the engine maps kCapacityRace
+// onto its shard vocabulary (the request lost an intra-epoch capacity
+// race to earlier winners — the cross-shard-contention outcome class).
+enum class RejectReason {
+  kNoPath,          // no residual-feasible route exists at all
+  kBlockedAtStart,  // candidate path short of capacity even at epoch start
+  kCapacityRace,    // fit at epoch start, displaced by this epoch's winners
+  kLostAuction,     // path feasible at exit; density never won an iteration
+};
+
+struct RejectionRecord {
+  int request = -1;
+  RejectReason reason = RejectReason::kLostAuction;
+  // (d_r/v_r)·|p_r|_y at exit — the density that kept losing (reachable
+  // requests only; zero when no path was ever computed).
+  double density = 0.0;
+  // First candidate-path edge short of the relevant capacity vector
+  // (kBlockedAtStart: epoch-start; kCapacityRace: live residual); -1
+  // otherwise.
+  EdgeId bottleneck = -1;
+  // The cached candidate path the classification inspected.
+  Path path;
 };
 
 struct BoundedUfpResult {
@@ -111,6 +145,12 @@ struct BoundedUfpResult {
   std::int64_t sp_tree_runs = 0;
 
   std::vector<IterationRecord> trace;
+
+  // classify_rejections only: one record per unselected request in
+  // ascending request order, and per-request warm-tree provenance
+  // (sp_cache Entry::warm at exit) for every request, winners included.
+  std::vector<RejectionRecord> rejections;
+  std::vector<std::uint8_t> warm;
 };
 
 // Preconditions: normalized instance (d_r <= 1), B >= 1, eps in (0,1],

@@ -69,6 +69,7 @@
 
 #include "tufp/graph/dijkstra.hpp"
 #include "tufp/graph/residual_csr.hpp"
+#include "tufp/obs/trace.hpp"
 #include "tufp/ufp/instance.hpp"
 #include "tufp/util/arena.hpp"
 #include "tufp/util/assert.hpp"
@@ -105,6 +106,13 @@ class SpCache {
     // until the entry goes stale (see header comment). Always true when
     // refresh() runs without a residual vector.
     bool fits = true;
+    // Provenance: the last (re)computation was served from the
+    // cross-epoch SourceTreeCache rather than a fresh Dijkstra run.
+    // Deterministic across thread counts — the warm/miss group split is
+    // decided serially and the tree-cache content is a pure function of
+    // the epochs so far — so decision traces may emit it on the det
+    // channel (obs/trace.hpp).
+    bool warm = false;
   };
 
   // Binds to a graph for the cache's lifetime and to an initial request
@@ -149,6 +157,7 @@ class SpCache {
       e.computed_at = -1;
       e.reachable = true;
       e.fits = true;
+      e.warm = false;
     }
     bool same_plan = requests.size() == plan_sources_.size();
     if (same_plan) {
@@ -191,6 +200,7 @@ class SpCache {
                const WeightProfile* profile = nullptr,
                std::span<const std::uint8_t> blocked = {},
                bool epoch_start = false) {
+    TUFP_SPAN("sp_refresh");
     stale_count_ = 0;
     tree_runs_last_refresh_ = 0;
     warm_trees_last_refresh_ = 0;
@@ -278,6 +288,7 @@ class SpCache {
         Entry& entry = entries_[static_cast<std::size_t>(r)];
         entry.length = targets[i].length;
         entry.computed_at = now;
+        entry.warm = false;
         if (entry.length >= kInf) {
           entry.reachable = false;
           entry.fits = false;
@@ -408,6 +419,7 @@ class SpCache {
         entry.length = kInf;
         entry.reachable = false;
         entry.fits = false;
+        entry.warm = true;
         entry.path.clear();
         entry.computed_at = std::numeric_limits<std::int64_t>::max();
         continue;
@@ -430,6 +442,7 @@ class SpCache {
       entry.length = tree->dist[static_cast<std::size_t>(ti)];
       entry.reachable = true;
       entry.computed_at = now;
+      entry.warm = true;
       entry.fits =
           residual.empty() || path_fits(entry.path, residual, req.demand);
     }

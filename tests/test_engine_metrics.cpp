@@ -69,6 +69,16 @@ TEST(GeometricHistogram, RejectsBadInputs) {
   EXPECT_THROW(h.percentile(1.5), std::invalid_argument);
 }
 
+TEST(GeometricHistogram, EmptyHistogramSerializesCleanly) {
+  // A phase that never ran still serializes: the empty histogram must
+  // short-circuit to a pinned literal instead of pushing nan/inf bucket
+  // edges or RunningStats reads through the det formatter.
+  GeometricHistogram h;
+  EXPECT_EQ(h.to_json(), "{\"count\":0,\"buckets\":[]}");
+  EXPECT_EQ(h.percentile(0.5), 0.0);
+  EXPECT_EQ(h.percentile(1.0), 0.0);
+}
+
 TEST(EngineMetrics, AdmittedFraction) {
   EngineMetrics m;
   EXPECT_EQ(m.admitted_fraction(), 0.0);

@@ -41,6 +41,12 @@ DET_TRAJECTORY_FIELDS = (
     "admitted",
     "expired",
     "queue_depth",
+    # Per-outcome rejection split (DESIGN.md §14): a classification drift
+    # should read as "capacity_blocked trajectory diverged", not raw JSON.
+    "no_path",
+    "capacity_blocked",
+    "lost_auction",
+    "shard_conflict",
 )
 
 

@@ -74,6 +74,25 @@ class DetChannelExact(Harness):
         self.assertEqual(rc, 1, msg=out + err)
         self.assertIn("occupancy trajectory diverged at epoch index 1", out)
 
+    def test_outcome_split_drift_names_its_trajectory(self):
+        # The per-outcome rejection split is det data: a request sliding
+        # from capacity_blocked into no_path must fail and be named.
+        baseline = [epoch(0, no_path=1, capacity_blocked=4,
+                          lost_auction=2, shard_conflict=0), SUMMARY]
+        candidate = [epoch(0, no_path=2, capacity_blocked=3,
+                           lost_auction=2, shard_conflict=0), SUMMARY]
+        rc, out, err = self.run_trend(baseline, candidate)
+        self.assertEqual(rc, 1, msg=out + err)
+        self.assertIn("no_path trajectory diverged at epoch index 0", out)
+
+    def test_shard_conflict_drift_names_its_trajectory(self):
+        baseline = [epoch(0, shard_conflict=3), SUMMARY]
+        candidate = [epoch(0, shard_conflict=5), SUMMARY]
+        rc, out, err = self.run_trend(baseline, candidate)
+        self.assertEqual(rc, 1, msg=out + err)
+        self.assertIn("shard_conflict trajectory diverged at epoch index 0",
+                      out)
+
     def test_missing_det_event_fails(self):
         baseline = [epoch(0), epoch(1), SUMMARY]
         candidate = [epoch(0), SUMMARY]

@@ -58,6 +58,14 @@
 //                            (epoch/hist/summary events). `-` replaces the
 //                            table: det events on stdout, wall on stderr
 //   --hist-every N           histogram snapshot cadence for --telemetry
+//   --trace PATH|-           per-request decision provenance records
+//                            (DESIGN.md §14): one JSONL line per terminal
+//                            decision, det channel, byte-identical across
+//                            --threads/--sp-kernel/--shards. `-` writes to
+//                            stdout (implies --quiet semantics for diffs)
+//   --flame PATH             collapsed-stack phase-span dump (flamegraph.pl
+//                            format) + span summary on stderr; wall-clock,
+//                            never byte-stable
 //
 // Output discipline: stdout carries only deterministic data — identical
 // for any --threads value and any machine (the determinism acceptance
@@ -77,6 +85,7 @@
 #include "tufp/engine/request_stream.hpp"
 #include "tufp/engine/sharded_engine.hpp"
 #include "tufp/obs/telemetry.hpp"
+#include "tufp/obs/trace.hpp"
 #include "tufp/util/json.hpp"
 #include "tufp/util/parallel.hpp"
 #include "tufp/util/rng.hpp"
@@ -122,6 +131,8 @@ struct Options {
   std::string json_path;
   std::string telemetry;
   int hist_every = 0;
+  std::string trace;
+  std::string flame;
 };
 
 [[noreturn]] void usage() {
@@ -138,7 +149,7 @@ struct Options {
                "diurnal|flash-crowd]\n"
                "  [--duration-mean X] [--duration-period X] [--horizon X]\n"
                "  [--csv] [--quiet] [--json PATH] [--telemetry PATH|-]\n"
-               "  [--hist-every N]\n";
+               "  [--hist-every N] [--trace PATH|-] [--flame PATH]\n";
   std::exit(2);
 }
 
@@ -181,6 +192,8 @@ Options parse(int argc, char** argv) {
     else if (a == "--json") opt.json_path = value(i);
     else if (a == "--telemetry") opt.telemetry = value(i);
     else if (a == "--hist-every") opt.hist_every = std::stoi(value(i));
+    else if (a == "--trace") opt.trace = value(i);
+    else if (a == "--flame") opt.flame = value(i);
     else usage();
   }
   if (opt.epochs < 1 || opt.requests < 0 || opt.shards < 1) usage();
@@ -338,6 +351,31 @@ int main(int argc, char** argv) {
           obs::TelemetryConfig{opt.hist_every, /*wall_events=*/true});
     }
 
+    // Decision provenance stream (DESIGN.md §14): one det JSONL line per
+    // terminal decision, diffable byte-for-byte across --threads,
+    // --sp-kernel and --shards (tufp_trace diff pins it; so does CI).
+    std::ofstream trace_file;
+    std::unique_ptr<obs::StreamSink> trace_sink;
+    std::unique_ptr<obs::DecisionTrace> trace;
+    if (!opt.trace.empty()) {
+      std::ostream* trace_os = &std::cout;
+      if (opt.trace != "-") {
+        trace_file.open(opt.trace);
+        if (!trace_file.good()) {
+          throw std::runtime_error("cannot open --trace path: " + opt.trace);
+        }
+        trace_os = &trace_file;
+      }
+      trace_sink = std::make_unique<obs::StreamSink>(trace_os, nullptr);
+      trace = std::make_unique<obs::DecisionTrace>(trace_sink.get());
+      engine.set_decision_trace(trace.get());
+    }
+
+    // Phase-span profiler: wall-channel only, installed on this driver
+    // thread (worker threads see a null TLS and skip every span site).
+    obs::SpanProfiler profiler;
+    if (!opt.flame.empty()) obs::install_span_profiler(&profiler);
+
     // The lease columns appear only under a finite duration profile, so
     // the default (permanent-lease) table stays byte-identical to the
     // pre-temporal engine — the committed golden traces pin this.
@@ -455,6 +493,17 @@ int main(int argc, char** argv) {
                 << " conflicts=" << t.conflicts << " aborts=" << t.aborts
                 << " commits=" << t.commits << " reclaims=" << t.reclaims
                 << "\n";
+    }
+
+    if (!opt.flame.empty()) {
+      obs::install_span_profiler(nullptr);
+      std::ofstream flame(opt.flame);
+      if (!flame.good()) {
+        throw std::runtime_error("cannot open --flame path: " + opt.flame);
+      }
+      flame << profiler.collapsed_stacks();
+      std::cerr << "spans: " << profiler.to_json() << "\n"
+                << "wrote " << opt.flame << "\n";
     }
 
     // Wall-clock channel (machine-dependent; kept off stdout so the

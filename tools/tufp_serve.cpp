@@ -57,6 +57,13 @@
 //   --det-only               drop wall-clock events entirely
 //   --hist-every N           admission-delay histogram snapshot cadence
 //                            in epochs (default 0 = final snapshot only)
+//   --trace PATH             per-request decision provenance records
+//                            (DESIGN.md §14) as JSONL; additionally keeps
+//                            the last 256 records in a ring — a sanity
+//                            violation dumps the ring next to the repro
+//                            (serve-repro-<check>-trace.jsonl), so the
+//                            decisions leading into the violation ship
+//                            with the replayable session
 // In-service oracles:
 //   --sanity every-N         run the sanity catalogue after every Nth
 //                            epoch (and at shutdown); violations abort
@@ -104,6 +111,7 @@
 #include "tufp/engine/sharded_engine.hpp"
 #include "tufp/obs/sanity.hpp"
 #include "tufp/obs/telemetry.hpp"
+#include "tufp/obs/trace.hpp"
 #include "tufp/sim/world_gen.hpp"
 #include "tufp/util/json.hpp"
 #include "tufp/util/math.hpp"
@@ -143,6 +151,7 @@ struct Options {
   std::string telemetry = "-";
   bool det_only = false;
   int hist_every = 0;
+  std::string trace;
 
   int sanity_every = 0;
   std::string repro_dir = ".";
@@ -161,7 +170,7 @@ struct Options {
          "  [--sp-kernel auto|heap|bucket] [--shards N] [--horizon X]\n"
          "  [--max-line BYTES]\n"
          "  [--telemetry PATH|-] [--det-only] [--hist-every N]\n"
-         "  [--sanity every-N] [--repro-dir DIR]\n"
+         "  [--trace PATH] [--sanity every-N] [--repro-dir DIR]\n"
          "  [--inject leak-expired-capacity]\n";
   std::exit(2);
 }
@@ -199,6 +208,7 @@ Options parse(int argc, char** argv) {
     else if (a == "--telemetry") opt.telemetry = value(i);
     else if (a == "--det-only") opt.det_only = true;
     else if (a == "--hist-every") opt.hist_every = std::stoi(value(i));
+    else if (a == "--trace") opt.trace = value(i);
     else if (a == "--sanity") {
       const std::string v = value(i);
       if (v.rfind("every-", 0) != 0) usage();
@@ -362,8 +372,8 @@ std::string render_req_line(const Request& req, double arrival,
 class ServeSession {
  public:
   ServeSession(const Options& opt, std::shared_ptr<const Graph> graph,
-               obs::TelemetrySink* sink)
-      : opt_(opt), queue_(opt.queue), sink_(sink),
+               obs::TelemetrySink* sink, obs::DecisionTrace* trace)
+      : opt_(opt), queue_(opt.queue), sink_(sink), trace_(trace),
         telemetry_(sink, {opt.hist_every, !opt.det_only}) {
     EpochEngineConfig config;
     config.max_batch = opt.max_batch;
@@ -387,6 +397,7 @@ class ServeSession {
       single_ = std::make_unique<EpochEngine>(std::move(graph), config);
       engine_ = single_.get();
     }
+    if (trace_ != nullptr) engine_->set_decision_trace(trace_);
     if (opt.epoch_duration > 0.0) window_end_ = opt.epoch_duration;
   }
 
@@ -633,6 +644,23 @@ class ServeSession {
     for (const std::string& line : transcript_) os << line << "\n";
     os << "quit\n";
     std::cerr << "tufp_serve: wrote repro dump: " << path << "\n";
+    // The decision ring: the last K terminal decisions leading into the
+    // violation, as rendered det lines — the provenance half of the repro.
+    if (trace_ != nullptr) {
+      const std::string ring_path = opt_.repro_dir + "/serve-repro-" +
+                                    violations.front().check +
+                                    "-trace.jsonl";
+      std::ofstream ring(ring_path);
+      if (ring.good()) {
+        for (const std::string& rec : trace_->ring_snapshot()) {
+          ring << rec << "\n";
+        }
+        std::cerr << "tufp_serve: wrote decision ring: " << ring_path << "\n";
+      } else {
+        std::cerr << "tufp_serve: cannot write decision ring: " << ring_path
+                  << "\n";
+      }
+    }
   }
 
   void finish_session() {
@@ -677,6 +705,7 @@ class ServeSession {
   EpochEngine* engine_ = nullptr;  // the decider, whichever owns it
   BoundedRequestQueue queue_;
   obs::TelemetrySink* sink_;
+  obs::DecisionTrace* trace_;  // null without --trace
   obs::EpochTelemetry telemetry_;
   std::vector<std::string> transcript_;
   WallTimer timer_;
@@ -749,7 +778,20 @@ int main(int argc, char** argv) {
           &file, opt.det_only ? nullptr : &file);
     }
 
-    ServeSession session(opt, std::move(graph), sink.get());
+    // Decision provenance stream + bounded ring (DESIGN.md §14).
+    std::ofstream trace_file;
+    std::unique_ptr<obs::StreamSink> trace_sink;
+    std::unique_ptr<obs::DecisionTrace> trace;
+    if (!opt.trace.empty()) {
+      trace_file.open(opt.trace);
+      if (!trace_file.good()) {
+        throw std::runtime_error("cannot open --trace path: " + opt.trace);
+      }
+      trace_sink = std::make_unique<obs::StreamSink>(&trace_file, nullptr);
+      trace = std::make_unique<obs::DecisionTrace>(trace_sink.get());
+    }
+
+    ServeSession session(opt, std::move(graph), sink.get(), trace.get());
     return session.drive(*source);
   } catch (const std::exception& e) {
     std::cerr << "tufp_serve: " << e.what() << "\n";
